@@ -1,0 +1,56 @@
+#pragma once
+// Shared bench-harness helpers: standardized experiment scales, cached
+// workflow artifacts, and the measurement wrappers that turn deterministic
+// simulator outputs into paper-style "mean +/- std over 10 runs" rows via
+// the instrumentation-noise model.
+//
+// Scale note (see DESIGN.md): performance/energy rows always run the full
+// 256x256 pipeline through the timing models; accuracy rows train on the
+// phantom at 64x64 with per-config epoch budgets sized for a single-core
+// host. Trained weights are cached under artifacts/, so only the first
+// bench invocation pays the training cost.
+
+#include <string>
+
+#include "core/evaluate.hpp"
+#include "core/model_zoo.hpp"
+#include "core/workflow.hpp"
+#include "eval/stats.hpp"
+#include "eval/table.hpp"
+#include "platform/gpu_model.hpp"
+#include "platform/power.hpp"
+#include "runtime/soc_sim.hpp"
+
+namespace seneca::bench {
+
+/// Accuracy-experiment workflow config for a zoo model. The "best model"
+/// (1M) gets the deep-training profile used by Table V / Figs. 5-6; the
+/// sweep profile covers all five configs for Table IV.
+core::WorkflowConfig accuracy_config(const std::string& model_name,
+                                     bool best_profile = false);
+
+/// Runs (or loads from cache) the accuracy workflow for a model.
+core::WorkflowArtifacts run_accuracy_workflow(const std::string& model_name,
+                                              bool best_profile = false);
+
+/// One paper-style FPGA measurement: FPS / Watt / FPS-per-Watt as
+/// mean +/- std over `runs` repetitions (Table IV protocol: 2000 images,
+/// 10 runs), including meter/timer noise.
+struct MeasuredPerf {
+  eval::RunStats fps;
+  eval::RunStats watts;
+  eval::RunStats ee;
+};
+
+MeasuredPerf measure_fpga(const dpu::XModel& xmodel, int threads,
+                          int images = 2000, int runs = 10,
+                          std::uint64_t noise_seed = 1);
+
+/// GPU counterpart (constant power model, FPS from the analytic executor).
+MeasuredPerf measure_gpu(nn::Graph& graph, int runs = 10,
+                         std::uint64_t noise_seed = 2);
+
+/// Standard banner so every bench identifies its paper artifact.
+void print_banner(const char* artifact, const char* description);
+
+}  // namespace seneca::bench

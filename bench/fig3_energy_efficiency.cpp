@@ -1,0 +1,85 @@
+// Figure 3: average energy efficiency (FPS/Watt) for each model — the FP32
+// GPU baseline vs the INT8 ZCU104 deployment with 1, 2 and 4 VART threads
+// (2000 images, 10 runs each). Extended with 8 threads to reproduce the
+// Sec. IV-B observation that more threads add power but no throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "nn/unet.hpp"
+
+namespace {
+
+using namespace seneca;
+
+void print_figure() {
+  bench::print_banner("Figure 3",
+                      "Energy efficiency [FPS/W] per model and thread count");
+  eval::Table table({"Config", "GPU FP32", "ZCU104 1-thr", "ZCU104 2-thr",
+                     "ZCU104 4-thr", "ZCU104 8-thr (ext.)"});
+  // Paper reference values for the 4-thread FPGA column (from Table IV).
+  const double paper_ee4[] = {11.81, 10.27, 9.57, 4.57, 3.17};
+  int idx = 0;
+  std::vector<std::array<double, 4>> fpga_ee;
+  for (const auto& entry : core::model_zoo()) {
+    const dpu::XModel xm = core::build_timing_xmodel(entry.name);
+    auto graph = nn::build_unet2d(core::unet_config(entry, 256));
+    const auto gpu = bench::measure_gpu(*graph);
+    std::array<double, 4> row{};
+    std::vector<std::string> cells = {entry.name,
+                                      eval::Table::num(gpu.ee.mean)};
+    int t_idx = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      const auto fpga = bench::measure_fpga(xm, threads, 2000, 10);
+      row[static_cast<std::size_t>(t_idx++)] = fpga.ee.mean;
+      cells.push_back(eval::Table::num(fpga.ee.mean));
+    }
+    fpga_ee.push_back(row);
+    table.add_row(cells);
+    std::printf("  %-3s 4-thr EE: ours %.2f vs paper %.2f\n", entry.name.c_str(),
+                row[2], paper_ee4[idx++]);
+  }
+  std::printf("\n%s", table.render().c_str());
+
+  // ASCII rendering of the figure's bar groups.
+  std::printf("\nEE [FPS/W], one bar block per config (G=GPU, 1/2/4/8=threads):\n");
+  idx = 0;
+  for (const auto& entry : core::model_zoo()) {
+    auto graph = nn::build_unet2d(core::unet_config(entry, 256));
+    const double gpu_ee = bench::measure_gpu(*graph).ee.mean;
+    auto bar = [](double v) {
+      return std::string(static_cast<std::size_t>(v * 4.0 + 0.5), '#');
+    };
+    std::printf("%-4s G %5.2f %s\n", entry.name.c_str(), gpu_ee, bar(gpu_ee).c_str());
+    const char* labels[] = {"1", "2", "4", "8"};
+    for (int t = 0; t < 4; ++t) {
+      const double v = fpga_ee[static_cast<std::size_t>(idx)][static_cast<std::size_t>(t)];
+      std::printf("     %s %5.2f %s\n", labels[t], v, bar(v).c_str());
+    }
+    ++idx;
+  }
+  std::printf(
+      "\nQuantized FPGA configurations beat the GPU at every size; gains\n"
+      "grow to 4 threads and vanish at 8 (more power, no FPS — Sec. IV-B).\n");
+}
+
+void BM_ThroughputSimulation(benchmark::State& state) {
+  const dpu::XModel xm = core::build_timing_xmodel("1M");
+  runtime::SocConfig soc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        runtime::simulate_throughput(xm, soc, static_cast<int>(state.range(0)), 2000));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " threads");
+}
+BENCHMARK(BM_ThroughputSimulation)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Calibration study (§III-D / Table III): quantify how the composition of
+// the PTQ calibration set changes per-organ INT8 accuracy. Trains one
+// model, quantizes it twice — with a randomly sampled calibration set and
+// with the frequency-corrected "manual" set — and compares per-organ DSC.
+//
+//   ./calibration_study [--volumes 20] [--resolution 64] [--epochs 10]
+//                       [--calibration 24]
+
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "core/workflow.hpp"
+#include "data/calibration.hpp"
+#include "dpu/compiler.hpp"
+#include "eval/table.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace seneca;
+  const util::Cli cli(argc, argv);
+
+  core::WorkflowConfig cfg;
+  cfg.dataset.num_volumes = static_cast<int>(cli.get_int("volumes", 20));
+  cfg.dataset.slices_per_volume = 12;
+  cfg.dataset.resolution = cli.get_int("resolution", 64);
+  cfg.model_name = cli.get("model", "1M");
+  cfg.train.epochs = static_cast<int>(cli.get_int("epochs", 10));
+  cfg.train.learning_rate = 2e-3f;
+  cfg.train.lr_decay = 0.95f;
+  cfg.calibration_images = static_cast<std::size_t>(cli.get_int("calibration", 24));
+  cfg.artifacts_dir = cli.get("artifacts", "artifacts");
+
+  // Train once (cached); quantize twice with different calibration sets.
+  core::WorkflowArtifacts art = core::Workflow(cfg).run();
+  const auto random_set = data::sample_calibration_random(
+      art.dataset.train, cfg.calibration_images, 5);
+  const auto manual_set = data::sample_calibration_manual(
+      art.dataset.train, cfg.calibration_images);
+
+  std::printf("calibration-set organ frequencies (%% of labeled pixels):\n");
+  eval::Table freq_table({"Sampling", "Liver", "Bladder", "Lungs", "Kidneys", "Bones"});
+  auto freq_row = [&](const char* name, const std::array<double, 5>& f) {
+    freq_table.add_row({name, eval::Table::num(f[0]), eval::Table::num(f[1]),
+                        eval::Table::num(f[2]), eval::Table::num(f[3]),
+                        eval::Table::num(f[4])});
+  };
+  freq_row("Random", random_set.frequencies);
+  freq_row("Manual", manual_set.frequencies);
+  std::printf("%s\n", freq_table.render().c_str());
+
+  auto quantize_and_eval = [&](const std::vector<tensor::TensorF>& images) {
+    quant::QGraph qg = quant::quantize(art.folded, images);
+    dpu::CompileOptions copts;
+    copts.model_name = cfg.model_name;
+    const dpu::XModel xm = dpu::compile(qg, copts);
+    return core::evaluate_int8(xm, art.dataset.test);
+  };
+  auto random_eval = quantize_and_eval(random_set.images);
+  auto manual_eval = quantize_and_eval(manual_set.images);
+  auto fp32_eval = core::evaluate_fp32(*art.fp32, art.dataset.test);
+
+  eval::Table table({"Class", "FP32", "INT8 random calib", "INT8 manual calib"});
+  const auto dr = random_eval.dice_per_class();
+  const auto dm = manual_eval.dice_per_class();
+  const auto df = fp32_eval.dice_per_class();
+  for (std::int64_t c = 1; c < data::kNumClasses; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    table.add_row({std::string(data::organ_name(static_cast<std::int32_t>(c))),
+                   eval::Table::num(100.0 * df[cs]),
+                   eval::Table::num(100.0 * dr[cs]),
+                   eval::Table::num(100.0 * dm[cs])});
+  }
+  table.add_row({"GLOBAL", eval::Table::num(100.0 * fp32_eval.global_dice()),
+                 eval::Table::num(100.0 * random_eval.global_dice()),
+                 eval::Table::num(100.0 * manual_eval.global_dice())});
+  std::printf("DSC [%%] on the test split:\n%s\n", table.render().c_str());
+  std::printf(
+      "The manual (frequency-corrected) set boosts the representation of\n"
+      "bladder/kidneys during activation-range calibration, which is the\n"
+      "paper's recipe for protecting small organs through quantization.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// xmodel inspection tool (the deployment analog of `xdputil xmodel -l`):
+// loads a compiled .xmodel file and prints its disassembly and per-layer
+// latency breakdown. If no file is given, compiles the 1M SENECA model
+// in-process first so the tool is runnable out of the box.
+//
+//   ./inspect_xmodel [path/to/model.xmodel] [--instructions false]
+//                    [--sharers 2] [--breakdown true]
+
+#include <cstdio>
+
+#include "core/workflow.hpp"
+#include "dpu/disasm.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace seneca;
+  const util::Cli cli(argc, argv);
+
+  dpu::XModel model;
+  if (!cli.positional().empty()) {
+    model = dpu::XModel::load(cli.positional()[0]);
+    std::printf("loaded %s\n\n", cli.positional()[0].c_str());
+  } else {
+    std::printf("no xmodel given; compiling the 1M model at 256x256...\n\n");
+    model = core::build_timing_xmodel(cli.get("model", "1M"));
+  }
+
+  dpu::DisasmOptions opts;
+  opts.instructions = cli.get_bool("instructions", true);
+  opts.summary = true;
+  opts.bw_sharers = static_cast<int>(cli.get_int("sharers", 2));
+  std::printf("%s\n", dpu::disassemble(model, opts).c_str());
+
+  if (cli.get_bool("breakdown", true)) {
+    std::printf("%s", dpu::latency_breakdown(model, opts.bw_sharers).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: the SENECA pipeline in ~60 lines.
+//
+// Builds a miniature synthetic CT-ORG dataset, trains the paper's 1M U-Net
+// with the weighted Focal Tversky loss, evaluates FP32 Dice, quantizes to
+// INT8, and compares — all on the host, no hardware required.
+//
+//   ./quickstart [--volumes 16] [--slices 12] [--resolution 64]
+//                [--epochs 10] [--model 1M]
+
+#include <cstdio>
+
+#include "core/evaluate.hpp"
+#include "core/workflow.hpp"
+#include "data/organs.hpp"
+#include "eval/table.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace seneca;
+  const util::Cli cli(argc, argv);
+
+  core::WorkflowConfig cfg;
+  cfg.dataset.num_volumes = static_cast<int>(cli.get_int("volumes", 16));
+  cfg.dataset.slices_per_volume = static_cast<int>(cli.get_int("slices", 12));
+  cfg.dataset.resolution = cli.get_int("resolution", 64);
+  cfg.model_name = cli.get("model", "1M");
+  cfg.train.epochs = static_cast<int>(cli.get_int("epochs", 10));
+  cfg.train.learning_rate = 2e-3f;
+  cfg.train.lr_decay = 0.95f;
+  cfg.train.verbose = true;
+  cfg.calibration_images = 24;
+  cfg.artifacts_dir = cli.get("artifacts", "artifacts");
+
+  std::printf("SENECA quickstart: model %s, %d volumes at %lldx%lld\n",
+              cfg.model_name.c_str(), cfg.dataset.num_volumes,
+              static_cast<long long>(cfg.dataset.resolution),
+              static_cast<long long>(cfg.dataset.resolution));
+
+  core::Workflow workflow(cfg);
+  core::WorkflowArtifacts art = workflow.run();
+  std::printf("trained (%s); parameters: %.3f M\n",
+              art.trained_from_cache ? "from cache" : "fresh",
+              static_cast<double>(art.fp32->num_parameters()) / 1e6);
+
+  auto fp32 = core::evaluate_fp32(*art.fp32, art.dataset.test);
+  auto int8 = core::evaluate_int8(art.xmodel, art.dataset.test);
+
+  eval::Table table({"Class", "FP32 DSC [%]", "INT8 DSC [%]"});
+  const auto d32 = fp32.dice_per_class();
+  const auto d8 = int8.dice_per_class();
+  for (std::int64_t c = 0; c < data::kNumClasses; ++c) {
+    table.add_row({std::string(data::organ_name(static_cast<std::int32_t>(c))),
+                   eval::Table::num(100.0 * d32[static_cast<std::size_t>(c)]),
+                   eval::Table::num(100.0 * d8[static_cast<std::size_t>(c)])});
+  }
+  table.add_row({"GLOBAL (organ-weighted)",
+                 eval::Table::num(100.0 * fp32.global_dice()),
+                 eval::Table::num(100.0 * int8.global_dice())});
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf("INT8 model: %lld weight bytes, %.2fx smaller than FP32\n",
+              static_cast<long long>(art.qgraph.weight_bytes()),
+              4.0 * static_cast<double>(art.fp32->num_parameters()) /
+                  static_cast<double>(art.qgraph.weight_bytes()));
+  return 0;
+}

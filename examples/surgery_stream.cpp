@@ -1,0 +1,137 @@
+// Intraoperative streaming scenario (the paper's motivating deployment,
+// §I): CT frames arrive in real time at the surgery table and must be
+// segmented within a latency budget on the energy-constrained edge device.
+//
+// Simulates a frame source at a configurable rate feeding the dual-core DPU
+// through the VART runtime (discrete-event model), sweeping the thread
+// count, and reports sustained FPS, latency percentiles, deadline misses,
+// and energy per frame.
+//
+//   ./surgery_stream [--model 1M] [--rate 300] [--frames 1500]
+//                    [--deadline-ms 20]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/workflow.hpp"
+#include "eval/table.hpp"
+#include "platform/power.hpp"
+#include "runtime/des.hpp"
+#include "runtime/soc_sim.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace seneca;
+
+struct StreamResult {
+  double completed_fps = 0.0;
+  double latency_mean_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double miss_rate = 0.0;   // frames over deadline
+  double drop_rate = 0.0;   // frames that queued for more than one period
+};
+
+/// Open-loop stream: frames arrive every 1/rate seconds regardless of
+/// completion; a bounded queue (one period of slack per worker) drops
+/// frames that cannot be admitted — the realistic intraoperative setup.
+StreamResult simulate_stream(const dpu::XModel& model, int threads,
+                             double rate_fps, int frames, double deadline_ms) {
+  runtime::EventQueue queue;
+  runtime::Resource arm(queue, 4);
+  runtime::Resource dpu(queue, model.arch.cores);
+  runtime::SocConfig soc;
+
+  std::vector<double> latencies;
+  int dropped = 0;
+  int in_flight = 0;
+  const int max_in_flight = threads;  // VART workers bound admission
+
+  std::function<void(int)> arrive = [&](int index) {
+    if (index >= frames) return;
+    queue.schedule_at(index / rate_fps, [&, index] {
+      arrive(index + 1);
+      if (in_flight >= max_in_flight) {
+        ++dropped;
+        return;
+      }
+      ++in_flight;
+      const double start = queue.now();
+      arm.acquire([&, start] {
+        queue.schedule_after((soc.preprocess_ms + soc.dispatch_ms) * 1e-3, [&, start] {
+          arm.release();
+          dpu.acquire([&, start] {
+            const int sharers = std::max(1, dpu.in_use());
+            queue.schedule_after(model.latency_seconds(sharers), [&, start] {
+              dpu.release();
+              arm.acquire([&, start] {
+                queue.schedule_after(soc.postprocess_ms * 1e-3, [&, start] {
+                  arm.release();
+                  latencies.push_back(queue.now() - start);
+                  --in_flight;
+                });
+              });
+            });
+          });
+        });
+      });
+    });
+  };
+  arrive(0);
+  const double end = queue.run();
+
+  StreamResult result;
+  result.completed_fps = latencies.empty() ? 0.0 : static_cast<double>(latencies.size()) / end;
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double l : latencies) sum += l;
+    result.latency_mean_ms = 1e3 * sum / static_cast<double>(latencies.size());
+    std::vector<double> sorted = latencies;
+    std::sort(sorted.begin(), sorted.end());
+    result.latency_p99_ms =
+        1e3 * sorted[static_cast<std::size_t>(0.99 * static_cast<double>(sorted.size() - 1))];
+    int misses = 0;
+    for (double l : latencies) misses += (1e3 * l > deadline_ms);
+    result.miss_rate = static_cast<double>(misses) / static_cast<double>(latencies.size());
+  }
+  result.drop_rate = static_cast<double>(dropped) / static_cast<double>(frames);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::string model_name = cli.get("model", "1M");
+  const double rate = cli.get_double("rate", 300.0);
+  const int frames = static_cast<int>(cli.get_int("frames", 1500));
+  const double deadline_ms = cli.get_double("deadline-ms", 20.0);
+
+  std::printf("surgery stream: %s at %.0f frames/s, %.0f ms deadline\n",
+              model_name.c_str(), rate, deadline_ms);
+  const dpu::XModel xm = core::build_timing_xmodel(model_name);
+  platform::ZcuPowerModel power;
+
+  eval::Table table({"Threads", "Sustained FPS", "Mean lat [ms]", "p99 lat [ms]",
+                     "Deadline misses", "Dropped", "J/frame"});
+  for (int threads : {1, 2, 4, 8}) {
+    const StreamResult r = simulate_stream(xm, threads, rate, frames, deadline_ms);
+    // steady-state power approximated from a closed-loop run at this setting
+    runtime::SocConfig soc;
+    const auto closed = runtime::simulate_throughput(xm, soc, threads, 400);
+    const double watts = power.watts(closed, xm.compute_utilization(),
+                                     xm.total_ddr_bytes() / 1e9 * closed.fps);
+    table.add_row({std::to_string(threads), eval::Table::num(r.completed_fps, 1),
+                   eval::Table::num(r.latency_mean_ms),
+                   eval::Table::num(r.latency_p99_ms),
+                   eval::Table::num(100.0 * r.miss_rate, 1) + " %",
+                   eval::Table::num(100.0 * r.drop_rate, 1) + " %",
+                   eval::Table::num(watts / std::max(r.completed_fps, 1e-9), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: 4 VART threads keep both DPU cores fed, sustaining the\n"
+      "incoming rate with stable p99 latency; 8 threads add queueing delay\n"
+      "and power without throughput (the paper's observation in Sec. IV-B).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "core/evaluate.hpp"
+
+#include <map>
+
+#include "nn/trainer.hpp"
+#include "quant/quantizer.hpp"
+
+namespace seneca::core {
+
+nn::LabelMap predict_fp32(nn::Graph& graph, const tensor::TensorF& image) {
+  return nn::predict_labels(graph.forward(image, /*training=*/false));
+}
+
+nn::LabelMap predict_int8(const dpu::DpuCoreSim& core,
+                          const tensor::TensorF& image) {
+  const tensor::TensorI8 input =
+      quant::quantize_tensor(image, core.model().input_fix_pos);
+  const dpu::RunResult result = core.run(input);
+  // Argmax over the channel dimension of the INT8 logit maps.
+  const auto& shape = result.output.shape();
+  const std::int64_t c = shape[2];
+  nn::LabelMap labels(tensor::Shape{shape[0], shape[1]});
+  for (std::int64_t i = 0; i < labels.numel(); ++i) {
+    const std::int8_t* p = result.output.data() + i * c;
+    std::int32_t best = 0;
+    for (std::int64_t ch = 1; ch < c; ++ch) {
+      if (p[ch] > p[best]) best = static_cast<std::int32_t>(ch);
+    }
+    labels[i] = best;
+  }
+  return labels;
+}
+
+eval::SegmentationEvaluator evaluate_fp32(
+    nn::Graph& graph, const std::vector<data::SliceRecord>& records) {
+  eval::SegmentationEvaluator evaluator(data::kNumClasses);
+  for (const auto& rec : records) {
+    evaluator.add(predict_fp32(graph, rec.sample.image), rec.sample.labels);
+  }
+  return evaluator;
+}
+
+eval::SegmentationEvaluator evaluate_int8(
+    const dpu::XModel& xmodel, const std::vector<data::SliceRecord>& records) {
+  dpu::DpuCoreSim core(&xmodel);
+  eval::SegmentationEvaluator evaluator(data::kNumClasses);
+  for (const auto& rec : records) {
+    evaluator.add(predict_int8(core, rec.sample.image), rec.sample.labels);
+  }
+  return evaluator;
+}
+
+std::vector<std::vector<double>> per_case_organ_dice_int8(
+    const dpu::XModel& xmodel, const std::vector<data::SliceRecord>& records) {
+  dpu::DpuCoreSim core(&xmodel);
+  std::map<int, eval::SegmentationEvaluator> per_patient;
+  for (const auto& rec : records) {
+    auto [it, inserted] = per_patient.try_emplace(
+        rec.patient_id, eval::SegmentationEvaluator(data::kNumClasses));
+    it->second.add(predict_int8(core, rec.sample.image), rec.sample.labels);
+  }
+  std::vector<std::vector<double>> samples(
+      static_cast<std::size_t>(data::kNumClasses));
+  for (auto& [patient, evaluator] : per_patient) {
+    for (std::int64_t c = 1; c < data::kNumClasses; ++c) {
+      const auto& counts = evaluator.counts(c);
+      // Only patients whose scan actually contains the organ contribute.
+      if (counts.tp + counts.fn == 0) continue;
+      samples[static_cast<std::size_t>(c)].push_back(counts.dice());
+    }
+  }
+  return samples;
+}
+
+}  // namespace seneca::core

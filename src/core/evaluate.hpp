@@ -1,0 +1,35 @@
+#pragma once
+// Accuracy evaluation drivers shared by benches/examples: run the FP32
+// network or the compiled INT8 xmodel over slice records and accumulate
+// segmentation metrics.
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dpu/core_sim.hpp"
+#include "eval/metrics.hpp"
+#include "nn/graph.hpp"
+
+namespace seneca::core {
+
+/// Argmax prediction of the FP32 network for one image.
+nn::LabelMap predict_fp32(nn::Graph& graph, const tensor::TensorF& image);
+
+/// Argmax prediction of the compiled INT8 model (input quantized with the
+/// xmodel's stored scale; argmax directly on INT8 logits — softmax is
+/// monotonic).
+nn::LabelMap predict_int8(const dpu::DpuCoreSim& core,
+                          const tensor::TensorF& image);
+
+eval::SegmentationEvaluator evaluate_fp32(
+    nn::Graph& graph, const std::vector<data::SliceRecord>& records);
+
+eval::SegmentationEvaluator evaluate_int8(
+    const dpu::XModel& xmodel, const std::vector<data::SliceRecord>& records);
+
+/// Per-patient, per-organ DSC samples (Fig. 6 boxplots): index [organ 1..5],
+/// one sample per patient present in `records`.
+std::vector<std::vector<double>> per_case_organ_dice_int8(
+    const dpu::XModel& xmodel, const std::vector<data::SliceRecord>& records);
+
+}  // namespace seneca::core

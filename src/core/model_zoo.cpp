@@ -1,0 +1,37 @@
+#include "core/model_zoo.hpp"
+
+#include <stdexcept>
+
+namespace seneca::core {
+
+const std::vector<ZooEntry>& model_zoo() {
+  // Table II: layers 9,11,11,11,11; filters 8,6,8,11,16.
+  static const std::vector<ZooEntry> zoo = {
+      {"1M", 4, 8, 1.034},
+      {"2M", 5, 6, 2.329},
+      {"4M", 5, 8, 4.136},
+      {"8M", 5, 11, 7.814},
+      {"16M", 5, 16, 16.522},
+  };
+  return zoo;
+}
+
+const ZooEntry& zoo_entry(const std::string& name) {
+  for (const auto& e : model_zoo()) {
+    if (e.name == name) return e;
+  }
+  throw std::invalid_argument("zoo_entry: unknown model " + name);
+}
+
+nn::UNet2DConfig unet_config(const ZooEntry& entry, std::int64_t input_size,
+                             std::uint64_t seed) {
+  nn::UNet2DConfig cfg;
+  cfg.name = entry.name;
+  cfg.input_size = input_size;
+  cfg.depth = entry.depth;
+  cfg.base_filters = entry.base_filters;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace seneca::core

@@ -1,0 +1,32 @@
+#pragma once
+// The five SENECA model configurations of Table II. "Layers" follows the
+// paper's stack count (2*depth+1); base_filters is the first stack's filter
+// count. Our standard two-conv-per-stack U-Net yields parameter totals whose
+// *ratios* across configs match the paper's exactly (1 : 2.25 : 4 : 7.56 :
+// 16) with a uniform scale offset; see EXPERIMENTS.md for the comparison.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/unet.hpp"
+
+namespace seneca::core {
+
+struct ZooEntry {
+  std::string name;            // paper label: "1M" .. "16M"
+  int depth;                   // encoder stacks (layers = 2*depth+1)
+  std::int64_t base_filters;
+  double paper_params_millions;  // Table II reference
+};
+
+const std::vector<ZooEntry>& model_zoo();
+
+/// Look up by paper label ("1M", "2M", ...). Throws on unknown names.
+const ZooEntry& zoo_entry(const std::string& name);
+
+/// Builder config for a zoo entry at the given input resolution.
+nn::UNet2DConfig unet_config(const ZooEntry& entry, std::int64_t input_size,
+                             std::uint64_t seed = 42);
+
+}  // namespace seneca::core

@@ -1,0 +1,99 @@
+#include "data/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace seneca::data {
+
+namespace {
+
+/// Per-slice labeled-pixel counts for organs 1..5.
+std::array<std::int64_t, 5> organ_counts(const LabelMap& labels) {
+  std::array<std::int64_t, 5> counts{};
+  for (std::int64_t i = 0; i < labels.numel(); ++i) {
+    const std::int32_t c = labels[i];
+    if (c >= 1 && c <= 5) ++counts[static_cast<std::size_t>(c - 1)];
+  }
+  return counts;
+}
+
+std::array<double, 5> to_percentages(const std::array<std::int64_t, 5>& counts) {
+  std::array<double, 5> freq{};
+  std::int64_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return freq;
+  for (std::size_t i = 0; i < 5; ++i) {
+    freq[i] = 100.0 * static_cast<double>(counts[i]) / static_cast<double>(total);
+  }
+  return freq;
+}
+
+}  // namespace
+
+CalibrationSet sample_calibration_random(const std::vector<SliceRecord>& pool,
+                                         std::size_t size, std::uint64_t seed) {
+  if (pool.empty()) throw std::invalid_argument("calibration: empty pool");
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(pool.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+  size = std::min(size, pool.size());
+
+  CalibrationSet set;
+  std::array<std::int64_t, 5> totals{};
+  for (std::size_t k = 0; k < size; ++k) {
+    const SliceRecord& rec = pool[order[k]];
+    set.images.push_back(rec.sample.image);
+    const auto counts = organ_counts(rec.sample.labels);
+    for (std::size_t i = 0; i < 5; ++i) totals[i] += counts[i];
+  }
+  set.frequencies = to_percentages(totals);
+  return set;
+}
+
+CalibrationSet sample_calibration_manual(const std::vector<SliceRecord>& pool,
+                                         std::size_t size,
+                                         const std::array<double, 5>& target) {
+  if (pool.empty()) throw std::invalid_argument("calibration: empty pool");
+  size = std::min(size, pool.size());
+
+  std::vector<std::array<std::int64_t, 5>> counts(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    counts[i] = organ_counts(pool[i].sample.labels);
+  }
+
+  std::vector<bool> used(pool.size(), false);
+  std::array<std::int64_t, 5> totals{};
+  CalibrationSet set;
+  for (std::size_t k = 0; k < size; ++k) {
+    double best_score = std::numeric_limits<double>::infinity();
+    std::size_t best_idx = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      std::array<std::int64_t, 5> trial = totals;
+      for (std::size_t c = 0; c < 5; ++c) trial[c] += counts[i][c];
+      const auto freq = to_percentages(trial);
+      // Relative error: a missing rare organ (bladder) must cost more than a
+      // mild overshoot of an abundant one (bones), otherwise greedy selection
+      // starves the small organs — the exact failure the manual set corrects.
+      double score = 0.0;
+      for (std::size_t c = 0; c < 5; ++c) {
+        score += std::fabs(freq[c] - target[c]) / target[c];
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_idx = i;
+      }
+    }
+    used[best_idx] = true;
+    for (std::size_t c = 0; c < 5; ++c) totals[c] += counts[best_idx][c];
+    set.images.push_back(pool[best_idx].sample.image);
+  }
+  set.frequencies = to_percentages(totals);
+  return set;
+}
+
+}  // namespace seneca::data

@@ -1,0 +1,41 @@
+#pragma once
+// Calibration-set construction for post-training quantization (§III-D,
+// Table III). Two samplers:
+//  - random: uniform slice sampling (organ frequencies mirror Table I);
+//  - manual: greedy frequency-corrected sampling that levels organ
+//    frequencies toward a target distribution, boosting bladder/kidneys —
+//    the paper's "Manual Sampling" row.
+// The returned calibration set carries only images (PTQ is label-free);
+// labels are used solely to steer the manual sampler, exactly as a human
+// would eyeball slice content when hand-building the set.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace seneca::data {
+
+struct CalibrationSet {
+  std::vector<tensor::TensorF> images;
+  /// Organ frequencies of the selected slices (liver..bones, index 0..4),
+  /// reported for the Table III bench.
+  std::array<double, 5> frequencies{};
+};
+
+/// Table III "Manual Sampling" target distribution (liver, bladder, lungs,
+/// kidneys, bones), in percent of labeled pixels.
+inline constexpr std::array<double, 5> kManualTargetFrequencies = {
+    21.69, 7.66, 32.02, 6.90, 31.73};
+
+CalibrationSet sample_calibration_random(const std::vector<SliceRecord>& pool,
+                                         std::size_t size, std::uint64_t seed);
+
+/// Greedy selection minimizing the L1 distance between the running organ
+/// distribution and `target` at every step.
+CalibrationSet sample_calibration_manual(
+    const std::vector<SliceRecord>& pool, std::size_t size,
+    const std::array<double, 5>& target = kManualTargetFrequencies);
+
+}  // namespace seneca::data

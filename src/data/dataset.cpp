@@ -1,0 +1,111 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace seneca::data {
+
+namespace {
+std::vector<nn::Sample> collect(const std::vector<SliceRecord>& records) {
+  std::vector<nn::Sample> out;
+  out.reserve(records.size());
+  for (const auto& r : records) out.push_back(r.sample);
+  return out;
+}
+}  // namespace
+
+std::vector<nn::Sample> Dataset::train_samples() const { return collect(train); }
+std::vector<nn::Sample> Dataset::val_samples() const { return collect(val); }
+std::vector<nn::Sample> Dataset::test_samples() const { return collect(test); }
+
+Dataset build_dataset(const DatasetConfig& cfg) {
+  PhantomConfig pcfg;
+  pcfg.resolution = cfg.resolution;
+  pcfg.slices_per_volume = cfg.slices_per_volume;
+  pcfg.noise_hu = cfg.noise_hu;
+  PhantomGenerator gen(pcfg, cfg.seed);
+
+  // Patient-level split: shuffle patient ids, then carve fractions.
+  std::vector<int> patients(static_cast<std::size_t>(cfg.num_volumes));
+  std::iota(patients.begin(), patients.end(), 0);
+  util::Rng rng(cfg.seed ^ 0xD5A7A);
+  rng.shuffle(patients);
+  const auto n_train = static_cast<std::size_t>(cfg.train_fraction * cfg.num_volumes);
+  const auto n_val = static_cast<std::size_t>(cfg.val_fraction * cfg.num_volumes);
+
+  Dataset ds;
+  for (std::size_t i = 0; i < patients.size(); ++i) {
+    PhantomVolume vol = gen.generate_volume(patients[i]);
+    auto* bucket = &ds.test;
+    if (i < n_train) {
+      bucket = &ds.train;
+    } else if (i < n_train + n_val) {
+      bucket = &ds.val;
+    }
+    for (auto& slice : vol.slices) {
+      SliceRecord rec;
+      rec.sample = preprocess_slice(slice);
+      rec.patient_id = slice.patient_id;
+      rec.z = slice.z;
+      bucket->push_back(std::move(rec));
+    }
+  }
+  return ds;
+}
+
+std::vector<double> organ_frequencies(
+    const std::vector<const LabelMap*>& labels) {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(kNumRawClasses), 0);
+  for (const LabelMap* map : labels) {
+    for (std::int64_t i = 0; i < map->numel(); ++i) {
+      ++counts[static_cast<std::size_t>((*map)[i])];
+    }
+  }
+  std::int64_t labeled = 0;
+  for (std::size_t c = 1; c < counts.size(); ++c) labeled += counts[c];
+  std::vector<double> freq(static_cast<std::size_t>(kNumRawClasses), 0.0);
+  if (labeled == 0) return freq;
+  for (std::size_t c = 1; c < counts.size(); ++c) {
+    freq[c] = 100.0 * static_cast<double>(counts[c]) / static_cast<double>(labeled);
+  }
+  return freq;
+}
+
+std::vector<double> organ_frequencies(const std::vector<SliceRecord>& records) {
+  std::vector<const LabelMap*> labels;
+  labels.reserve(records.size());
+  for (const auto& r : records) labels.push_back(&r.sample.labels);
+  return organ_frequencies(labels);
+}
+
+std::vector<double> raw_organ_frequencies(int num_volumes,
+                                          int slices_per_volume,
+                                          std::int64_t resolution,
+                                          std::uint64_t seed) {
+  PhantomConfig pcfg;
+  pcfg.resolution = resolution;
+  pcfg.slices_per_volume = slices_per_volume;
+  pcfg.include_brain = true;
+  PhantomGenerator gen(pcfg, seed);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(kNumRawClasses), 0);
+  for (int p = 0; p < num_volumes; ++p) {
+    PhantomVolume vol = gen.generate_volume(p);
+    for (const auto& slice : vol.slices) {
+      for (std::int64_t i = 0; i < slice.labels.numel(); ++i) {
+        ++counts[static_cast<std::size_t>(slice.labels[i])];
+      }
+    }
+  }
+  std::int64_t labeled = 0;
+  for (std::size_t c = 1; c < counts.size(); ++c) labeled += counts[c];
+  std::vector<double> freq;
+  for (std::size_t c = 1; c < counts.size(); ++c) {
+    freq.push_back(labeled ? 100.0 * static_cast<double>(counts[c]) /
+                                 static_cast<double>(labeled)
+                           : 0.0);
+  }
+  return freq;  // order: liver, bladder, lungs, kidneys, bones, brain
+}
+
+}  // namespace seneca::data

@@ -1,0 +1,58 @@
+#pragma once
+// Dataset assembly: renders phantom volumes, preprocesses every slice, and
+// produces patient-level train/val/test splits (patients never straddle
+// splits, as in the CT-ORG protocol). Also hosts the organ-frequency
+// analyzer behind Table I.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/phantom.hpp"
+#include "data/preprocess.hpp"
+
+namespace seneca::data {
+
+struct DatasetConfig {
+  int num_volumes = 140;            // CT-ORG has 140 patients
+  int slices_per_volume = 24;
+  std::int64_t resolution = 256;
+  double train_fraction = 0.70;
+  double val_fraction = 0.10;       // remainder is test
+  std::uint64_t seed = 1234;
+  double noise_hu = 8.0;
+};
+
+struct SliceRecord {
+  nn::Sample sample;  // preprocessed image [-1,1] + labels (brain removed)
+  int patient_id = 0;
+  double z = 0.0;
+};
+
+struct Dataset {
+  std::vector<SliceRecord> train;
+  std::vector<SliceRecord> val;
+  std::vector<SliceRecord> test;
+
+  std::vector<nn::Sample> train_samples() const;
+  std::vector<nn::Sample> val_samples() const;
+  std::vector<nn::Sample> test_samples() const;
+};
+
+/// Renders and preprocesses the full dataset. Cost scales with
+/// num_volumes * slices_per_volume * resolution^2.
+Dataset build_dataset(const DatasetConfig& cfg);
+
+/// Percentage of *labeled* (non-background) pixels per organ class.
+/// Returns indices 1..kNumRawClasses-1; entry 0 is unused (0).
+std::vector<double> organ_frequencies(const std::vector<const LabelMap*>& labels);
+std::vector<double> organ_frequencies(const std::vector<SliceRecord>& records);
+
+/// Raw-label frequency analysis for Table I: renders `num_volumes` raw
+/// phantom volumes (brain retained) and returns frequencies over organs
+/// 1..6 in the order liver, bladder, lungs, kidneys, bones, brain.
+std::vector<double> raw_organ_frequencies(int num_volumes,
+                                          int slices_per_volume,
+                                          std::int64_t resolution,
+                                          std::uint64_t seed);
+
+}  // namespace seneca::data

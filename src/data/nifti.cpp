@@ -1,0 +1,216 @@
+#include "data/nifti.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "data/phantom.hpp"
+#include "util/io.hpp"
+
+namespace seneca::data {
+
+namespace {
+
+// Byte-exact NIfTI-1 header (348 bytes, little-endian fields).
+#pragma pack(push, 1)
+struct Nifti1Header {
+  std::int32_t sizeof_hdr;     // must be 348
+  char data_type[10];
+  char db_name[18];
+  std::int32_t extents;
+  std::int16_t session_error;
+  char regular;                // 'r'
+  char dim_info;
+  std::int16_t dim[8];         // dim[0]=rank, dim[1]=nx, dim[2]=ny, dim[3]=nz
+  float intent_p1, intent_p2, intent_p3;
+  std::int16_t intent_code;
+  std::int16_t datatype;
+  std::int16_t bitpix;
+  std::int16_t slice_start;
+  float pixdim[8];
+  float vox_offset;            // 352 for single-file .nii
+  float scl_slope;
+  float scl_inter;
+  std::int16_t slice_end;
+  char slice_code;
+  char xyzt_units;
+  float cal_max, cal_min;
+  float slice_duration;
+  float toffset;
+  std::int32_t glmax, glmin;
+  char descrip[80];
+  char aux_file[24];
+  std::int16_t qform_code;
+  std::int16_t sform_code;
+  float quatern_b, quatern_c, quatern_d;
+  float qoffset_x, qoffset_y, qoffset_z;
+  float srow_x[4], srow_y[4], srow_z[4];
+  char intent_name[16];
+  char magic[4];               // "n+1\0"
+};
+#pragma pack(pop)
+static_assert(sizeof(Nifti1Header) == 348, "NIfTI-1 header must be 348 bytes");
+
+std::int16_t bytes_per_voxel(NiftiDataType t) {
+  switch (t) {
+    case NiftiDataType::kInt16: return 2;
+    case NiftiDataType::kInt32: return 4;
+    case NiftiDataType::kFloat32: return 4;
+  }
+  throw std::invalid_argument("nifti: unsupported datatype");
+}
+
+}  // namespace
+
+void write_nifti(const std::filesystem::path& path, const NiftiVolume& vol) {
+  if (vol.voxels.shape().rank() != 3) {
+    throw std::invalid_argument("write_nifti: expected [nz][ny][nx] tensor");
+  }
+  const std::int64_t nz = vol.nz(), ny = vol.ny(), nx = vol.nx();
+  if (nx > 32767 || ny > 32767 || nz > 32767) {
+    throw std::invalid_argument("write_nifti: dimension exceeds int16");
+  }
+
+  Nifti1Header hdr{};
+  hdr.sizeof_hdr = 348;
+  hdr.regular = 'r';
+  hdr.dim[0] = 3;
+  hdr.dim[1] = static_cast<std::int16_t>(nx);
+  hdr.dim[2] = static_cast<std::int16_t>(ny);
+  hdr.dim[3] = static_cast<std::int16_t>(nz);
+  for (int i = 4; i < 8; ++i) hdr.dim[i] = 1;
+  hdr.datatype = static_cast<std::int16_t>(vol.stored_type);
+  hdr.bitpix = static_cast<std::int16_t>(8 * bytes_per_voxel(vol.stored_type));
+  hdr.pixdim[0] = 1.f;
+  hdr.pixdim[1] = vol.spacing_mm[0];
+  hdr.pixdim[2] = vol.spacing_mm[1];
+  hdr.pixdim[3] = vol.spacing_mm[2];
+  hdr.vox_offset = 352.f;
+  hdr.scl_slope = 1.f;
+  hdr.scl_inter = 0.f;
+  hdr.xyzt_units = 2;  // NIFTI_UNITS_MM
+  std::snprintf(hdr.descrip, sizeof hdr.descrip, "SENECA phantom export");
+  std::memcpy(hdr.magic, "n+1", 4);
+
+  util::BinaryWriter w;
+  w.bytes(&hdr, sizeof hdr);
+  w.u32(0);  // empty extension flag (4 bytes) -> data at offset 352
+
+  const std::int64_t n = vol.voxels.numel();
+  switch (vol.stored_type) {
+    case NiftiDataType::kInt16: {
+      std::vector<std::int16_t> buf(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        buf[static_cast<std::size_t>(i)] =
+            static_cast<std::int16_t>(std::lround(vol.voxels[i]));
+      }
+      w.bytes(buf.data(), buf.size() * 2);
+      break;
+    }
+    case NiftiDataType::kInt32: {
+      std::vector<std::int32_t> buf(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        buf[static_cast<std::size_t>(i)] =
+            static_cast<std::int32_t>(std::lround(vol.voxels[i]));
+      }
+      w.bytes(buf.data(), buf.size() * 4);
+      break;
+    }
+    case NiftiDataType::kFloat32:
+      w.bytes(vol.voxels.data(), static_cast<std::size_t>(n) * 4);
+      break;
+  }
+  util::write_file(path, w.data().data(), w.data().size());
+}
+
+NiftiVolume read_nifti(const std::filesystem::path& path) {
+  const auto bytes = util::read_file(path);
+  if (bytes.size() < sizeof(Nifti1Header) + 4) {
+    throw std::runtime_error("read_nifti: file too small");
+  }
+  Nifti1Header hdr;
+  std::memcpy(&hdr, bytes.data(), sizeof hdr);
+  if (hdr.sizeof_hdr != 348 || std::memcmp(hdr.magic, "n+1", 3) != 0) {
+    throw std::runtime_error("read_nifti: not a single-file NIfTI-1");
+  }
+  if (hdr.dim[0] != 3) {
+    throw std::runtime_error("read_nifti: only 3D volumes supported");
+  }
+  const std::int64_t nx = hdr.dim[1], ny = hdr.dim[2], nz = hdr.dim[3];
+  if (nx <= 0 || ny <= 0 || nz <= 0) {
+    throw std::runtime_error("read_nifti: bad dimensions");
+  }
+  const auto type = static_cast<NiftiDataType>(hdr.datatype);
+  const std::int64_t bpv = bytes_per_voxel(type);
+  const std::int64_t n = nx * ny * nz;
+  const auto offset = static_cast<std::size_t>(hdr.vox_offset);
+  if (bytes.size() < offset + static_cast<std::size_t>(n * bpv)) {
+    throw std::runtime_error("read_nifti: truncated voxel data");
+  }
+
+  NiftiVolume vol;
+  vol.stored_type = type;
+  vol.spacing_mm[0] = hdr.pixdim[1];
+  vol.spacing_mm[1] = hdr.pixdim[2];
+  vol.spacing_mm[2] = hdr.pixdim[3];
+  vol.voxels = tensor::TensorF(tensor::Shape{nz, ny, nx});
+  const float slope = hdr.scl_slope != 0.f ? hdr.scl_slope : 1.f;
+  const std::uint8_t* data = bytes.data() + offset;
+  for (std::int64_t i = 0; i < n; ++i) {
+    float v = 0.f;
+    switch (type) {
+      case NiftiDataType::kInt16: {
+        std::int16_t s;
+        std::memcpy(&s, data + i * 2, 2);
+        v = static_cast<float>(s);
+        break;
+      }
+      case NiftiDataType::kInt32: {
+        std::int32_t s;
+        std::memcpy(&s, data + i * 4, 4);
+        v = static_cast<float>(s);
+        break;
+      }
+      case NiftiDataType::kFloat32:
+        std::memcpy(&v, data + i * 4, 4);
+        break;
+    }
+    vol.voxels[i] = slope * v + hdr.scl_inter;
+  }
+  return vol;
+}
+
+void export_ctorg_style(const std::filesystem::path& stem,
+                        const PhantomVolume& volume) {
+  if (volume.slices.empty()) {
+    throw std::invalid_argument("export_ctorg_style: empty volume");
+  }
+  const std::int64_t s = volume.slices[0].image_hu.shape()[0];
+  const auto nz = static_cast<std::int64_t>(volume.slices.size());
+
+  NiftiVolume ct;
+  ct.stored_type = NiftiDataType::kInt16;
+  ct.voxels = tensor::TensorF(tensor::Shape{nz, s, s});
+  NiftiVolume labels;
+  labels.stored_type = NiftiDataType::kInt16;
+  labels.voxels = tensor::TensorF(tensor::Shape{nz, s, s});
+  // CT-ORG-style geometry: ~1.5 mm in-plane at 512 (scaled), thicker slices.
+  const float dx = 1.5f * 512.f / static_cast<float>(s);
+  ct.spacing_mm[0] = ct.spacing_mm[1] = dx;
+  ct.spacing_mm[2] = 5.0f;
+  labels.spacing_mm[0] = labels.spacing_mm[1] = dx;
+  labels.spacing_mm[2] = 5.0f;
+
+  for (std::int64_t z = 0; z < nz; ++z) {
+    const auto& slice = volume.slices[static_cast<std::size_t>(z)];
+    for (std::int64_t i = 0; i < s * s; ++i) {
+      ct.voxels[z * s * s + i] = slice.image_hu[i];
+      labels.voxels[z * s * s + i] = static_cast<float>(slice.labels[i]);
+    }
+  }
+  write_nifti(stem.string() + "_ct.nii", ct);
+  write_nifti(stem.string() + "_labels.nii", labels);
+}
+
+}  // namespace seneca::data

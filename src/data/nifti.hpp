@@ -1,0 +1,50 @@
+#pragma once
+// Minimal NIfTI-1 volume I/O (single-file .nii, little-endian).
+//
+// CT-ORG ships its volumes and label maps as NIfTI with variable bit-width
+// (§III-A: "saved in NIfTI format, with a variable bit-width ranging from
+// 16 to 32"); this module lets the phantom generator export datasets in the
+// real interchange format and read them back, covering exactly the subset
+// CT-ORG uses: 3D volumes of int16 / int32 / float32 with pixel spacing.
+
+#include <cstdint>
+#include <filesystem>
+
+#include "tensor/tensor.hpp"
+
+namespace seneca::data {
+
+enum class NiftiDataType : std::int16_t {
+  kInt16 = 4,    // NIFTI_TYPE_INT16
+  kInt32 = 8,    // NIFTI_TYPE_INT32
+  kFloat32 = 16, // NIFTI_TYPE_FLOAT32
+};
+
+struct NiftiVolume {
+  // Voxels ordered x-fastest (NIfTI convention); shape [nz][ny][nx] here.
+  tensor::TensorF voxels;  // values after applying scl_slope/scl_inter
+  float spacing_mm[3] = {1.f, 1.f, 1.f};  // dx, dy, dz
+  NiftiDataType stored_type = NiftiDataType::kFloat32;
+
+  std::int64_t nx() const { return voxels.shape()[2]; }
+  std::int64_t ny() const { return voxels.shape()[1]; }
+  std::int64_t nz() const { return voxels.shape()[0]; }
+};
+
+/// Writes a single-file .nii (header + data, no extensions). The tensor is
+/// stored at the requested bit-width; float data written as int16/int32 is
+/// rounded (CT HU values are integral anyway).
+void write_nifti(const std::filesystem::path& path, const NiftiVolume& volume);
+
+/// Reads a single-file .nii written by write_nifti (or any little-endian
+/// NIfTI-1 with dim[0]==3 and a supported datatype). Throws
+/// std::runtime_error on malformed input.
+NiftiVolume read_nifti(const std::filesystem::path& path);
+
+/// Convenience: exports one phantom volume pair (CT + labels) in CT-ORG
+/// style: <stem>_ct.nii (int16 HU) and <stem>_labels.nii (int16 classes).
+struct PhantomVolume;  // from phantom.hpp
+void export_ctorg_style(const std::filesystem::path& stem,
+                        const PhantomVolume& volume);
+
+}  // namespace seneca::data

@@ -1,0 +1,43 @@
+#pragma once
+// Organ/class nomenclature shared across the whole stack, matching the
+// CT-ORG label set. Class ids 0..5 are the network's six output maps
+// (background + five target organs, §III-B); brain (6) exists only in raw
+// phantom volumes and is removed by preprocessing, as the paper removes it
+// from the targets (§III-A).
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace seneca::data {
+
+enum class Organ : std::int32_t {
+  kBackground = 0,
+  kLiver = 1,
+  kBladder = 2,
+  kLungs = 3,
+  kKidneys = 4,
+  kBones = 5,
+  kBrain = 6,  // raw datasets only; never a network target
+};
+
+/// Number of network classes (background + 5 organs).
+inline constexpr std::int64_t kNumClasses = 6;
+/// Number of raw label values (including brain).
+inline constexpr std::int64_t kNumRawClasses = 7;
+/// Target organs, excluding background and brain.
+inline constexpr std::int64_t kNumTargetOrgans = 5;
+
+inline constexpr std::array<std::string_view, 7> kOrganNames = {
+    "background", "liver", "bladder", "lungs", "kidneys", "bones", "brain"};
+
+/// Table I: organ frequencies in CT-ORG as a percentage of labeled pixels.
+/// Order: liver, bladder, lungs, kidneys, bones, brain.
+inline constexpr std::array<double, 6> kPaperOrganFrequencies = {
+    22.18, 2.51, 34.17, 4.70, 36.26, 0.18};
+
+inline std::string_view organ_name(std::int32_t cls) {
+  return kOrganNames[static_cast<std::size_t>(cls)];
+}
+
+}  // namespace seneca::data

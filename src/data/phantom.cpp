@@ -1,0 +1,315 @@
+#include "data/phantom.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace seneca::data {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// z landmarks of the phantom body (normalized body coordinate).
+constexpr double kBrainZ0 = 0.015, kBrainZ1 = 0.075;
+constexpr double kSkullZ0 = 0.0, kSkullZ1 = 0.10;
+constexpr double kLungZ0 = 0.17, kLungZ1 = 0.43;
+constexpr double kLiverZ0 = 0.40, kLiverZ1 = 0.56;
+constexpr double kKidneyZ0 = 0.56, kKidneyZ1 = 0.74;
+constexpr double kBladderZ0 = 0.79, kBladderZ1 = 0.91;
+constexpr double kRibsZ0 = 0.15, kRibsZ1 = 0.46;
+constexpr double kPelvisZ0 = 0.72, kPelvisZ1 = 0.95;
+constexpr double kSpineZ0 = 0.10, kSpineZ1 = 0.97;
+
+/// Smooth 0->1->0 size profile of an organ across its z extent.
+double z_profile(double z, double z0, double z1) {
+  if (z <= z0 || z >= z1) return 0.0;
+  const double t = (z - z0) / (z1 - z0);
+  return std::sqrt(std::sin(kPi * t));
+}
+
+/// Organic boundary: ellipse membership with low-order harmonic wobble.
+struct WobblyEllipse {
+  double cx, cy, rx, ry;
+  double a3, p3, a5, p5;  // harmonic amplitudes/phases
+
+  bool contains(double x, double y) const {
+    if (rx <= 0.0 || ry <= 0.0) return false;
+    const double dx = (x - cx) / rx;
+    const double dy = (y - cy) / ry;
+    const double rho2 = dx * dx + dy * dy;
+    if (rho2 > 1.8) return false;  // cheap reject beyond max wobble
+    const double theta = std::atan2(dy, dx);
+    const double edge =
+        1.0 + a3 * std::sin(3.0 * theta + p3) + a5 * std::sin(5.0 * theta + p5);
+    return rho2 < edge * edge;
+  }
+
+  /// Annulus membership between inner*edge and edge (for skull/pelvis rings).
+  bool contains_ring(double x, double y, double inner) const {
+    if (rx <= 0.0 || ry <= 0.0) return false;
+    const double dx = (x - cx) / rx;
+    const double dy = (y - cy) / ry;
+    const double rho = std::sqrt(dx * dx + dy * dy);
+    if (rho > 1.8) return false;
+    const double theta = std::atan2(dy, dx);
+    const double edge =
+        1.0 + a3 * std::sin(3.0 * theta + p3) + a5 * std::sin(5.0 * theta + p5);
+    return rho < edge && rho > inner * edge;
+  }
+};
+
+WobblyEllipse make_organ(util::Rng& rng, double cx, double cy, double rx,
+                         double ry, double wobble) {
+  WobblyEllipse e;
+  e.cx = cx;
+  e.cy = cy;
+  e.rx = rx;
+  e.ry = ry;
+  e.a3 = wobble * rng.uniform(0.5, 1.0);
+  e.p3 = rng.uniform(0.0, 2.0 * kPi);
+  e.a5 = 0.6 * wobble * rng.uniform(0.5, 1.0);
+  e.p5 = rng.uniform(0.0, 2.0 * kPi);
+  return e;
+}
+
+/// Separable box-ish Gaussian blur (kernel [1 2 1]/4 applied `radius` times).
+void blur_inplace(TensorF& img, std::int64_t s, int radius) {
+  if (radius <= 0) return;
+  TensorF tmp(img.shape());
+  for (int pass = 0; pass < radius; ++pass) {
+    for (std::int64_t y = 0; y < s; ++y) {
+      for (std::int64_t x = 0; x < s; ++x) {
+        const std::int64_t xm = std::max<std::int64_t>(0, x - 1);
+        const std::int64_t xp = std::min<std::int64_t>(s - 1, x + 1);
+        tmp[y * s + x] = 0.25f * img[y * s + xm] + 0.5f * img[y * s + x] +
+                         0.25f * img[y * s + xp];
+      }
+    }
+    for (std::int64_t y = 0; y < s; ++y) {
+      const std::int64_t ym = std::max<std::int64_t>(0, y - 1);
+      const std::int64_t yp = std::min<std::int64_t>(s - 1, y + 1);
+      for (std::int64_t x = 0; x < s; ++x) {
+        img[y * s + x] = 0.25f * tmp[ym * s + x] + 0.5f * tmp[y * s + x] +
+                         0.25f * tmp[yp * s + x];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+PhantomGenerator::PhantomGenerator(PhantomConfig cfg, std::uint64_t dataset_seed)
+    : cfg_(cfg), dataset_seed_(dataset_seed) {}
+
+PatientAnatomy PhantomGenerator::anatomy(int patient_id) const {
+  util::Rng rng(dataset_seed_ * 0x9E3779B1ULL + static_cast<std::uint64_t>(patient_id) * 2654435761ULL + 11);
+  PatientAnatomy a;
+  a.body_rx = rng.uniform(0.66, 0.78);
+  a.body_ry = rng.uniform(0.46, 0.56);
+  a.size_jitter = rng.uniform(0.88, 1.12);
+  a.shift_x = rng.uniform(-0.05, 0.05);
+  a.shift_y = rng.uniform(-0.04, 0.04);
+  a.soft_hu = rng.uniform(36.0, 44.0);
+  a.liver_hu = rng.uniform(100.0, 118.0);  // contrast-enhanced parenchyma
+  a.kidney_hu = rng.uniform(190.0, 220.0);  // enhanced cortex
+  a.bladder_hu = rng.uniform(-18.0, -6.0);  // urine
+  a.lung_hu = rng.uniform(-820.0, -740.0);
+  a.bone_hu = rng.uniform(650.0, 760.0);
+  a.brain_hu = rng.uniform(30.0, 38.0);
+  a.shape_seed = rng.next_u64();
+  return a;
+}
+
+ScanType PhantomGenerator::scan_type(int patient_id) const {
+  util::Rng rng(dataset_seed_ ^ (static_cast<std::uint64_t>(patient_id) * 0x1000193ULL + 5));
+  const double u = rng.uniform();
+  if (u < 0.018) return ScanType::kWholeBody;     // rare: only brain source
+  if (u < 0.30) return ScanType::kChestOnly;
+  return ScanType::kChestAbdomen;
+}
+
+std::pair<double, double> PhantomGenerator::scan_range(ScanType type) {
+  switch (type) {
+    case ScanType::kWholeBody: return {0.02, 0.95};
+    case ScanType::kChestOnly: return {0.14, 0.48};
+    case ScanType::kChestAbdomen: return {0.15, 0.93};
+  }
+  return {0.15, 0.93};
+}
+
+PhantomSlice PhantomGenerator::render_slice(int patient_id, double z) const {
+  const PatientAnatomy a = anatomy(patient_id);
+  const std::int64_t s = cfg_.resolution;
+  util::Rng shape_rng(a.shape_seed);
+
+  // --- Build per-organ geometry for this patient (z-independent bases). ---
+  const double j = a.size_jitter;
+  WobblyEllipse lung_l = make_organ(shape_rng, -0.30, -0.06, 0.212 * j, 0.284 * j, 0.06);
+  WobblyEllipse lung_r = make_organ(shape_rng, 0.30, -0.06, 0.203 * j, 0.275 * j, 0.06);
+  WobblyEllipse liver = make_organ(shape_rng, -0.21, -0.02, 0.445 * j, 0.34 * j, 0.10);
+  WobblyEllipse kidney_l = make_organ(shape_rng, -0.30, 0.14, 0.155 * j, 0.185 * j, 0.08);
+  WobblyEllipse kidney_r = make_organ(shape_rng, 0.30, 0.14, 0.148 * j, 0.177 * j, 0.08);
+  WobblyEllipse bladder = make_organ(shape_rng, 0.0, 0.16, 0.22 * j, 0.20 * j, 0.06);
+  WobblyEllipse brain = make_organ(shape_rng, 0.0, 0.0, 0.40 * j, 0.48 * j, 0.04);
+  WobblyEllipse skull = make_organ(shape_rng, 0.0, 0.0, 0.47 * j, 0.55 * j, 0.02);
+  WobblyEllipse spine = make_organ(shape_rng, 0.0, 0.33, 0.115 * j, 0.105 * j, 0.12);
+  WobblyEllipse sternum = make_organ(shape_rng, 0.0, -0.44, 0.07 * j, 0.045 * j, 0.05);
+  WobblyEllipse pelvis_l = make_organ(shape_rng, -0.33, 0.10, 0.21 * j, 0.27 * j, 0.05);
+  WobblyEllipse pelvis_r = make_organ(shape_rng, 0.33, 0.10, 0.21 * j, 0.27 * j, 0.05);
+  const double rib_phase = shape_rng.uniform(0.0, 2.0 * kPi);
+
+  // --- z-dependent scale profiles. ---
+  const double lung_s = z_profile(z, kLungZ0, kLungZ1);
+  const double liver_s = z_profile(z, kLiverZ0, kLiverZ1);
+  const double kidney_s = z_profile(z, kKidneyZ0, kKidneyZ1);
+  const double bladder_s = z_profile(z, kBladderZ0, kBladderZ1);
+  const double brain_s = z_profile(z, kBrainZ0, kBrainZ1);
+  const double skull_s = z_profile(z, kSkullZ0, kSkullZ1);
+  const double pelvis_s = z_profile(z, kPelvisZ0, kPelvisZ1);
+  const bool in_spine = z > kSpineZ0 && z < kSpineZ1;
+  const bool in_ribs = z > kRibsZ0 && z < kRibsZ1;
+  const bool in_head = z < kSkullZ1;
+
+  auto scaled = [](WobblyEllipse e, double scale) {
+    e.rx *= scale;
+    e.ry *= scale;
+    return e;
+  };
+  lung_l = scaled(lung_l, lung_s);
+  lung_r = scaled(lung_r, lung_s);
+  liver = scaled(liver, liver_s);
+  kidney_l = scaled(kidney_l, kidney_s);
+  kidney_r = scaled(kidney_r, kidney_s);
+  bladder = scaled(bladder, bladder_s);
+  brain = scaled(brain, brain_s);
+  // The skull never vanishes inside the head region (the cranial vault
+  // tapers but connects to the neck).
+  skull = scaled(skull, std::max(skull_s, in_head ? 0.35 : 0.0));
+  pelvis_l = scaled(pelvis_l, pelvis_s);
+  pelvis_r = scaled(pelvis_r, pelvis_s);
+
+  // Torso narrows toward the pelvis and is absent in the head (skull only).
+  double body_rx = a.body_rx, body_ry = a.body_ry;
+  if (in_head) {
+    body_rx = skull.rx * 1.05;
+    body_ry = skull.ry * 1.05;
+  } else if (z < 0.16) {  // neck and shoulder girdle
+    const double t = std::clamp((z - kSkullZ1) / (0.16 - kSkullZ1), 0.0, 1.0);
+    body_rx = a.body_rx * (0.35 + 0.65 * t);
+    body_ry = a.body_ry * (0.35 + 0.65 * t);
+  } else if (z > 0.70) {
+    const double t = (z - 0.70) / 0.30;
+    body_rx = a.body_rx * (1.0 - 0.18 * t);
+    body_ry = a.body_ry * (1.0 - 0.10 * t);
+  }
+
+  PhantomSlice slice;
+  slice.z = z;
+  slice.patient_id = patient_id;
+  slice.image_hu = TensorF(Shape{s, s, 1});
+  slice.labels = LabelMap(Shape{s, s});
+
+  // Per-slice noise stream: deterministic in (patient, z).
+  util::Rng noise_rng(a.shape_seed ^
+                      static_cast<std::uint64_t>(z * 16384.0) * 0x9E3779B97F4A7C15ULL);
+
+  // --- Rasterize labels. ---
+  for (std::int64_t py = 0; py < s; ++py) {
+    const double y = 2.0 * (static_cast<double>(py) + 0.5) / static_cast<double>(s) - 1.0 - a.shift_y;
+    for (std::int64_t px = 0; px < s; ++px) {
+      const double x = 2.0 * (static_cast<double>(px) + 0.5) / static_cast<double>(s) - 1.0 - a.shift_x;
+      std::int32_t label = static_cast<std::int32_t>(Organ::kBackground);
+      bool inside_body;
+      {
+        const double dx = x / body_rx;
+        const double dy = y / body_ry;
+        inside_body = dx * dx + dy * dy < 1.0;
+      }
+      if (inside_body) {
+        if (in_head) {
+          if (cfg_.include_brain && brain_s > 0.0 && brain.contains(x, y)) {
+            label = static_cast<std::int32_t>(Organ::kBrain);
+          }
+          if (skull_s > 0.0 && skull.contains_ring(x, y, 0.86)) {
+            label = static_cast<std::int32_t>(Organ::kBones);
+          }
+        } else {
+          if (lung_s > 0.0 && (lung_l.contains(x, y) || lung_r.contains(x, y))) {
+            label = static_cast<std::int32_t>(Organ::kLungs);
+          }
+          if (liver_s > 0.0 && liver.contains(x, y)) {
+            label = static_cast<std::int32_t>(Organ::kLiver);
+          }
+          if (kidney_s > 0.0 &&
+              (kidney_l.contains(x, y) || kidney_r.contains(x, y))) {
+            label = static_cast<std::int32_t>(Organ::kKidneys);
+          }
+          if (bladder_s > 0.0 && bladder.contains(x, y)) {
+            label = static_cast<std::int32_t>(Organ::kBladder);
+          }
+          // Bones take precedence over soft organs.
+          bool bone = in_spine && spine.contains(x, y);
+          if (!bone && in_ribs && sternum.contains(x, y)) bone = true;
+          if (!bone && in_ribs) {
+            // Ribs: 12 cortical cross-sections along the chest wall.
+            for (int k = 0; k < 12 && !bone; ++k) {
+              const double th = rib_phase + 2.0 * kPi * k / 12.0;
+              const double rcx = 0.86 * body_rx * std::cos(th);
+              const double rcy = 0.86 * body_ry * std::sin(th);
+              const double ddx = x - rcx, ddy = y - rcy;
+              bone = ddx * ddx + ddy * ddy < 0.045 * 0.045;
+            }
+          }
+          if (!bone && pelvis_s > 0.0 &&
+              (pelvis_l.contains_ring(x, y, 0.70) ||
+               pelvis_r.contains_ring(x, y, 0.70))) {
+            bone = true;
+          }
+          if (bone) label = static_cast<std::int32_t>(Organ::kBones);
+        }
+      }
+      slice.labels[py * s + px] = label;
+
+      // HU from label (crisp; blur below models partial volume).
+      double hu;
+      if (!inside_body) {
+        hu = -1000.0;
+      } else {
+        switch (static_cast<Organ>(label)) {
+          case Organ::kLungs: hu = a.lung_hu; break;
+          case Organ::kLiver: hu = a.liver_hu; break;
+          case Organ::kKidneys: hu = a.kidney_hu; break;
+          case Organ::kBladder: hu = a.bladder_hu; break;
+          case Organ::kBones: hu = a.bone_hu; break;
+          case Organ::kBrain: hu = a.brain_hu; break;
+          default: hu = a.soft_hu; break;
+        }
+      }
+      slice.image_hu[py * s + px] = static_cast<float>(hu);
+    }
+  }
+
+  blur_inplace(slice.image_hu, s, cfg_.blur_radius);
+  if (cfg_.noise_hu > 0.0) {
+    for (std::int64_t i = 0; i < s * s; ++i) {
+      slice.image_hu[i] += static_cast<float>(noise_rng.gauss(0.0, cfg_.noise_hu));
+    }
+  }
+  return slice;
+}
+
+PhantomVolume PhantomGenerator::generate_volume(int patient_id) const {
+  PhantomVolume vol;
+  vol.patient_id = patient_id;
+  vol.scan_type = scan_type(patient_id);
+  const auto [z0, z1] = scan_range(vol.scan_type);
+  const int n = cfg_.slices_per_volume;
+  vol.slices.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double z = z0 + (z1 - z0) * (static_cast<double>(i) + 0.5) / n;
+    vol.slices.push_back(render_slice(patient_id, z));
+  }
+  return vol;
+}
+
+}  // namespace seneca::data

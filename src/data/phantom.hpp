@@ -1,0 +1,93 @@
+#pragma once
+// Procedural CT phantom — the CT-ORG dataset substitute (see DESIGN.md §1).
+//
+// A "patient" is a deterministic function of (dataset seed, patient id):
+// body habitus, organ positions/sizes/intensities all jitter per patient.
+// Axial slices are rendered at a normalized body coordinate z in [0,1]
+// (0 = head vertex, 1 = below the pelvis). Organs occupy CT-ORG's label set;
+// intensities follow a Hounsfield-unit model with partial-volume blur and
+// acquisition noise, reproducing the paper's "low contrast among
+// semantically different areas" premise — liver/kidneys/bladder sit within
+// a few tens of HU of soft tissue, while lungs (air) and bones (calcium)
+// are easy, which is exactly the per-organ difficulty ordering of Fig. 6.
+//
+// Scan types mimic CT-ORG's composition: most scans cover chest+abdomen or
+// chest only; whole-body scans (the only ones containing brain) are rare,
+// which is what makes brain 0.18 % of labelled pixels (Table I).
+
+#include <cstdint>
+#include <vector>
+
+#include "data/organs.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::data {
+
+using tensor::Shape;
+using tensor::TensorF;
+using LabelMap = tensor::Tensor<std::int32_t>;
+
+enum class ScanType { kWholeBody, kChestOnly, kChestAbdomen };
+
+struct PhantomConfig {
+  std::int64_t resolution = 256;   // square slice edge (512 for "raw" mode)
+  int slices_per_volume = 24;
+  double noise_hu = 8.0;          // acquisition noise std-dev
+  int blur_radius = 1;             // partial-volume Gaussian radius (pixels)
+  bool include_brain = true;       // raw volumes carry brain labels
+};
+
+/// One rendered axial slice: HU image + crisp label map.
+struct PhantomSlice {
+  TensorF image_hu;  // [S,S,1], Hounsfield units
+  LabelMap labels;   // [S,S], raw class ids (brain possible)
+  double z = 0.0;    // normalized body coordinate
+  int patient_id = 0;
+};
+
+/// A full scan of one patient.
+struct PhantomVolume {
+  std::vector<PhantomSlice> slices;
+  ScanType scan_type = ScanType::kChestAbdomen;
+  int patient_id = 0;
+};
+
+/// Per-patient anatomical parameters (exposed for tests/inspection).
+struct PatientAnatomy {
+  double body_rx, body_ry;     // torso half-axes (fraction of field of view)
+  double size_jitter;          // global organ scale multiplier
+  double liver_hu, kidney_hu, bladder_hu, soft_hu, lung_hu, bone_hu, brain_hu;
+  double shift_x, shift_y;     // patient placement offset
+  std::uint64_t shape_seed;    // drives organic boundary wobble
+};
+
+class PhantomGenerator {
+ public:
+  PhantomGenerator(PhantomConfig cfg, std::uint64_t dataset_seed);
+
+  const PhantomConfig& config() const { return cfg_; }
+
+  /// Deterministic anatomy for a patient id.
+  PatientAnatomy anatomy(int patient_id) const;
+
+  /// Scan coverage for a patient id; ~6 % whole-body, ~24 % chest-only,
+  /// remainder chest+abdomen, mirroring CT-ORG's composition.
+  ScanType scan_type(int patient_id) const;
+
+  /// Renders one axial slice of a patient at body coordinate z.
+  PhantomSlice render_slice(int patient_id, double z) const;
+
+  /// Renders the whole scan: slices_per_volume slices covering the scan
+  /// type's z range.
+  PhantomVolume generate_volume(int patient_id) const;
+
+  /// z range covered by a scan type: [z_lo, z_hi].
+  static std::pair<double, double> scan_range(ScanType type);
+
+ private:
+  PhantomConfig cfg_;
+  std::uint64_t dataset_seed_;
+};
+
+}  // namespace seneca::data

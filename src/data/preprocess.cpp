@@ -1,0 +1,88 @@
+#include "data/preprocess.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace seneca::data {
+
+tensor::TensorF downsample2x(const tensor::TensorF& image) {
+  const std::int64_t h = image.shape()[0];
+  const std::int64_t w = image.shape()[1];
+  if (h % 2 || w % 2) throw std::invalid_argument("downsample2x: odd dims");
+  tensor::TensorF out(Shape{h / 2, w / 2, 1});
+  for (std::int64_t y = 0; y < h / 2; ++y) {
+    for (std::int64_t x = 0; x < w / 2; ++x) {
+      const float sum = image[(2 * y) * w + 2 * x] +
+                        image[(2 * y) * w + 2 * x + 1] +
+                        image[(2 * y + 1) * w + 2 * x] +
+                        image[(2 * y + 1) * w + 2 * x + 1];
+      out[y * (w / 2) + x] = 0.25f * sum;
+    }
+  }
+  return out;
+}
+
+LabelMap downsample2x_labels(const LabelMap& labels) {
+  const std::int64_t h = labels.shape()[0];
+  const std::int64_t w = labels.shape()[1];
+  if (h % 2 || w % 2) throw std::invalid_argument("downsample2x_labels: odd dims");
+  LabelMap out(Shape{h / 2, w / 2});
+  for (std::int64_t y = 0; y < h / 2; ++y) {
+    for (std::int64_t x = 0; x < w / 2; ++x) {
+      out[y * (w / 2) + x] = labels[(2 * y) * w + 2 * x];
+    }
+  }
+  return out;
+}
+
+std::pair<float, float> saturate_percentiles(tensor::TensorF& image,
+                                             double percent) {
+  const std::int64_t n = image.numel();
+  if (n == 0) return {0.f, 0.f};
+  std::vector<float> sorted(image.begin(), image.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = [&](double p) {
+    const auto i = static_cast<std::int64_t>(p / 100.0 * static_cast<double>(n - 1));
+    return std::clamp<std::int64_t>(i, 0, n - 1);
+  };
+  const float lo = sorted[static_cast<std::size_t>(idx(percent))];
+  const float hi = sorted[static_cast<std::size_t>(idx(100.0 - percent))];
+  for (auto& v : image) v = std::clamp(v, lo, hi);
+  return {lo, hi};
+}
+
+void rescale_to_unit(tensor::TensorF& image, float lo, float hi) {
+  const float range = hi - lo;
+  if (range <= 0.f) {
+    image.fill(0.f);
+    return;
+  }
+  const float scale = 2.f / range;
+  for (auto& v : image) v = (v - lo) * scale - 1.f;
+}
+
+void remove_brain_label(LabelMap& labels) {
+  const auto brain = static_cast<std::int32_t>(Organ::kBrain);
+  const auto bg = static_cast<std::int32_t>(Organ::kBackground);
+  for (auto& v : labels) {
+    if (v == brain) v = bg;
+  }
+}
+
+nn::Sample preprocess_slice(const PhantomSlice& slice) {
+  nn::Sample sample;
+  if (slice.image_hu.shape()[0] == 512) {
+    sample.image = downsample2x(slice.image_hu);
+    sample.labels = downsample2x_labels(slice.labels);
+  } else {
+    sample.image = slice.image_hu;
+    sample.labels = slice.labels;
+  }
+  const auto [lo, hi] = saturate_percentiles(sample.image, 1.0);
+  rescale_to_unit(sample.image, lo, hi);
+  remove_brain_label(sample.labels);
+  return sample;
+}
+
+}  // namespace seneca::data

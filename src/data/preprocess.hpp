@@ -1,0 +1,39 @@
+#pragma once
+// Pre-processing pipeline of §III-A (Fig. 1 step A):
+//   1. downsample 512x512 -> 256x256,
+//   2. contrast adjustment saturating the upper/lower 1 % of pixels,
+//   3. rescale to [-1, 1],
+//   4. drop the brain label (relabel to background).
+// Each step is exposed separately so tests can pin its behaviour, plus a
+// one-call pipeline producing network-ready samples.
+
+#include <cstdint>
+
+#include "data/organs.hpp"
+#include "data/phantom.hpp"
+#include "nn/trainer.hpp"
+
+namespace seneca::data {
+
+/// 2x box-filter downsample of an [H,W,1] image; H and W must be even.
+tensor::TensorF downsample2x(const tensor::TensorF& image);
+
+/// 2x label downsample by top-left pick (labels must stay crisp ids).
+LabelMap downsample2x_labels(const LabelMap& labels);
+
+/// Saturates values below the p-th and above the (100-p)-th percentile.
+/// Returns the clamp bounds used (lo, hi).
+std::pair<float, float> saturate_percentiles(tensor::TensorF& image,
+                                             double percent = 1.0);
+
+/// Linear map of [lo, hi] onto [-1, 1].
+void rescale_to_unit(tensor::TensorF& image, float lo, float hi);
+
+/// Relabels brain pixels to background (§III-A: brain removed from targets).
+void remove_brain_label(LabelMap& labels);
+
+/// Full pipeline on a raw phantom slice -> training sample. If the slice is
+/// at 512, it is downsampled to 256; a 256 slice passes through unscaled.
+nn::Sample preprocess_slice(const PhantomSlice& slice);
+
+}  // namespace seneca::data

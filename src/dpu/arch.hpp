@@ -1,0 +1,83 @@
+#pragma once
+// DPU microarchitecture description (Fig. 2): the Zynq-based dual-core
+// DPUCZDX8G-B4096. The B4096 designation is the peak ops/cycle: with
+// pixel x input-channel x output-channel parallelism of 8x16x16 = 2048
+// MACs/cycle = 4096 ops/cycle per core.
+//
+// Timing constants: clock and DDR bandwidth follow the ZCU104 reference
+// design (300 MHz DPU clock, DDR4-2400 64-bit ≈ 19.2 GB/s shared). The two
+// fitted constants (instruction issue overhead, runtime job overhead in
+// src/runtime) were calibrated ONCE against Table IV's 1M row and are reused
+// unchanged for every other configuration — see DESIGN.md §4.
+
+#include <cstdint>
+#include <string>
+
+namespace seneca::dpu {
+
+struct DpuArch {
+  std::string name = "DPUCZDX8G-B4096";
+  int cores = 2;
+
+  // Hybrid computing array parallelism degrees (§III-E).
+  std::int64_t pixel_parallel = 8;
+  std::int64_t input_channel_parallel = 16;
+  std::int64_t output_channel_parallel = 16;
+
+  double clock_mhz = 300.0;
+
+  // Global memory pool (on-chip activation/weight buffers).
+  std::int64_t onchip_bytes = 4ll << 20;
+
+  // DDR feature maps are stored in channel banks of this granularity; a
+  // tensor with C channels occupies ceil(C/8)*8 bytes per pixel.
+  std::int64_t act_bank_channels = 8;
+
+  // Fraction of the global memory pool reserved for parked weights; models
+  // whose (padded) weights exceed it stream the overflow every inference.
+  double weight_pool_fraction = 0.30;
+
+  // DDR bytes per DPU cycle available to one core when `sharers` cores are
+  // active (bandwidth is shared at the memory controller).
+  double ddr_bytes_per_cycle_total = 8.0;  // ~2.4 GB/s effective @300 MHz
+
+  // Fixed instruction fetch/decode/dispatch cost per instruction.
+  double instr_overhead_cycles = 3000.0;
+
+  // Per-inference job overhead on the accelerator side (kernel start,
+  // completion interrupt, runtime bookkeeping attributable to the core).
+  double job_overhead_cycles = 270000.0;  // 0.9 ms @ 300 MHz
+
+  /// Peak int8 ops per cycle per core (MAC = 2 ops).
+  std::int64_t peak_ops_per_cycle() const {
+    return 2 * pixel_parallel * input_channel_parallel * output_channel_parallel;
+  }
+
+  /// Peak TOPS of the full device.
+  double peak_tops() const {
+    return static_cast<double>(peak_ops_per_cycle()) * cores * clock_mhz * 1e6 /
+           1e12;
+  }
+
+  static DpuArch b4096() { return DpuArch{}; }
+
+  /// Smaller configs (for the architecture-sweep ablation bench).
+  static DpuArch b1024() {
+    DpuArch a;
+    a.name = "DPUCZDX8G-B1024";
+    a.pixel_parallel = 4;
+    a.input_channel_parallel = 8;
+    a.output_channel_parallel = 16;
+    return a;
+  }
+  static DpuArch b512() {
+    DpuArch a;
+    a.name = "DPUCZDX8G-B512";
+    a.pixel_parallel = 4;
+    a.input_channel_parallel = 8;
+    a.output_channel_parallel = 8;
+    return a;
+  }
+};
+
+}  // namespace seneca::dpu

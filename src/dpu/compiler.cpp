@@ -1,0 +1,257 @@
+#include "dpu/compiler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace seneca::dpu {
+
+namespace {
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+double conv_cycles(const DpuArch& arch, std::int64_t h, std::int64_t w,
+                   std::int64_t k, std::int64_t ci, std::int64_t co) {
+  return static_cast<double>(h * ceil_div(w, arch.pixel_parallel) * k * k *
+                             ceil_div(ci, arch.input_channel_parallel) *
+                             ceil_div(co, arch.output_channel_parallel));
+}
+
+double tconv_cycles(const DpuArch& arch, std::int64_t oh, std::int64_t ow,
+                    std::int64_t k, std::int64_t ci, std::int64_t co) {
+  const std::int64_t taps = ceil_div(k * k, 4);  // stride-2 output-domain taps
+  return static_cast<double>(oh * ceil_div(ow, arch.pixel_parallel) * taps *
+                             ceil_div(ci, arch.input_channel_parallel) *
+                             ceil_div(co, arch.output_channel_parallel));
+}
+
+double pool_cycles(const DpuArch& arch, std::int64_t oh, std::int64_t ow,
+                   std::int64_t c) {
+  // 2x2 window: two comparator cycles per output vector.
+  return static_cast<double>(oh * ceil_div(ow, arch.pixel_parallel) *
+                             ceil_div(c, arch.input_channel_parallel) * 2);
+}
+
+double concat_cycles(const DpuArch& arch, std::int64_t out_numel) {
+  // Requantizing copy through the load/store path.
+  return static_cast<double>(out_numel) /
+         static_cast<double>(arch.pixel_parallel * arch.input_channel_parallel);
+}
+
+XModel compile(const quant::QGraph& qg, const CompileOptions& opts) {
+  XModel xm;
+  xm.arch = opts.arch;
+  xm.name = opts.model_name;
+  xm.input_shape = qg.input_shape;
+  xm.input_fix_pos = qg.input_fix_pos;
+
+  // --- Map QGraph ops -> XLayer ids (input op maps to -1). ---
+  std::vector<int> layer_of(qg.ops.size(), -1);
+  for (std::size_t id = 0; id < qg.ops.size(); ++id) {
+    const quant::QOp& op = qg.ops[id];
+    if (op.kind == quant::QOpKind::kInput) continue;
+    XLayer layer;
+    switch (op.kind) {
+      case quant::QOpKind::kConv2D: layer.kind = XLayer::Kind::kConv; break;
+      case quant::QOpKind::kTConv2D: layer.kind = XLayer::Kind::kTConv; break;
+      case quant::QOpKind::kMaxPool2D: layer.kind = XLayer::Kind::kPool; break;
+      case quant::QOpKind::kConcat: layer.kind = XLayer::Kind::kConcat; break;
+      default: throw std::invalid_argument("compile: bad op kind");
+    }
+    layer.name = op.name;
+    layer.out_shape = op.out_shape;
+    layer.kernel = op.kernel;
+    layer.relu = op.relu;
+    layer.fix_pos_w = op.fix_pos_w;
+    layer.fix_pos_out = op.fix_pos_out;
+    for (int in : op.inputs) {
+      layer.inputs.push_back(layer_of[static_cast<std::size_t>(in)]);
+    }
+    if (op.kind == quant::QOpKind::kConv2D ||
+        op.kind == quant::QOpKind::kTConv2D) {
+      layer.weight_offset = static_cast<std::int64_t>(xm.weights.size());
+      layer.weight_count = op.weights.numel();
+      xm.weights.insert(xm.weights.end(), op.weights.data(),
+                        op.weights.data() + op.weights.numel());
+      layer.bias_offset = static_cast<std::int64_t>(xm.biases.size());
+      layer.bias_count = static_cast<std::int64_t>(op.bias.size());
+      xm.biases.insert(xm.biases.end(), op.bias.begin(), op.bias.end());
+    }
+    xm.layers.push_back(std::move(layer));
+    layer_of[id] = static_cast<int>(xm.layers.size()) - 1;
+  }
+  xm.output_layer = layer_of[static_cast<std::size_t>(qg.output_op)];
+  xm.output_fix_pos =
+      qg.ops[static_cast<std::size_t>(qg.output_op)].fix_pos_out;
+
+  // --- Weight residency: keep the smallest layers' weights parked in the
+  //     global memory pool until the weight budget (half the pool) is
+  //     exhausted; the rest stream from DDR every inference. This is the
+  //     mechanism behind the steeper FPS drop of the big configs (Table IV).
+  const std::int64_t weight_budget = static_cast<std::int64_t>(
+      xm.arch.weight_pool_fraction * static_cast<double>(xm.arch.onchip_bytes));
+  std::vector<std::size_t> order(xm.layers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return xm.layers[a].weight_count < xm.layers[b].weight_count;
+  });
+  // Weights are stored padded to the ICPxOCP lane grid.
+  auto padded_weight_bytes = [&](const XLayer& layer) -> std::int64_t {
+    if (layer.weight_count == 0) return 0;
+    const std::int64_t co = layer.out_shape[2];
+    const std::int64_t ci = layer.weight_count / (layer.kernel * layer.kernel * co);
+    return layer.kernel * layer.kernel *
+               ceil_div(ci, xm.arch.input_channel_parallel) *
+               xm.arch.input_channel_parallel *
+               ceil_div(co, xm.arch.output_channel_parallel) *
+               xm.arch.output_channel_parallel +
+           4 * layer.bias_count;
+  };
+  std::vector<bool> weights_resident(xm.layers.size(), false);
+  std::int64_t used = 0;
+  for (std::size_t idx : order) {
+    const std::int64_t bytes = padded_weight_bytes(xm.layers[idx]);
+    if (bytes == 0) continue;
+    if (used + bytes <= weight_budget) {
+      weights_resident[idx] = true;
+      used += bytes;
+    }
+  }
+
+  // --- Activation residency. ---
+  const std::int64_t act_budget = xm.arch.onchip_bytes / 2;
+  // Consumers of each layer's output.
+  std::vector<std::vector<int>> consumers(xm.layers.size());
+  for (std::size_t i = 0; i < xm.layers.size(); ++i) {
+    for (int in : xm.layers[i].inputs) {
+      if (in >= 0) consumers[static_cast<std::size_t>(in)].push_back(static_cast<int>(i));
+    }
+  }
+  // Activations live in channel-major DDR banks: a tensor with C channels
+  // occupies ceil(C/bank)*bank bytes per pixel. This padding is what makes
+  // non-bank-aligned filter counts (the 2M's base-6, the 8M's base-11)
+  // disproportionately bandwidth-hungry.
+  const std::int64_t bank = xm.arch.act_bank_channels;
+  auto tensor_bytes = [bank](const Shape& s) {
+    const std::int64_t c = s[s.rank() - 1];
+    return (s.numel() / c) * ceil_div(c, bank) * bank;
+  };
+
+  for (std::size_t i = 0; i < xm.layers.size(); ++i) {
+    XLayer& layer = xm.layers[i];
+    // Input residency: produced by the immediately preceding layer, small
+    // enough, and we are its first consumer.
+    layer.input_resident.resize(layer.inputs.size(), 0);
+    for (std::size_t k = 0; k < layer.inputs.size(); ++k) {
+      const int src = layer.inputs[k];
+      if (src < 0) continue;  // network input always arrives via LOAD
+      const XLayer& producer = xm.layers[static_cast<std::size_t>(src)];
+      const bool adjacent = (static_cast<int>(i) - src) == 1;
+      const bool fits = tensor_bytes(producer.out_shape) <= act_budget;
+      layer.input_resident[k] = (adjacent && fits) ? 1 : 0;
+    }
+    // Output residency: no SAVE only if the single consumer is the next
+    // layer and the tensor fits (skip-connection tensors must be saved).
+    const auto& cons = consumers[i];
+    const bool is_output = static_cast<int>(i) == xm.output_layer;
+    layer.output_resident = !is_output && cons.size() == 1 &&
+                            cons[0] == static_cast<int>(i) + 1 &&
+                            tensor_bytes(layer.out_shape) <= act_budget;
+  }
+
+  // --- Instruction generation + timing annotation. ---
+  const double bpc = xm.arch.ddr_bytes_per_cycle_total;  // nominal, 1 sharer
+  for (std::size_t i = 0; i < xm.layers.size(); ++i) {
+    XLayer& layer = xm.layers[i];
+    auto emit = [&](Instr ins) {
+      ins.layer_id = static_cast<std::int32_t>(i);
+      layer.instrs.push_back(ins);
+    };
+
+    // Activation loads.
+    for (std::size_t k = 0; k < layer.inputs.size(); ++k) {
+      if (layer.input_resident[k]) continue;
+      const int src = layer.inputs[k];
+      const Shape in_shape = (src < 0)
+                                 ? xm.input_shape
+                                 : xm.layers[static_cast<std::size_t>(src)].out_shape;
+      Instr ins;
+      ins.opcode = Opcode::kLoad;
+      ins.tensor_id = src;
+      ins.bytes = tensor_bytes(in_shape);
+      ins.cycles = static_cast<double>(ins.bytes) / bpc;
+      emit(ins);
+      layer.ddr_bytes += ins.bytes;
+    }
+    // Weight stream-in.
+    if (layer.weight_count > 0 && !weights_resident[i]) {
+      Instr ins;
+      ins.opcode = Opcode::kLoad;
+      ins.tensor_id = -2;  // weights
+      ins.bytes = padded_weight_bytes(layer);
+      ins.cycles = static_cast<double>(ins.bytes) / bpc;
+      emit(ins);
+      layer.ddr_bytes += ins.bytes;
+    }
+
+    // Compute instruction.
+    Instr c;
+    const Shape& os = layer.out_shape;
+    switch (layer.kind) {
+      case XLayer::Kind::kConv: {
+        const int src = layer.inputs[0];
+        const Shape in_shape = (src < 0)
+                                   ? xm.input_shape
+                                   : xm.layers[static_cast<std::size_t>(src)].out_shape;
+        c.opcode = Opcode::kConv;
+        c.macs = os[0] * os[1] * layer.kernel * layer.kernel * in_shape[2] * os[2];
+        c.cycles = conv_cycles(xm.arch, os[0], os[1], layer.kernel, in_shape[2], os[2]);
+        break;
+      }
+      case XLayer::Kind::kTConv: {
+        const int src = layer.inputs[0];
+        const Shape in_shape = xm.layers[static_cast<std::size_t>(src)].out_shape;
+        c.opcode = Opcode::kTConv;
+        c.macs = os[0] * os[1] * layer.kernel * layer.kernel * in_shape[2] * os[2] / 4;
+        c.cycles = tconv_cycles(xm.arch, os[0], os[1], layer.kernel, in_shape[2], os[2]);
+        break;
+      }
+      case XLayer::Kind::kPool:
+        c.opcode = Opcode::kPool;
+        c.cycles = pool_cycles(xm.arch, os[0], os[1], os[2]);
+        break;
+      case XLayer::Kind::kConcat:
+        c.opcode = Opcode::kConcat;
+        c.cycles = concat_cycles(xm.arch, os.numel());
+        break;
+    }
+    emit(c);
+    layer.compute_cycles = c.cycles;
+    layer.macs = c.macs;
+
+    // Output save. Tensors whose channel count is not bank-aligned incur a
+    // read-modify-write on every partial bank (the DMA must merge the tail
+    // lanes), doubling the write traffic — the mechanism that penalizes the
+    // base-6 (2M) and base-11 (8M) configurations on the real device.
+    if (!layer.output_resident) {
+      Instr ins;
+      ins.opcode = Opcode::kSave;
+      ins.tensor_id = static_cast<std::int32_t>(i);
+      ins.bytes = tensor_bytes(os);
+      if (os[os.rank() - 1] % bank != 0) ins.bytes *= 2;
+      ins.cycles = static_cast<double>(ins.bytes) / bpc;
+      emit(ins);
+      layer.ddr_bytes += ins.bytes;
+    }
+  }
+  // Kernel-stream terminator (completion interrupt).
+  if (!xm.layers.empty()) {
+    Instr end;
+    end.opcode = Opcode::kEnd;
+    end.layer_id = static_cast<std::int32_t>(xm.layers.size()) - 1;
+    xm.layers.back().instrs.push_back(end);
+  }
+  return xm;
+}
+
+}  // namespace seneca::dpu

@@ -1,0 +1,40 @@
+#pragma once
+// VAI_C-analog compiler (§III-E): parses the quantized graph, performs the
+// compile-time optimizations the paper names — batch-norm is already folded
+// by the quantizer; here we do weight/activation residency allocation in the
+// global memory pool, instruction scheduling with double-buffered LOAD/
+// compute overlap, and per-instruction timing annotation — then emits the
+// xmodel binary for the target DPU microarchitecture.
+
+#include "dpu/arch.hpp"
+#include "dpu/xmodel.hpp"
+#include "quant/qgraph.hpp"
+
+namespace seneca::dpu {
+
+struct CompileOptions {
+  DpuArch arch = DpuArch::b4096();
+  std::string model_name = "seneca";
+};
+
+/// Compiles a quantized graph into a DPU-executable xmodel.
+XModel compile(const quant::QGraph& qgraph, const CompileOptions& opts = {});
+
+// --- Timing model (exposed for tests and the ablation benches). -----------
+
+/// Cycles for a stride-1 same conv on the hybrid computing array:
+/// H * ceil(W/PP) * K^2 * ceil(Cin/ICP) * ceil(Cout/OCP).
+double conv_cycles(const DpuArch& arch, std::int64_t h, std::int64_t w,
+                   std::int64_t k, std::int64_t ci, std::int64_t co);
+
+/// Transposed conv (stride 2, k=3) in the output domain; each output pixel
+/// sees on average K^2/4 taps.
+double tconv_cycles(const DpuArch& arch, std::int64_t oh, std::int64_t ow,
+                    std::int64_t k, std::int64_t ci, std::int64_t co);
+
+double pool_cycles(const DpuArch& arch, std::int64_t oh, std::int64_t ow,
+                   std::int64_t c);
+
+double concat_cycles(const DpuArch& arch, std::int64_t out_numel);
+
+}  // namespace seneca::dpu

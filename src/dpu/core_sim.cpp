@@ -1,0 +1,88 @@
+#include "dpu/core_sim.hpp"
+
+#include <stdexcept>
+
+namespace seneca::dpu {
+
+DpuCoreSim::DpuCoreSim(const XModel* model) : model_(model) {
+  payloads_.resize(model_->layers.size());
+  for (std::size_t i = 0; i < model_->layers.size(); ++i) {
+    const XLayer& layer = model_->layers[i];
+    quant::QOp& op = payloads_[i];
+    op.name = layer.name;
+    op.out_shape = layer.out_shape;
+    op.fix_pos_out = layer.fix_pos_out;
+    op.fix_pos_w = layer.fix_pos_w;
+    op.kernel = layer.kernel;
+    op.relu = layer.relu;
+    switch (layer.kind) {
+      case XLayer::Kind::kConv: op.kind = quant::QOpKind::kConv2D; break;
+      case XLayer::Kind::kTConv: op.kind = quant::QOpKind::kTConv2D; break;
+      case XLayer::Kind::kPool: op.kind = quant::QOpKind::kMaxPool2D; break;
+      case XLayer::Kind::kConcat: op.kind = quant::QOpKind::kConcat; break;
+    }
+    if (layer.weight_count > 0) {
+      // Reconstruct the weight tensor from the blob: [K][K][Cin][Cout].
+      const std::int64_t co = layer.out_shape[2];
+      const std::int64_t ci =
+          layer.weight_count / (layer.kernel * layer.kernel * co);
+      op.weights = tensor::TensorI8(
+          tensor::Shape{layer.kernel, layer.kernel, ci, co});
+      std::copy(model_->weights.begin() + layer.weight_offset,
+                model_->weights.begin() + layer.weight_offset + layer.weight_count,
+                op.weights.data());
+      op.bias.assign(model_->biases.begin() + layer.bias_offset,
+                     model_->biases.begin() + layer.bias_offset + layer.bias_count);
+    }
+  }
+}
+
+RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers) const {
+  if (input.shape() != model_->input_shape) {
+    throw std::invalid_argument("DpuCoreSim::run: input shape mismatch");
+  }
+  std::vector<TensorI8> acts(model_->layers.size());
+  std::vector<int> fps(model_->layers.size(), 0);
+
+  auto input_of = [&](int id) -> const TensorI8& {
+    return id < 0 ? input : acts[static_cast<std::size_t>(id)];
+  };
+  auto fp_of = [&](int id) {
+    return id < 0 ? model_->input_fix_pos : fps[static_cast<std::size_t>(id)];
+  };
+
+  for (std::size_t i = 0; i < model_->layers.size(); ++i) {
+    const XLayer& layer = model_->layers[i];
+    const quant::QOp& op = payloads_[i];
+    TensorI8 out(layer.out_shape);
+    switch (layer.kind) {
+      case XLayer::Kind::kConv:
+        quant::qconv2d_forward(input_of(layer.inputs[0]), op, out,
+                               fp_of(layer.inputs[0]));
+        break;
+      case XLayer::Kind::kTConv:
+        quant::qtconv2d_forward(input_of(layer.inputs[0]), op, out,
+                                fp_of(layer.inputs[0]));
+        break;
+      case XLayer::Kind::kPool:
+        quant::qmaxpool2d_forward(input_of(layer.inputs[0]), out);
+        break;
+      case XLayer::Kind::kConcat:
+        quant::qconcat_forward(input_of(layer.inputs[0]), fp_of(layer.inputs[0]),
+                               input_of(layer.inputs[1]), fp_of(layer.inputs[1]),
+                               out, layer.fix_pos_out);
+        break;
+    }
+    acts[i] = std::move(out);
+    fps[i] = (layer.kind == XLayer::Kind::kPool) ? fp_of(layer.inputs[0])
+                                                 : layer.fix_pos_out;
+  }
+
+  RunResult result;
+  result.output = acts[static_cast<std::size_t>(model_->output_layer)];
+  result.cycles = model_->latency_cycles(bw_sharers);
+  result.seconds = model_->latency_seconds(bw_sharers);
+  return result;
+}
+
+}  // namespace seneca::dpu

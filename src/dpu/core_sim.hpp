@@ -1,0 +1,42 @@
+#pragma once
+// Functional + timing simulator of one DPU core executing an xmodel.
+//
+// Functional semantics are defined to be bit-exact with the quant::QGraph
+// reference executor (tests/dpu_* pin this); timing comes from the compiled
+// per-layer cycle/byte annotations. The dual-core system view (job queues,
+// thread scaling, bandwidth sharing) lives in src/runtime.
+
+#include <memory>
+#include <vector>
+
+#include "dpu/xmodel.hpp"
+#include "quant/qgraph.hpp"
+
+namespace seneca::dpu {
+
+using tensor::TensorI8;
+
+struct RunResult {
+  TensorI8 output;       // INT8 logit maps at output_fix_pos
+  double cycles = 0.0;   // end-to-end latency on this core
+  double seconds = 0.0;  // at the arch clock
+};
+
+class DpuCoreSim {
+ public:
+  /// The xmodel must outlive the simulator.
+  explicit DpuCoreSim(const XModel* model);
+
+  const XModel& model() const { return *model_; }
+
+  /// Executes one inference. `bw_sharers` is the number of cores currently
+  /// contending for DDR bandwidth (affects LOAD/SAVE latency only).
+  RunResult run(const TensorI8& input, int bw_sharers = 1) const;
+
+ private:
+  const XModel* model_;
+  // Per-layer weight/bias views materialized once at construction.
+  std::vector<quant::QOp> payloads_;
+};
+
+}  // namespace seneca::dpu

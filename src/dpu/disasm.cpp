@@ -1,0 +1,112 @@
+#include "dpu/disasm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+namespace seneca::dpu {
+
+namespace {
+
+const char* kind_name(XLayer::Kind kind) {
+  switch (kind) {
+    case XLayer::Kind::kConv: return "CONV";
+    case XLayer::Kind::kTConv: return "TCONV";
+    case XLayer::Kind::kPool: return "POOL";
+    case XLayer::Kind::kConcat: return "CONCAT";
+  }
+  return "?";
+}
+
+double layer_latency_cycles(const XModel& m, const XLayer& l, int sharers) {
+  const double bpc = m.arch.ddr_bytes_per_cycle_total / static_cast<double>(sharers);
+  return l.compute_cycles + static_cast<double>(l.ddr_bytes) / bpc +
+         m.arch.instr_overhead_cycles * static_cast<double>(l.instrs.size());
+}
+
+}  // namespace
+
+std::string disassemble(const XModel& m, const DisasmOptions& opts) {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "xmodel \"%s\" for %s (%d cores @ %.0f MHz, %lldx%lldx%lld lanes)\n",
+                m.name.c_str(), m.arch.name.c_str(), m.arch.cores,
+                m.arch.clock_mhz,
+                static_cast<long long>(m.arch.pixel_parallel),
+                static_cast<long long>(m.arch.input_channel_parallel),
+                static_cast<long long>(m.arch.output_channel_parallel));
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "input %s fix_pos=%d | output layer %d fix_pos=%d\n",
+                m.input_shape.to_string().c_str(), m.input_fix_pos,
+                m.output_layer, m.output_fix_pos);
+  os << buf;
+
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    const XLayer& l = m.layers[i];
+    std::snprintf(buf, sizeof buf,
+                  "L%03zu %-7s %-18s -> %-12s relu=%d fpw=%d fpo=%d%s\n", i,
+                  kind_name(l.kind), l.name.c_str(),
+                  l.out_shape.to_string().c_str(), l.relu ? 1 : 0, l.fix_pos_w,
+                  l.fix_pos_out, l.output_resident ? " [resident]" : "");
+    os << buf;
+    if (opts.instructions) {
+      for (const auto& ins : l.instrs) {
+        std::snprintf(buf, sizeof buf,
+                      "      %-6s tensor=%-3d bytes=%-9lld macs=%-11lld cycles=%.0f\n",
+                      opcode_name(ins.opcode), ins.tensor_id,
+                      static_cast<long long>(ins.bytes),
+                      static_cast<long long>(ins.macs), ins.cycles);
+        os << buf;
+      }
+    }
+  }
+
+  if (opts.summary) {
+    std::snprintf(buf, sizeof buf,
+                  "TOTAL: %zu layers, %zu instrs, %.1f MMACs, %.2f MB DDR/inf, "
+                  "util %.1f %%\n",
+                  m.layers.size(), m.total_instructions(),
+                  static_cast<double>(m.total_macs()) / 1e6,
+                  static_cast<double>(m.total_ddr_bytes()) / 1e6,
+                  100.0 * m.compute_utilization());
+    os << buf;
+    std::snprintf(buf, sizeof buf,
+                  "LATENCY: %.2f ms (exclusive DDR) / %.2f ms (%d sharers)\n",
+                  1e3 * m.latency_seconds(1), 1e3 * m.latency_seconds(opts.bw_sharers),
+                  opts.bw_sharers);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string latency_breakdown(const XModel& m, int bw_sharers) {
+  std::vector<std::size_t> order(m.layers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return layer_latency_cycles(m, m.layers[a], bw_sharers) >
+           layer_latency_cycles(m, m.layers[b], bw_sharers);
+  });
+  // Percentages are over the sum of per-layer latencies (the per-job
+  // constant overhead is not attributable to any layer).
+  double total = 0.0;
+  for (const auto& l : m.layers) total += layer_latency_cycles(m, l, bw_sharers);
+
+  std::ostringstream os;
+  os << "layer latency breakdown (" << bw_sharers << " bandwidth sharers):\n";
+  char buf[256];
+  for (std::size_t idx : order) {
+    const XLayer& l = m.layers[idx];
+    const double cycles = layer_latency_cycles(m, l, bw_sharers);
+    std::snprintf(buf, sizeof buf,
+                  "  %5.1f %%  %-18s %-7s compute=%-9.0f mem_bytes=%-9lld\n",
+                  100.0 * cycles / total, l.name.c_str(), kind_name(l.kind),
+                  l.compute_cycles, static_cast<long long>(l.ddr_bytes));
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace seneca::dpu

@@ -1,0 +1,26 @@
+#pragma once
+// xmodel disassembler / inspection report: per-layer instruction listing
+// with cycle and DDR-traffic annotations, plus a model-level summary.
+// The deployment analog of `xdputil xmodel -l`.
+
+#include <string>
+
+#include "dpu/xmodel.hpp"
+
+namespace seneca::dpu {
+
+struct DisasmOptions {
+  bool instructions = true;   // per-instruction lines
+  bool summary = true;        // totals, utilization, latency at 1/2 sharers
+  int bw_sharers = 2;         // bandwidth assumption for per-layer latency
+};
+
+/// Human-readable disassembly of a compiled model.
+std::string disassemble(const XModel& model, const DisasmOptions& opts = {});
+
+/// One-line-per-layer latency breakdown (name, cycles split, bytes), sorted
+/// by descending latency contribution — the first place to look when a
+/// model underperforms on the DPU.
+std::string latency_breakdown(const XModel& model, int bw_sharers = 2);
+
+}  // namespace seneca::dpu

@@ -1,0 +1,44 @@
+#include "dpu/isa.hpp"
+
+namespace seneca::dpu {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kLoad: return "LOAD";
+    case Opcode::kSave: return "SAVE";
+    case Opcode::kConv: return "CONV";
+    case Opcode::kTConv: return "TCONV";
+    case Opcode::kPool: return "POOL";
+    case Opcode::kConcat: return "CONCAT";
+    case Opcode::kEnd: return "END";
+  }
+  return "?";
+}
+
+StreamStats summarize(const std::vector<Instr>& stream,
+                      double instr_overhead_cycles) {
+  StreamStats s;
+  for (const auto& i : stream) {
+    s.instructions++;
+    s.issue_cycles += instr_overhead_cycles;
+    switch (i.opcode) {
+      case Opcode::kLoad:
+      case Opcode::kSave:
+        s.memory_cycles += i.cycles;
+        s.ddr_bytes += i.bytes;
+        break;
+      case Opcode::kConv:
+      case Opcode::kTConv:
+      case Opcode::kPool:
+      case Opcode::kConcat:
+        s.compute_cycles += i.cycles;
+        s.macs += i.macs;
+        break;
+      case Opcode::kEnd:
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace seneca::dpu

@@ -1,0 +1,49 @@
+#pragma once
+// DPU instruction set. The compiler lowers every network layer into a short
+// sequence of these; the core simulator executes them (functionally via the
+// attached layer payload, temporally via per-instruction cycle estimates
+// from the timing model). The encoding round-trips through the xmodel
+// binary format.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace seneca::dpu {
+
+enum class Opcode : std::uint8_t {
+  kLoad = 0,   // DDR -> global memory pool (weights or activations)
+  kSave = 1,   // global memory pool -> DDR
+  kConv = 2,   // hybrid computing array convolution (optional fused ReLU)
+  kTConv = 3,  // transposed convolution
+  kPool = 4,   // 2x2/2 max pool
+  kConcat = 5, // channel concat with requantization
+  kEnd = 6,    // end of kernel stream (raises completion interrupt)
+};
+
+const char* opcode_name(Opcode op);
+
+/// One DPU instruction. Fields are a superset; unused ones are zero.
+struct Instr {
+  Opcode opcode = Opcode::kEnd;
+  std::int32_t layer_id = -1;   // owning XLayer
+  std::int32_t tensor_id = -1;  // tensor moved (kLoad/kSave) or produced
+  std::int64_t bytes = 0;       // memory traffic of this instruction
+  std::int64_t macs = 0;        // MAC count (compute instructions)
+  double cycles = 0.0;          // timing-model estimate (excl. issue cost)
+};
+
+/// Cycle/byte totals of an instruction stream.
+struct StreamStats {
+  double compute_cycles = 0.0;
+  double memory_cycles = 0.0;
+  double issue_cycles = 0.0;
+  std::int64_t ddr_bytes = 0;
+  std::int64_t macs = 0;
+  std::size_t instructions = 0;
+};
+
+StreamStats summarize(const std::vector<Instr>& stream,
+                      double instr_overhead_cycles);
+
+}  // namespace seneca::dpu

@@ -1,0 +1,85 @@
+#pragma once
+// The compiled model artifact ("xmodel", §III-E): the DPU-executable form of
+// a quantized network. Produced by the compiler, consumed by the core
+// simulator and the VART-style runtime. Serializable to a binary file so
+// that compile-once/deploy-many works exactly like the real flow.
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "dpu/arch.hpp"
+#include "dpu/isa.hpp"
+#include "tensor/tensor.hpp"
+
+namespace seneca::dpu {
+
+using tensor::Shape;
+
+struct XLayer {
+  enum class Kind : std::uint8_t { kConv = 0, kTConv = 1, kPool = 2, kConcat = 3 };
+
+  Kind kind = Kind::kConv;
+  std::string name;
+  std::vector<std::int32_t> inputs;  // producing layer ids; -1 = network input
+  Shape out_shape;
+  std::int64_t kernel = 0;
+  bool relu = false;
+  int fix_pos_w = 0;
+  int fix_pos_out = 0;
+
+  // Weight/bias slices into the xmodel blobs (conv layers only).
+  std::int64_t weight_offset = 0;
+  std::int64_t weight_count = 0;
+  std::int64_t bias_offset = 0;
+  std::int64_t bias_count = 0;
+
+  // Compiler decisions: whether each input is resident in the global memory
+  // pool (no LOAD needed) and whether the output stays resident (no SAVE).
+  std::vector<std::uint8_t> input_resident;
+  bool output_resident = false;
+
+  std::vector<Instr> instrs;
+
+  // Timing-model summary (memory latency is bandwidth-dependent, so raw
+  // bytes are kept and converted at query time).
+  double compute_cycles = 0.0;
+  std::int64_t ddr_bytes = 0;
+  std::int64_t macs = 0;
+};
+
+struct XModel {
+  DpuArch arch;
+  std::string name;
+  Shape input_shape;
+  int input_fix_pos = 0;   // host input scaling factor = 2^input_fix_pos
+  int output_layer = -1;
+  int output_fix_pos = 0;
+
+  std::vector<XLayer> layers;
+  std::vector<std::int8_t> weights;
+  std::vector<std::int32_t> biases;
+
+  /// End-to-end latency (cycles) of one inference on one core when
+  /// `bw_sharers` cores contend for DDR bandwidth. Per layer:
+  /// max(compute, memory) — double-buffered overlap — plus issue overhead.
+  double latency_cycles(int bw_sharers = 1) const;
+
+  /// Latency in seconds at the arch clock.
+  double latency_seconds(int bw_sharers = 1) const;
+
+  std::int64_t total_macs() const;
+  std::int64_t total_ddr_bytes() const;
+  std::size_t total_instructions() const;
+
+  /// Mean hybrid-array utilization during compute phases: MACs per compute
+  /// cycle over the array's peak (diagnostic for the lane-quantization
+  /// effect discussed in DESIGN.md §4).
+  double compute_utilization() const;
+
+  void save(const std::filesystem::path& path) const;
+  static XModel load(const std::filesystem::path& path);
+};
+
+}  // namespace seneca::dpu

@@ -1,0 +1,87 @@
+#include "eval/metrics.hpp"
+
+#include <stdexcept>
+
+namespace seneca::eval {
+
+std::vector<BinaryCounts> confusion_per_class(const LabelMap& pred,
+                                              const LabelMap& truth,
+                                              std::int64_t num_classes) {
+  if (pred.numel() != truth.numel()) {
+    throw std::invalid_argument("confusion_per_class: size mismatch");
+  }
+  std::vector<BinaryCounts> counts(static_cast<std::size_t>(num_classes));
+  const std::int64_t n = pred.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t p = pred[i];
+    const std::int32_t t = truth[i];
+    for (std::int64_t c = 0; c < num_classes; ++c) {
+      const bool is_p = (p == c);
+      const bool is_t = (t == c);
+      BinaryCounts& bc = counts[static_cast<std::size_t>(c)];
+      if (is_p && is_t) ++bc.tp;
+      else if (is_p && !is_t) ++bc.fp;
+      else if (!is_p && is_t) ++bc.fn;
+      else ++bc.tn;
+    }
+  }
+  return counts;
+}
+
+SegmentationEvaluator::SegmentationEvaluator(std::int64_t num_classes)
+    : counts_(static_cast<std::size_t>(num_classes)) {}
+
+void SegmentationEvaluator::add(const LabelMap& pred, const LabelMap& truth) {
+  const auto batch = confusion_per_class(pred, truth,
+                                         static_cast<std::int64_t>(counts_.size()));
+  for (std::size_t c = 0; c < counts_.size(); ++c) counts_[c] += batch[c];
+}
+
+std::vector<double> SegmentationEvaluator::dice_per_class() const {
+  std::vector<double> out;
+  out.reserve(counts_.size());
+  for (const auto& c : counts_) out.push_back(c.dice());
+  return out;
+}
+
+std::vector<double> SegmentationEvaluator::tpr_per_class() const {
+  std::vector<double> out;
+  out.reserve(counts_.size());
+  for (const auto& c : counts_) out.push_back(c.tpr());
+  return out;
+}
+
+std::vector<double> SegmentationEvaluator::tnr_per_class() const {
+  std::vector<double> out;
+  out.reserve(counts_.size());
+  for (const auto& c : counts_) out.push_back(c.tnr());
+  return out;
+}
+
+namespace {
+double weighted_over_organs(const std::vector<BinaryCounts>& counts,
+                            double (BinaryCounts::*metric)() const) {
+  double wsum = 0.0, acc = 0.0;
+  for (std::size_t c = 1; c < counts.size(); ++c) {
+    const double w = static_cast<double>(counts[c].tp + counts[c].fn);
+    if (w <= 0.0) continue;
+    acc += w * (counts[c].*metric)();
+    wsum += w;
+  }
+  return wsum > 0.0 ? acc / wsum : 1.0;
+}
+}  // namespace
+
+double SegmentationEvaluator::global_dice() const {
+  return weighted_over_organs(counts_, &BinaryCounts::dice);
+}
+
+double SegmentationEvaluator::global_tpr() const {
+  return weighted_over_organs(counts_, &BinaryCounts::tpr);
+}
+
+double SegmentationEvaluator::global_tnr() const {
+  return weighted_over_organs(counts_, &BinaryCounts::tnr);
+}
+
+}  // namespace seneca::eval

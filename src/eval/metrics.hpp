@@ -1,0 +1,84 @@
+#pragma once
+// Segmentation quality metrics (§IV-A2): Dice Similarity Coefficient,
+// Recall/TPR and Specificity/TNR, per organ and globally. The global DSC is
+// the frequency-weighted mean of per-organ DSCs, matching §IV-C ("the DSC
+// computed as the weighted mean of single organs DSCs").
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/loss.hpp"
+
+namespace seneca::eval {
+
+using nn::LabelMap;
+
+/// Confusion counts of one class treated as binary fg/bg.
+struct BinaryCounts {
+  std::int64_t tp = 0, fp = 0, fn = 0, tn = 0;
+
+  double dice() const {
+    const double den = static_cast<double>(2 * tp + fp + fn);
+    return den > 0.0 ? 2.0 * static_cast<double>(tp) / den : 1.0;
+  }
+  double tpr() const {  // recall / sensitivity, Eq. (5)
+    const double den = static_cast<double>(tp + fn);
+    return den > 0.0 ? static_cast<double>(tp) / den : 1.0;
+  }
+  double tnr() const {  // specificity, Eq. (6)
+    const double den = static_cast<double>(tn + fp);
+    return den > 0.0 ? static_cast<double>(tn) / den : 1.0;
+  }
+
+  BinaryCounts& operator+=(const BinaryCounts& o) {
+    tp += o.tp;
+    fp += o.fp;
+    fn += o.fn;
+    tn += o.tn;
+    return *this;
+  }
+};
+
+/// Per-class confusion over one (or more, accumulated) label maps.
+std::vector<BinaryCounts> confusion_per_class(const LabelMap& pred,
+                                              const LabelMap& truth,
+                                              std::int64_t num_classes);
+
+/// Accumulating evaluator over a test set.
+class SegmentationEvaluator {
+ public:
+  explicit SegmentationEvaluator(std::int64_t num_classes);
+
+  void add(const LabelMap& pred, const LabelMap& truth);
+
+  /// Per-class DSC (index 0 = background; organs from 1). Classes absent
+  /// from both prediction and truth count as perfect (paper convention:
+  /// only present organs contribute, handled by the weighting below).
+  std::vector<double> dice_per_class() const;
+  std::vector<double> tpr_per_class() const;
+  std::vector<double> tnr_per_class() const;
+
+  /// Frequency-weighted mean over organ classes (excludes background);
+  /// weights are ground-truth pixel counts.
+  double global_dice() const;
+  double global_tpr() const;
+  double global_tnr() const;
+
+  std::int64_t num_classes() const { return static_cast<std::int64_t>(counts_.size()); }
+  const BinaryCounts& counts(std::int64_t cls) const {
+    return counts_[static_cast<std::size_t>(cls)];
+  }
+
+ private:
+  std::vector<BinaryCounts> counts_;
+};
+
+/// Per-volume DSC samples for boxplots (Fig. 6): evaluates each group of
+/// slices (one patient) separately and returns per-organ DSC lists.
+struct PerCaseDice {
+  // [organ 1..5][case] — index 0 unused.
+  std::vector<std::vector<double>> samples;
+};
+
+}  // namespace seneca::eval

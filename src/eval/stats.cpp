@@ -1,0 +1,73 @@
+#include "eval/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace seneca::eval {
+
+RunStats compute_stats(const std::vector<double>& samples) {
+  RunStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  if (samples.size() > 1) {
+    var /= static_cast<double>(samples.size() - 1);
+  }
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+std::string format_stats(const RunStats& s, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << s.mean << " +/- " << s.stddev;
+  return os.str();
+}
+
+namespace {
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+BoxplotStats compute_boxplot(std::vector<double> samples) {
+  BoxplotStats b;
+  b.n = samples.size();
+  if (samples.empty()) return b;
+  std::sort(samples.begin(), samples.end());
+  b.minimum = samples.front();
+  b.maximum = samples.back();
+  b.q1 = quantile(samples, 0.25);
+  b.median = quantile(samples, 0.50);
+  b.q3 = quantile(samples, 0.75);
+  return b;
+}
+
+std::string render_boxplot(const BoxplotStats& b, double lo, double hi,
+                           int width) {
+  std::string line(static_cast<std::size_t>(width), ' ');
+  const auto pos = [&](double v) {
+    const double t = (v - lo) / (hi - lo);
+    const int p = static_cast<int>(t * (width - 1));
+    return static_cast<std::size_t>(std::clamp(p, 0, width - 1));
+  };
+  for (std::size_t i = pos(b.minimum); i <= pos(b.maximum); ++i) line[i] = '-';
+  for (std::size_t i = pos(b.q1); i <= pos(b.q3); ++i) line[i] = '=';
+  line[pos(b.median)] = '|';
+  line[pos(b.minimum)] = '[';
+  line[pos(b.maximum)] = ']';
+  return line;
+}
+
+}  // namespace seneca::eval

@@ -1,0 +1,37 @@
+#pragma once
+// Run statistics: mean ± std over repeated measurements (Table IV/V report
+// µ±σ of 10 runs) and boxplot quartiles (Fig. 6).
+
+#include <string>
+#include <vector>
+
+namespace seneca::eval {
+
+struct RunStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t n = 0;
+};
+
+RunStats compute_stats(const std::vector<double>& samples);
+
+/// "mean ± std" with the given precision.
+std::string format_stats(const RunStats& s, int precision = 2);
+
+struct BoxplotStats {
+  double minimum = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double maximum = 0.0;
+  std::size_t n = 0;
+};
+
+/// Quartiles by linear interpolation (Tukey boxplot without outlier split).
+BoxplotStats compute_boxplot(std::vector<double> samples);
+
+/// One-line ASCII rendering of a boxplot over [lo, hi], width chars wide.
+std::string render_boxplot(const BoxplotStats& b, double lo, double hi,
+                           int width = 60);
+
+}  // namespace seneca::eval

@@ -1,0 +1,27 @@
+#pragma once
+// ASCII table rendering used by the bench harness so every reproduced table
+// prints with aligned columns next to the paper's reference values.
+
+#include <string>
+#include <vector>
+
+namespace seneca::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Helpers for numeric cells.
+  static std::string num(double v, int precision = 2);
+  static std::string pm(double mean, double std, int precision = 2);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace seneca::eval

@@ -1,0 +1,74 @@
+#pragma once
+// Static computation graph: a DAG of named layer nodes. Used directly for
+// FP32 training/inference and walked by the quantizer (src/quant) and the
+// DPU compiler (src/dpu) as the single source of network topology.
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace seneca::nn {
+
+class Graph {
+ public:
+  struct Node {
+    std::string name;
+    std::unique_ptr<Layer> layer;  // null for the input placeholder
+    std::vector<int> inputs;       // node ids
+    Shape shape;                   // inferred output shape
+  };
+
+  /// Declares the single input placeholder; must be called first.
+  int add_input(const std::string& name, Shape shape);
+
+  /// Adds a layer node consuming the outputs of `inputs`. Returns node id.
+  int add(const std::string& name, std::unique_ptr<Layer> layer,
+          std::vector<int> inputs);
+
+  void set_output(int node_id);
+  int output_id() const { return output_id_; }
+  int input_id() const { return input_id_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(int id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  Node& node(int id) { return nodes_[static_cast<std::size_t>(id)]; }
+
+  /// Runs a forward pass; the returned reference stays valid until the next
+  /// forward call. Activations of every node stay resident (activation()).
+  const TensorF& forward(const TensorF& input, bool training = false);
+
+  /// Activation of node `id` from the most recent forward pass.
+  const TensorF& activation(int id) const {
+    return activations_[static_cast<std::size_t>(id)];
+  }
+
+  /// Backward pass from d(loss)/d(output); requires a preceding
+  /// forward(training=true). Parameter gradients accumulate into params().
+  void backward(const TensorF& grad_output);
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  std::vector<Param*> params();
+
+  /// Total number of trainable scalars.
+  std::int64_t num_parameters();
+
+  /// Binary weight (de)serialization keyed by "<node>.<param>" names; load
+  /// throws std::runtime_error on any name/shape mismatch.
+  void save_weights(const std::filesystem::path& path);
+  void load_weights(const std::filesystem::path& path);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<TensorF> activations_;
+  std::vector<TensorF> grads_;
+  int input_id_ = -1;
+  int output_id_ = -1;
+};
+
+}  // namespace seneca::nn

@@ -1,0 +1,90 @@
+#pragma once
+// 2D convolutional layers used by the SENECA U-Net family: stride-1 "same"
+// convolution, stride-2 transposed convolution (the up-sampler), and 2x2
+// max pooling. Weight layout is [KH][KW][Cin][Cout] — the layout the DPU's
+// output-channel-parallel datapath consumes directly.
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::nn {
+
+class Conv2D final : public Layer {
+ public:
+  /// Stride-1, zero-padded "same" convolution with odd kernel size.
+  Conv2D(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel = 3);
+
+  std::string type() const override { return "conv2d"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  void init_he(util::Rng& rng);
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t kernel_;
+  Param weight_;  // [K][K][Cin][Cout]
+  Param bias_;    // [Cout]
+};
+
+/// Stride-2, kernel-3 transposed convolution doubling the spatial size
+/// (TF Conv2DTranspose(k=3, s=2, padding="same") semantics: H -> 2H).
+class TransposedConv2D final : public Layer {
+ public:
+  TransposedConv2D(std::int64_t in_channels, std::int64_t out_channels,
+                   std::int64_t kernel = 3);
+
+  std::string type() const override { return "tconv2d"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  void init_he(util::Rng& rng);
+
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t kernel_;
+  Param weight_;  // [K][K][Cin][Cout]
+  Param bias_;    // [Cout]
+};
+
+/// 2x2 stride-2 max pooling; requires even spatial dims.
+class MaxPool2D final : public Layer {
+ public:
+  std::string type() const override { return "maxpool2d"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+
+ private:
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+}  // namespace seneca::nn

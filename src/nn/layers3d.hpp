@@ -1,0 +1,78 @@
+#pragma once
+// 3D convolutional layers for the CT-ORG 3D U-Net comparator (Table V).
+// Volumes are channels-last DHWC; weights are [KD][KH][KW][Cin][Cout].
+// Shape<5> is the framework's maximum rank, so batch looping stays external
+// exactly as in the 2D path.
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::nn {
+
+class Conv3D final : public Layer {
+ public:
+  Conv3D(std::int64_t in_channels, std::int64_t out_channels,
+         std::int64_t kernel = 3);
+
+  std::string type() const override { return "conv3d"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  void init_he(util::Rng& rng);
+  std::int64_t in_channels() const { return in_channels_; }
+  std::int64_t out_channels() const { return out_channels_; }
+  std::int64_t kernel() const { return kernel_; }
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  std::int64_t kernel_;
+  Param weight_;  // [K][K][K][Cin] flattened with Cout innermost: rank-5 max
+  Param bias_;
+};
+
+/// Stride-2 kernel-3 transposed 3D convolution: D,H,W each double.
+class TransposedConv3D final : public Layer {
+ public:
+  TransposedConv3D(std::int64_t in_channels, std::int64_t out_channels);
+
+  std::string type() const override { return "tconv3d"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+
+  void init_he(util::Rng& rng);
+
+ private:
+  std::int64_t in_channels_;
+  std::int64_t out_channels_;
+  static constexpr std::int64_t kKernel = 3;
+  Param weight_;
+  Param bias_;
+};
+
+/// 2x2x2 stride-2 max pooling; requires even D, H, W.
+class MaxPool3D final : public Layer {
+ public:
+  std::string type() const override { return "maxpool3d"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+
+ private:
+  std::vector<std::int64_t> argmax_;
+};
+
+}  // namespace seneca::nn

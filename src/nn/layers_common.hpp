@@ -1,0 +1,112 @@
+#pragma once
+// Rank-generic layers (channels-last): ReLU, BatchNorm, Dropout, Softmax,
+// channel Concat. These work unchanged for the 2D (HWC) and 3D (DHWC) nets.
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::nn {
+
+class ReLU final : public Layer {
+ public:
+  std::string type() const override { return "relu"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+};
+
+/// Per-channel batch normalization over all leading (spatial) dims of a
+/// single sample; running statistics track training batches with momentum
+/// and are used at inference — exactly the statistics the quantizer folds
+/// into the preceding convolution (Section III-D).
+class BatchNorm final : public Layer {
+ public:
+  explicit BatchNorm(std::int64_t channels, float momentum = 0.9f,
+                     float epsilon = 1e-5f);
+
+  std::string type() const override { return "batchnorm"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::vector<std::pair<std::string, TensorF*>> state() override {
+    return {{"running_mean", &running_mean_}, {"running_var", &running_var_}};
+  }
+
+  std::int64_t channels() const { return channels_; }
+  float epsilon() const { return epsilon_; }
+  const TensorF& running_mean() const { return running_mean_; }
+  const TensorF& running_var() const { return running_var_; }
+  const TensorF& gamma() const { return gamma_.value; }
+  const TensorF& beta() const { return beta_.value; }
+  /// Used by weight (de)serialization of running statistics and by tests.
+  TensorF& mutable_running_mean() { return running_mean_; }
+  TensorF& mutable_running_var() { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_;
+  float epsilon_;
+  Param gamma_;
+  Param beta_;
+  TensorF running_mean_;
+  TensorF running_var_;
+  // Cached batch statistics between forward(training) and backward.
+  TensorF batch_mean_;
+  TensorF batch_var_;
+};
+
+/// Inverted dropout: active only during training; a pure pass-through at
+/// inference (the Vitis AI quantizer removes it entirely — so does ours).
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(float rate, std::uint64_t seed = 17)
+      : rate_(rate), rng_(seed) {}
+
+  std::string type() const override { return "dropout"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+  float rate() const { return rate_; }
+
+ private:
+  float rate_;
+  util::Rng rng_;
+  std::vector<std::uint8_t> mask_;
+};
+
+/// Channel-wise softmax over the last dimension (the six class maps).
+class Softmax final : public Layer {
+ public:
+  std::string type() const override { return "softmax"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+};
+
+/// Concatenation of two tensors along the channel (last) dimension; the
+/// U-Net skip connections.
+class Concat final : public Layer {
+ public:
+  std::string type() const override { return "concat"; }
+  Shape output_shape(const std::vector<Shape>& in) const override;
+  void forward(const std::vector<const TensorF*>& in, TensorF& out,
+               bool training) override;
+  void backward(const std::vector<const TensorF*>& in, const TensorF& out,
+                const TensorF& grad_out,
+                const std::vector<TensorF*>& grad_in) override;
+};
+
+}  // namespace seneca::nn

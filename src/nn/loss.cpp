@@ -1,0 +1,207 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace seneca::nn {
+
+namespace {
+constexpr double kSmooth = 1.0;
+
+std::int64_t channels_of(const TensorF& probs, const LabelMap& labels) {
+  const std::int64_t c = probs.shape()[probs.shape().rank() - 1];
+  if (labels.numel() * c != probs.numel()) {
+    throw std::invalid_argument("loss: labels/probs size mismatch");
+  }
+  return c;
+}
+}  // namespace
+
+// -------------------------------------------------------- CrossEntropy ----
+
+double CrossEntropyLoss::compute(const TensorF& probs, const LabelMap& labels,
+                                 TensorF& grad_probs) const {
+  const std::int64_t c = channels_of(probs, labels);
+  const std::int64_t n = labels.numel();
+  grad_probs.fill(0.f);
+  double loss = 0.0;
+  constexpr float kEps = 1e-7f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t y = labels[i];
+    const float p = std::max(probs[i * c + y], kEps);
+    loss -= std::log(p);
+    grad_probs[i * c + y] = -1.f / (p * static_cast<float>(n));
+  }
+  return loss / static_cast<double>(n);
+}
+
+// ---------------------------------------------------------------- Dice ----
+
+double DiceLoss::compute(const TensorF& probs, const LabelMap& labels,
+                         TensorF& grad_probs) const {
+  const std::int64_t c = channels_of(probs, labels);
+  const std::int64_t n = labels.numel();
+  std::vector<double> inter(static_cast<std::size_t>(c), 0.0);
+  std::vector<double> psum(static_cast<std::size_t>(c), 0.0);
+  std::vector<double> gsum(static_cast<std::size_t>(c), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t y = labels[i];
+    gsum[static_cast<std::size_t>(y)] += 1.0;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const double p = probs[i * c + ch];
+      psum[static_cast<std::size_t>(ch)] += p;
+      if (ch == y) inter[static_cast<std::size_t>(ch)] += p;
+    }
+  }
+  double loss = 0.0;
+  std::vector<double> dnum(static_cast<std::size_t>(c));
+  std::vector<double> dden(static_cast<std::size_t>(c));
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const std::size_t cs = static_cast<std::size_t>(ch);
+    const double num = 2.0 * inter[cs] + kSmooth;
+    const double den = psum[cs] + gsum[cs] + kSmooth;
+    loss += 1.0 - num / den;
+    dnum[cs] = num;
+    dden[cs] = den;
+  }
+  loss /= static_cast<double>(c);
+  // d(dice_c)/dp_ic = (2*g - num/den) / den; loss grad = -1/C * that.
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t y = labels[i];
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const std::size_t cs = static_cast<std::size_t>(ch);
+      const double g = (ch == y) ? 1.0 : 0.0;
+      const double d = (2.0 * g - dnum[cs] / dden[cs]) / dden[cs];
+      grad_probs[i * c + ch] = static_cast<float>(-d / static_cast<double>(c));
+    }
+  }
+  return loss;
+}
+
+// -------------------------------------------------------- FocalTversky ----
+
+FocalTverskyLoss::FocalTverskyLoss(float alpha, float beta, float gamma,
+                                   std::vector<float> class_weights)
+    : alpha_(alpha), beta_(beta), gamma_(gamma),
+      weights_(std::move(class_weights)) {
+  if (weights_.empty()) throw std::invalid_argument("FTL: empty weights");
+}
+
+FocalTverskyLoss FocalTverskyLoss::unweighted(std::int64_t num_classes) {
+  return FocalTverskyLoss(0.7f, 0.3f, 4.f / 3.f,
+                          std::vector<float>(static_cast<std::size_t>(num_classes), 1.f));
+}
+
+FocalTverskyLoss FocalTverskyLoss::inverse_frequency(
+    const std::vector<double>& freq) {
+  // w_c ∝ 1/sqrt(freq_c) (Section III-C: weights "inversely proportional to
+  // the organ dimensions"; the square root tempers the ratio so the rarest
+  // class steers training without monopolizing the gradient), floored to
+  // avoid an absent class dominating, then normalized to sum to C to keep
+  // the loss scale comparable.
+  std::vector<float> w(freq.size());
+  double sum = 0.0;
+  for (std::size_t c = 0; c < freq.size(); ++c) {
+    const double f = std::max(freq[c], 1e-4);
+    w[c] = static_cast<float>(1.0 / std::sqrt(f));
+    sum += w[c];
+  }
+  const double scale = static_cast<double>(freq.size()) / sum;
+  for (auto& v : w) v = static_cast<float>(v * scale);
+  return FocalTverskyLoss(0.7f, 0.3f, 4.f / 3.f, std::move(w));
+}
+
+double FocalTverskyLoss::compute(const TensorF& probs, const LabelMap& labels,
+                                 TensorF& grad_probs) const {
+  const std::int64_t c = channels_of(probs, labels);
+  if (static_cast<std::size_t>(c) != weights_.size()) {
+    throw std::invalid_argument("FTL: weight count != channels");
+  }
+  const std::int64_t n = labels.numel();
+
+  std::vector<double> tp(static_cast<std::size_t>(c), 0.0);
+  std::vector<double> fn(static_cast<std::size_t>(c), 0.0);
+  std::vector<double> fp(static_cast<std::size_t>(c), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t y = labels[i];
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const double p = probs[i * c + ch];
+      if (ch == y) {
+        tp[static_cast<std::size_t>(ch)] += p;
+        fn[static_cast<std::size_t>(ch)] += 1.0 - p;
+      } else {
+        fp[static_cast<std::size_t>(ch)] += p;
+      }
+    }
+  }
+
+  double wsum = 0.0;
+  double s = 0.0;
+  std::vector<double> num(static_cast<std::size_t>(c));
+  std::vector<double> den(static_cast<std::size_t>(c));
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const std::size_t cs = static_cast<std::size_t>(ch);
+    num[cs] = tp[cs] + kSmooth;
+    den[cs] = tp[cs] + alpha_ * fn[cs] + beta_ * fp[cs] + kSmooth;
+    const double ti = num[cs] / den[cs];
+    s += weights_[cs] * ti;
+    wsum += weights_[cs];
+  }
+  s /= wsum;
+  const double one_minus_s = std::max(1.0 - s, 1e-9);
+  const double loss = std::pow(one_minus_s, static_cast<double>(gamma_));
+
+  // dL/dTI_c = -gamma * (1-S)^(gamma-1) * w_c / sum_w
+  const double outer =
+      static_cast<double>(gamma_) * std::pow(one_minus_s, static_cast<double>(gamma_) - 1.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int32_t y = labels[i];
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const std::size_t cs = static_cast<std::size_t>(ch);
+      const double g = (ch == y) ? 1.0 : 0.0;
+      // dnum/dp = g ; dden/dp = g - alpha*g + beta*(1-g)
+      const double dden = g - alpha_ * g + beta_ * (1.0 - g);
+      const double dti = (g * den[cs] - num[cs] * dden) / (den[cs] * den[cs]);
+      grad_probs[i * c + ch] =
+          static_cast<float>(-outer * (weights_[cs] / wsum) * dti);
+    }
+  }
+  return loss;
+}
+
+// ------------------------------------------------------------ Combined ----
+
+CombinedLoss::CombinedLoss(std::vector<std::unique_ptr<Loss>> losses,
+                           std::vector<double> weights)
+    : losses_(std::move(losses)), weights_(std::move(weights)) {
+  if (losses_.empty() || losses_.size() != weights_.size()) {
+    throw std::invalid_argument("CombinedLoss: losses/weights mismatch");
+  }
+}
+
+double CombinedLoss::compute(const TensorF& probs, const LabelMap& labels,
+                             TensorF& grad_probs) const {
+  TensorF part(probs.shape());
+  grad_probs.fill(0.f);
+  double total = 0.0;
+  for (std::size_t i = 0; i < losses_.size(); ++i) {
+    total += weights_[i] * losses_[i]->compute(probs, labels, part);
+    const float w = static_cast<float>(weights_[i]);
+    for (std::int64_t e = 0; e < probs.numel(); ++e) {
+      grad_probs[e] += w * part[e];
+    }
+  }
+  return total;
+}
+
+std::unique_ptr<Loss> make_seneca_loss(const std::vector<double>& class_freq,
+                                       double ce_weight) {
+  std::vector<std::unique_ptr<Loss>> losses;
+  losses.push_back(std::make_unique<FocalTverskyLoss>(
+      FocalTverskyLoss::inverse_frequency(class_freq)));
+  losses.push_back(std::make_unique<CrossEntropyLoss>());
+  return std::make_unique<CombinedLoss>(std::move(losses),
+                                        std::vector<double>{1.0, ce_weight});
+}
+
+}  // namespace seneca::nn

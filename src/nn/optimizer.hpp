@@ -1,0 +1,53 @@
+#pragma once
+// First-order optimizers over a Graph's parameter set. Adam is the one the
+// paper's TensorFlow training uses implicitly; SGD exists for tests.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace seneca::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update using the accumulated gradients; does NOT zero them.
+  virtual void step(const std::vector<Param*>& params) = 0;
+  virtual void set_learning_rate(float lr) = 0;
+  virtual float learning_rate() const = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.f) : lr_(lr), momentum_(momentum) {}
+  void step(const std::vector<Param*>& params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<TensorF> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-7f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+  void step(const std::vector<Param*>& params) override;
+  void set_learning_rate(float lr) override { lr_ = lr; }
+  float learning_rate() const override { return lr_; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  std::int64_t t_ = 0;
+  std::vector<TensorF> m_;
+  std::vector<TensorF> v_;
+};
+
+}  // namespace seneca::nn

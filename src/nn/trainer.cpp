@@ -1,0 +1,83 @@
+#include "nn/trainer.hpp"
+
+#include <numeric>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace seneca::nn {
+
+TrainReport train(Graph& graph, const Loss& loss,
+                  const std::vector<Sample>& data, const TrainOptions& opts) {
+  TrainReport report;
+  if (data.empty()) return report;
+  Adam optimizer(opts.learning_rate);
+  util::Rng rng(opts.shuffle_seed);
+  util::Timer timer;
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TensorF grad_probs;
+  float lr = opts.learning_rate;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.shuffle(order);
+    optimizer.set_learning_rate(lr);
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const Sample& s = data[idx];
+      const TensorF& probs = graph.forward(s.image, /*training=*/true);
+      if (grad_probs.shape() != probs.shape()) grad_probs = TensorF(probs.shape());
+      const double l = loss.compute(probs, s.labels, grad_probs);
+      epoch_loss += l;
+      graph.zero_grad();
+      graph.backward(grad_probs);
+      optimizer.step(graph.params());
+      ++report.steps;
+    }
+    epoch_loss /= static_cast<double>(data.size());
+    report.epoch_losses.push_back(epoch_loss);
+    if (opts.verbose) {
+      util::log_info() << "epoch " << (epoch + 1) << "/" << opts.epochs
+                       << " loss=" << epoch_loss << " lr=" << lr;
+    }
+    if (opts.on_epoch) opts.on_epoch(epoch, epoch_loss);
+    lr *= opts.lr_decay;
+  }
+  report.wall_seconds = timer.seconds();
+  return report;
+}
+
+double evaluate_loss(Graph& graph, const Loss& loss,
+                     const std::vector<Sample>& data) {
+  if (data.empty()) return 0.0;
+  TensorF grad_probs;
+  double total = 0.0;
+  for (const Sample& s : data) {
+    const TensorF& probs = graph.forward(s.image, /*training=*/false);
+    if (grad_probs.shape() != probs.shape()) grad_probs = TensorF(probs.shape());
+    total += loss.compute(probs, s.labels, grad_probs);
+  }
+  return total / static_cast<double>(data.size());
+}
+
+LabelMap predict_labels(const TensorF& probs) {
+  const auto& shape = probs.shape();
+  const std::int64_t c = shape[shape.rank() - 1];
+  const std::int64_t n = probs.numel() / c;
+  Shape label_shape = (shape.rank() == 3) ? Shape{shape[0], shape[1]}
+                                          : Shape{shape[0], shape[1], shape[2]};
+  LabelMap labels(label_shape);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* p = probs.data() + i * c;
+    std::int32_t best = 0;
+    for (std::int64_t ch = 1; ch < c; ++ch) {
+      if (p[ch] > p[best]) best = static_cast<std::int32_t>(ch);
+    }
+    labels[i] = best;
+  }
+  return labels;
+}
+
+}  // namespace seneca::nn

@@ -1,0 +1,49 @@
+#pragma once
+// Training loop (Fig. 1 step C): single-sample SGD stream with Adam,
+// epoch shuffling, and an optional exponential learning-rate decay. Also
+// hosts the argmax prediction helper used everywhere downstream.
+
+#include <functional>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace seneca::nn {
+
+struct Sample {
+  TensorF image;    // HWC (or DHWC) network input
+  LabelMap labels;  // per-pixel class ids, numel == spatial numel
+};
+
+struct TrainOptions {
+  int epochs = 8;
+  float learning_rate = 1e-3f;
+  float lr_decay = 1.f;  // multiplied into lr after each epoch
+  std::uint64_t shuffle_seed = 7;
+  bool verbose = false;
+  /// Called after each epoch with (epoch, mean loss); may be empty.
+  std::function<void(int, double)> on_epoch;
+};
+
+struct TrainReport {
+  std::vector<double> epoch_losses;  // mean per-sample loss
+  double wall_seconds = 0.0;
+  std::int64_t steps = 0;
+};
+
+/// Trains `graph` in place. Samples are visited once per epoch in shuffled
+/// order; gradients are applied per sample (batch size 1, matching the
+/// single-stream layer contract).
+TrainReport train(Graph& graph, const Loss& loss,
+                  const std::vector<Sample>& data, const TrainOptions& opts);
+
+/// Mean loss over a dataset without updating weights.
+double evaluate_loss(Graph& graph, const Loss& loss,
+                     const std::vector<Sample>& data);
+
+/// Per-pixel argmax over the channel (last) dimension.
+LabelMap predict_labels(const TensorF& probs);
+
+}  // namespace seneca::nn

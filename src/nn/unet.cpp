@@ -1,0 +1,147 @@
+#include "nn/unet.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "nn/layers2d.hpp"
+#include "nn/layers3d.hpp"
+#include "nn/layers_common.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::nn {
+
+namespace {
+std::string stack_name(const char* prefix, int level, const char* op) {
+  return std::string(prefix) + std::to_string(level) + "_" + op;
+}
+}  // namespace
+
+std::unique_ptr<Graph> build_unet2d(const UNet2DConfig& cfg) {
+  if (cfg.input_size % (1ll << cfg.depth) != 0) {
+    throw std::invalid_argument("build_unet2d: input not divisible by 2^depth");
+  }
+  util::Rng rng(cfg.seed);
+  auto graph = std::make_unique<Graph>();
+  int cur = graph->add_input("input",
+                             Shape{cfg.input_size, cfg.input_size, cfg.in_channels});
+
+  auto conv_bn_relu = [&](int in, const std::string& base, std::int64_t ci,
+                          std::int64_t co) {
+    auto conv = std::make_unique<Conv2D>(ci, co);
+    conv->init_he(rng);
+    int id = graph->add(base + "_conv", std::move(conv), {in});
+    id = graph->add(base + "_bn", std::make_unique<BatchNorm>(co), {id});
+    id = graph->add(base + "_relu", std::make_unique<ReLU>(), {id});
+    return id;
+  };
+
+  // Encoder: two conv+BN+ReLU, skip tap, 2x2 max pool, dropout (Fig. 1 / §III-B).
+  std::vector<int> skips;
+  std::int64_t ci = cfg.in_channels;
+  for (int level = 0; level < cfg.depth; ++level) {
+    const std::int64_t f = cfg.base_filters << level;
+    cur = conv_bn_relu(cur, stack_name("enc", level, "a"), ci, f);
+    cur = conv_bn_relu(cur, stack_name("enc", level, "b"), f, f);
+    skips.push_back(cur);
+    cur = graph->add(stack_name("enc", level, "pool"),
+                     std::make_unique<MaxPool2D>(), {cur});
+    cur = graph->add(stack_name("enc", level, "drop"),
+                     std::make_unique<Dropout>(cfg.dropout, cfg.seed + 100 + static_cast<std::uint64_t>(level)),
+                     {cur});
+    ci = f;
+  }
+
+  // Bottleneck.
+  const std::int64_t fb = cfg.base_filters << cfg.depth;
+  cur = conv_bn_relu(cur, "bott_a", ci, fb);
+  cur = conv_bn_relu(cur, "bott_b", fb, fb);
+
+  // Decoder: transposed conv up-sampling, concat with skip, two conv+BN+ReLU.
+  std::int64_t fprev = fb;
+  for (int level = cfg.depth - 1; level >= 0; --level) {
+    const std::int64_t f = cfg.base_filters << level;
+    auto tconv = std::make_unique<TransposedConv2D>(fprev, f);
+    tconv->init_he(rng);
+    cur = graph->add(stack_name("dec", level, "up"), std::move(tconv), {cur});
+    cur = graph->add(stack_name("dec", level, "concat"),
+                     std::make_unique<Concat>(),
+                     {cur, skips[static_cast<std::size_t>(level)]});
+    cur = conv_bn_relu(cur, stack_name("dec", level, "a"), 2 * f, f);
+    cur = conv_bn_relu(cur, stack_name("dec", level, "b"), f, f);
+    cur = graph->add(stack_name("dec", level, "drop"),
+                     std::make_unique<Dropout>(cfg.dropout, cfg.seed + 200 + static_cast<std::uint64_t>(level)),
+                     {cur});
+    fprev = f;
+  }
+
+  // Head: six 3x3 filters + softmax (§III-B).
+  auto head = std::make_unique<Conv2D>(cfg.base_filters, cfg.num_classes);
+  head->init_he(rng);
+  cur = graph->add("head_conv", std::move(head), {cur});
+  cur = graph->add("head_softmax", std::make_unique<Softmax>(), {cur});
+  graph->set_output(cur);
+  return graph;
+}
+
+std::unique_ptr<Graph> build_unet3d(const UNet3DConfig& cfg) {
+  if (cfg.input_size % (1ll << cfg.depth) != 0 ||
+      cfg.depth_vox % (1ll << cfg.depth) != 0) {
+    throw std::invalid_argument("build_unet3d: dims not divisible by 2^depth");
+  }
+  util::Rng rng(cfg.seed);
+  auto graph = std::make_unique<Graph>();
+  int cur = graph->add_input(
+      "input", Shape{cfg.depth_vox, cfg.input_size, cfg.input_size, cfg.in_channels});
+
+  auto conv_bn_relu = [&](int in, const std::string& base, std::int64_t ci,
+                          std::int64_t co) {
+    auto conv = std::make_unique<Conv3D>(ci, co);
+    conv->init_he(rng);
+    int id = graph->add(base + "_conv", std::move(conv), {in});
+    id = graph->add(base + "_bn", std::make_unique<BatchNorm>(co), {id});
+    id = graph->add(base + "_relu", std::make_unique<ReLU>(), {id});
+    return id;
+  };
+
+  std::vector<int> skips;
+  std::int64_t ci = cfg.in_channels;
+  for (int level = 0; level < cfg.depth; ++level) {
+    const std::int64_t f = cfg.base_filters << level;
+    cur = conv_bn_relu(cur, stack_name("enc", level, "a"), ci, f);
+    cur = conv_bn_relu(cur, stack_name("enc", level, "b"), f, f);
+    skips.push_back(cur);
+    cur = graph->add(stack_name("enc", level, "pool"),
+                     std::make_unique<MaxPool3D>(), {cur});
+    cur = graph->add(stack_name("enc", level, "drop"),
+                     std::make_unique<Dropout>(cfg.dropout, cfg.seed + 100 + static_cast<std::uint64_t>(level)),
+                     {cur});
+    ci = f;
+  }
+
+  const std::int64_t fb = cfg.base_filters << cfg.depth;
+  cur = conv_bn_relu(cur, "bott_a", ci, fb);
+  cur = conv_bn_relu(cur, "bott_b", fb, fb);
+
+  std::int64_t fprev = fb;
+  for (int level = cfg.depth - 1; level >= 0; --level) {
+    const std::int64_t f = cfg.base_filters << level;
+    auto tconv = std::make_unique<TransposedConv3D>(fprev, f);
+    tconv->init_he(rng);
+    cur = graph->add(stack_name("dec", level, "up"), std::move(tconv), {cur});
+    cur = graph->add(stack_name("dec", level, "concat"),
+                     std::make_unique<Concat>(),
+                     {cur, skips[static_cast<std::size_t>(level)]});
+    cur = conv_bn_relu(cur, stack_name("dec", level, "a"), 2 * f, f);
+    cur = conv_bn_relu(cur, stack_name("dec", level, "b"), f, f);
+    fprev = f;
+  }
+
+  auto head = std::make_unique<Conv3D>(cfg.base_filters, cfg.num_classes);
+  head->init_he(rng);
+  cur = graph->add("head_conv", std::move(head), {cur});
+  cur = graph->add("head_softmax", std::make_unique<Softmax>(), {cur});
+  graph->set_output(cur);
+  return graph;
+}
+
+}  // namespace seneca::nn

@@ -1,0 +1,50 @@
+#pragma once
+// U-Net builders (Section III-B). The 2D builder produces the SENECA model
+// family of Table II parameterized by depth (encoder stacks) and base filter
+// count; the 3D builder produces the CT-ORG comparator of Table V.
+//
+// A config with depth=4 yields the paper's "9 layer" network
+// (4 encoder stacks + bottleneck + 4 decoder stacks); depth=5 yields the
+// "11 layer" one.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nn/graph.hpp"
+
+namespace seneca::nn {
+
+struct UNet2DConfig {
+  std::string name = "unet";
+  std::int64_t input_size = 256;   // square input, H == W
+  std::int64_t in_channels = 1;    // grayscale CT
+  std::int64_t num_classes = 6;    // 5 organs + background
+  int depth = 4;                   // encoder stacks; 2*depth+1 "layers"
+  std::int64_t base_filters = 8;   // filters of the first stack, doubling down
+  float dropout = 0.1f;
+  std::uint64_t seed = 42;
+
+  /// Paper nomenclature: stacks along the encode-bottleneck-decode path.
+  int layers() const { return 2 * depth + 1; }
+};
+
+/// Builds (and He-initializes) the full 2D U-Net graph, output = softmax
+/// probability maps of shape [S, S, num_classes].
+std::unique_ptr<Graph> build_unet2d(const UNet2DConfig& cfg);
+
+struct UNet3DConfig {
+  std::string name = "unet3d";
+  std::int64_t depth_vox = 32;  // volume D
+  std::int64_t input_size = 64; // H == W
+  std::int64_t in_channels = 1;
+  std::int64_t num_classes = 6;
+  int depth = 3;
+  std::int64_t base_filters = 8;
+  float dropout = 0.1f;
+  std::uint64_t seed = 42;
+};
+
+std::unique_ptr<Graph> build_unet3d(const UNet3DConfig& cfg);
+
+}  // namespace seneca::nn

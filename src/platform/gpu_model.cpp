@@ -1,0 +1,85 @@
+#include "platform/gpu_model.hpp"
+
+#include "nn/layers2d.hpp"
+#include "nn/layers3d.hpp"
+
+namespace seneca::platform {
+
+namespace {
+
+struct OpCost {
+  double flops = 0.0;
+  double bytes = 0.0;
+};
+
+OpCost node_cost(nn::Graph& graph, int id) {
+  const auto& node = graph.node(id);
+  OpCost cost;
+  if (!node.layer) return cost;
+  const double out_numel = static_cast<double>(node.shape.numel());
+  double in_numel = 0.0;
+  for (int in : node.inputs) {
+    in_numel += static_cast<double>(graph.node(in).shape.numel());
+  }
+  cost.bytes = 4.0 * (in_numel + out_numel);
+
+  const std::string type = node.layer->type();
+  const auto& in_shape = graph.node(node.inputs[0]).shape;
+  if (type == "conv2d") {
+    auto* conv = dynamic_cast<nn::Conv2D*>(node.layer.get());
+    const double k = static_cast<double>(conv->kernel());
+    cost.flops = 2.0 * out_numel * k * k * static_cast<double>(in_shape[2]);
+    cost.bytes += 4.0 * static_cast<double>(conv->weight().value.numel());
+  } else if (type == "tconv2d") {
+    auto* conv = dynamic_cast<nn::TransposedConv2D*>(node.layer.get());
+    const double k = static_cast<double>(conv->kernel());
+    cost.flops = 2.0 * out_numel * k * k * static_cast<double>(in_shape[2]) / 4.0;
+    cost.bytes += 4.0 * static_cast<double>(conv->weight().value.numel());
+  } else if (type == "conv3d") {
+    auto* conv = dynamic_cast<nn::Conv3D*>(node.layer.get());
+    const double k = static_cast<double>(conv->kernel());
+    cost.flops = 2.0 * out_numel * k * k * k * static_cast<double>(in_shape[3]);
+  } else if (type == "tconv3d") {
+    cost.flops = 2.0 * out_numel * 27.0 * static_cast<double>(in_shape[3]) / 8.0;
+  } else if (type == "batchnorm") {
+    cost.flops = 2.0 * out_numel;
+  } else {
+    cost.flops = out_numel;  // relu/pool/concat/softmax/dropout: ~1 op/elem
+  }
+  return cost;
+}
+
+}  // namespace
+
+double GpuModel::graph_flops(nn::Graph& graph) {
+  double flops = 0.0;
+  for (std::size_t id = 0; id < graph.num_nodes(); ++id) {
+    flops += node_cost(graph, static_cast<int>(id)).flops;
+  }
+  return flops;
+}
+
+double GpuModel::graph_bytes(nn::Graph& graph) {
+  double bytes = 0.0;
+  for (std::size_t id = 0; id < graph.num_nodes(); ++id) {
+    bytes += node_cost(graph, static_cast<int>(id)).bytes;
+  }
+  return bytes;
+}
+
+double GpuModel::inference_seconds(nn::Graph& graph) const {
+  double seconds = host_transfer_ms * 1e-3;
+  for (std::size_t id = 0; id < graph.num_nodes(); ++id) {
+    const auto& node = graph.node(static_cast<int>(id));
+    if (!node.layer) continue;
+    // Keras inference drops dropout nodes entirely.
+    if (node.layer->type() == "dropout") continue;
+    const OpCost cost = node_cost(graph, static_cast<int>(id));
+    const double compute_s = cost.flops / (effective_tflops * 1e12);
+    const double memory_s = cost.bytes / (effective_bandwidth_gbs * 1e9);
+    seconds += op_overhead_ms * 1e-3 + std::max(compute_s, memory_s);
+  }
+  return seconds;
+}
+
+}  // namespace seneca::platform

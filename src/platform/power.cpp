@@ -1,0 +1,20 @@
+#include "platform/power.hpp"
+
+#include <cmath>
+
+namespace seneca::platform {
+
+void EnergyLogger::log_phase(double watts, double seconds) {
+  // The meter integrates discrete samples; each sample reads the true power
+  // plus a small relative jitter.
+  double remaining = seconds;
+  while (remaining > 0.0) {
+    const double dt = std::min(period_, remaining);
+    const double sample = watts * (1.0 + jitter_ * rng_.gauss());
+    joules_ += sample * dt;
+    remaining -= dt;
+  }
+  seconds_ += seconds;
+}
+
+}  // namespace seneca::platform

@@ -1,0 +1,158 @@
+#include "quant/pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace seneca::quant {
+
+namespace {
+
+/// L1 norm of each output filter of a conv weight tensor [K][K][Cin][Cout].
+std::vector<double> filter_l1(const tensor::TensorF& w, std::int64_t co) {
+  std::vector<double> norms(static_cast<std::size_t>(co), 0.0);
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    norms[static_cast<std::size_t>(i % co)] += std::fabs(w[i]);
+  }
+  return norms;
+}
+
+std::vector<std::int64_t> top_filters(const std::vector<double>& norms,
+                                      std::int64_t keep_count) {
+  std::vector<std::int64_t> order(norms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return norms[static_cast<std::size_t>(a)] > norms[static_cast<std::size_t>(b)];
+  });
+  order.resize(static_cast<std::size_t>(keep_count));
+  std::sort(order.begin(), order.end());  // preserve channel order
+  return order;
+}
+
+std::int64_t op_macs(const FGraph& fg, const FOp& op) {
+  if (op.kind != OpKind::kConv2D && op.kind != OpKind::kTConv2D) return 0;
+  const auto& in_shape = fg.ops[static_cast<std::size_t>(op.inputs[0])].out_shape;
+  const std::int64_t k = op.kernel;
+  const std::int64_t macs = op.out_shape[0] * op.out_shape[1] * k * k *
+                            in_shape[2] * op.out_shape[2];
+  return op.kind == OpKind::kTConv2D ? macs / 4 : macs;
+}
+
+}  // namespace
+
+std::int64_t fgraph_macs(const FGraph& fg) {
+  std::int64_t macs = 0;
+  for (const auto& op : fg.ops) macs += op_macs(fg, op);
+  return macs;
+}
+
+FGraph prune(const FGraph& fg, const PruneOptions& opts, PruneReport* report) {
+  if (opts.fraction < 0.0 || opts.fraction >= 1.0) {
+    throw std::invalid_argument("prune: fraction must be in [0, 1)");
+  }
+  FGraph out;
+  out.ops.resize(fg.ops.size());
+  out.input_op = fg.input_op;
+  out.output_op = fg.output_op;
+
+  // Surviving output channels of each op, in ORIGINAL index space.
+  std::vector<std::vector<std::int64_t>> keep(fg.ops.size());
+
+  for (std::size_t id = 0; id < fg.ops.size(); ++id) {
+    const FOp& src = fg.ops[id];
+    FOp& dst = out.ops[id];
+    dst.kind = src.kind;
+    dst.name = src.name;
+    dst.inputs = src.inputs;
+    dst.kernel = src.kernel;
+    dst.relu = src.relu;
+
+    switch (src.kind) {
+      case OpKind::kInput: {
+        const std::int64_t c = src.out_shape[2];
+        keep[id].resize(static_cast<std::size_t>(c));
+        std::iota(keep[id].begin(), keep[id].end(), 0);
+        dst.out_shape = src.out_shape;
+        break;
+      }
+      case OpKind::kMaxPool2D: {
+        keep[id] = keep[static_cast<std::size_t>(src.inputs[0])];
+        const auto& in_shape =
+            out.ops[static_cast<std::size_t>(src.inputs[0])].out_shape;
+        dst.out_shape = tensor::Shape{src.out_shape[0], src.out_shape[1],
+                                      in_shape[2]};
+        break;
+      }
+      case OpKind::kConcat: {
+        const auto& ka = keep[static_cast<std::size_t>(src.inputs[0])];
+        const auto& kb = keep[static_cast<std::size_t>(src.inputs[1])];
+        const std::int64_t ca_original =
+            fg.ops[static_cast<std::size_t>(src.inputs[0])].out_shape[2];
+        keep[id] = ka;
+        for (std::int64_t j : kb) keep[id].push_back(ca_original + j);
+        dst.out_shape = tensor::Shape{
+            src.out_shape[0], src.out_shape[1],
+            static_cast<std::int64_t>(keep[id].size())};
+        break;
+      }
+      case OpKind::kConv2D:
+      case OpKind::kTConv2D: {
+        const std::int64_t co = src.out_shape[2];
+        const bool is_head = static_cast<int>(id) == fg.output_op;
+        std::vector<std::int64_t> kept_out;
+        if (is_head) {
+          kept_out.resize(static_cast<std::size_t>(co));
+          std::iota(kept_out.begin(), kept_out.end(), 0);
+        } else {
+          const auto target = static_cast<std::int64_t>(
+              std::llround((1.0 - opts.fraction) * static_cast<double>(co)));
+          const std::int64_t keep_count =
+              std::max(opts.min_filters, std::max<std::int64_t>(1, target));
+          kept_out = top_filters(filter_l1(src.weights, co),
+                                 std::min(keep_count, co));
+        }
+        const auto& kept_in = keep[static_cast<std::size_t>(src.inputs[0])];
+        const std::int64_t k = src.kernel;
+        const std::int64_t ci_old = src.weights.shape()[2];
+        const auto ci_new = static_cast<std::int64_t>(kept_in.size());
+        const auto co_new = static_cast<std::int64_t>(kept_out.size());
+        dst.weights = tensor::TensorF(tensor::Shape{k, k, ci_new, co_new});
+        for (std::int64_t ky = 0; ky < k; ++ky) {
+          for (std::int64_t kx = 0; kx < k; ++kx) {
+            for (std::int64_t ci = 0; ci < ci_new; ++ci) {
+              const std::int64_t ci_src = kept_in[static_cast<std::size_t>(ci)];
+              for (std::int64_t o = 0; o < co_new; ++o) {
+                const std::int64_t o_src = kept_out[static_cast<std::size_t>(o)];
+                dst.weights[((ky * k + kx) * ci_new + ci) * co_new + o] =
+                    src.weights[((ky * k + kx) * ci_old + ci_src) * co + o_src];
+              }
+            }
+          }
+        }
+        dst.bias = tensor::TensorF(tensor::Shape{co_new});
+        for (std::int64_t o = 0; o < co_new; ++o) {
+          dst.bias[o] = src.bias[kept_out[static_cast<std::size_t>(o)]];
+        }
+        dst.out_shape =
+            tensor::Shape{src.out_shape[0], src.out_shape[1], co_new};
+        keep[id] = std::move(kept_out);
+        break;
+      }
+    }
+  }
+
+  if (report) {
+    report->weights_before = 0;
+    report->weights_after = 0;
+    for (std::size_t id = 0; id < fg.ops.size(); ++id) {
+      report->weights_before += fg.ops[id].weights.numel();
+      report->weights_after += out.ops[id].weights.numel();
+    }
+    report->macs_before = fgraph_macs(fg);
+    report->macs_after = fgraph_macs(out);
+  }
+  return out;
+}
+
+}  // namespace seneca::quant

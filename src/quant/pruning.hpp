@@ -1,0 +1,54 @@
+#pragma once
+// Structured (filter-level) magnitude pruning — the paper's stated future
+// work ("we will evaluate some pruning techniques to additionally improve
+// throughput and energy efficiency", §V).
+//
+// prune() physically REMOVES the lowest-L1 output filters of every hidden
+// convolution in a folded graph and compacts the consumers' weights
+// accordingly, so the pruned network is genuinely smaller and faster on the
+// DPU (fewer channel groups on the hybrid array, less DDR traffic), not
+// just sparser. Skip connections are handled by propagating the surviving-
+// channel maps through pools and concats.
+
+#include <vector>
+
+#include "quant/fgraph.hpp"
+
+namespace seneca::quant {
+
+struct PruneOptions {
+  /// Fraction of output filters removed per hidden conv/tconv (the head
+  /// conv, which produces the class maps, is never pruned).
+  double fraction = 0.25;
+  /// Keep at least this many filters per layer.
+  std::int64_t min_filters = 2;
+};
+
+struct PruneReport {
+  std::int64_t weights_before = 0;
+  std::int64_t weights_after = 0;
+  std::int64_t macs_before = 0;   // analytic conv MACs of the graph
+  std::int64_t macs_after = 0;
+  double weight_reduction() const {
+    return weights_before > 0
+               ? 1.0 - static_cast<double>(weights_after) /
+                           static_cast<double>(weights_before)
+               : 0.0;
+  }
+  double mac_reduction() const {
+    return macs_before > 0
+               ? 1.0 - static_cast<double>(macs_after) /
+                           static_cast<double>(macs_before)
+               : 0.0;
+  }
+};
+
+/// Magnitude-pruned copy of `fg`. The result is a valid FGraph: forward(),
+/// quantize() and dpu::compile() work on it unchanged.
+FGraph prune(const FGraph& fg, const PruneOptions& opts,
+             PruneReport* report = nullptr);
+
+/// Analytic conv/tconv MAC count of a folded graph (helper for reports).
+std::int64_t fgraph_macs(const FGraph& fg);
+
+}  // namespace seneca::quant

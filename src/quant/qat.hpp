@@ -1,0 +1,33 @@
+#pragma once
+// Quantization-aware training (the third Vitis AI mode, §III-D): a few
+// fine-tuning epochs where convolution weights are snapped to their INT8
+// power-of-two grid during the forward/backward pass, with gradients applied
+// to the float shadow weights (straight-through estimator). Requires the
+// labelled training set, which is why the paper calls it the most expensive
+// option — and why PTQ wins in practice (ablation_quantization_modes).
+
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+
+namespace seneca::quant {
+
+struct QatOptions {
+  int epochs = 2;
+  float learning_rate = 2e-4f;
+  std::uint64_t shuffle_seed = 77;
+};
+
+/// Fine-tunes `graph` in place with fake-quantized weights. Returns the mean
+/// loss of the final epoch. After this, quantize() on the folded graph
+/// produces the deployable model as usual.
+double qat_finetune(nn::Graph& graph, const nn::Loss& loss,
+                    const std::vector<nn::Sample>& data,
+                    const QatOptions& opts = {});
+
+/// Snaps a float tensor to its INT8 power-of-two grid in place (fake quant).
+void fake_quantize(tensor::TensorF& t);
+
+}  // namespace seneca::quant

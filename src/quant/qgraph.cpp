@@ -1,0 +1,226 @@
+#include "quant/qgraph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace seneca::quant {
+
+TensorI8 quantize_tensor(const TensorF& x, int fix_pos) {
+  TensorI8 q(x.shape());
+  const double scale = std::ldexp(1.0, fix_pos);  // 2^fix_pos
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const double v = std::nearbyint(static_cast<double>(x[i]) * scale);
+    q[i] = saturate_i8(static_cast<std::int64_t>(v));
+  }
+  return q;
+}
+
+TensorF dequantize_tensor(const TensorI8& q, int fix_pos) {
+  TensorF x(q.shape());
+  const float scale = std::ldexp(1.0f, -fix_pos);
+  for (std::int64_t i = 0; i < q.numel(); ++i) {
+    x[i] = static_cast<float>(q[i]) * scale;
+  }
+  return x;
+}
+
+double quantization_mse(const TensorF& x, int fix_pos) {
+  const double scale = std::ldexp(1.0, fix_pos);
+  const double inv = 1.0 / scale;
+  double mse = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const double q = static_cast<double>(
+        saturate_i8(static_cast<std::int64_t>(std::nearbyint(x[i] * scale))));
+    const double err = q * inv - x[i];
+    mse += err * err;
+  }
+  return x.numel() ? mse / static_cast<double>(x.numel()) : 0.0;
+}
+
+int choose_fix_pos(const TensorF& x) {
+  const float m = tensor::max_abs(x);
+  if (m <= 0.f) return 7;
+  // Largest fp with 127*2^-fp >= m, i.e. fp = floor(log2(127/m)).
+  int fp = static_cast<int>(std::floor(std::log2(127.0 / m)));
+  // The next position up halves the step but clips the extremes; keep
+  // whichever has lower MSE (Vitis AI quantizer's calibration refinement).
+  const double mse0 = quantization_mse(x, fp);
+  const double mse1 = quantization_mse(x, fp + 1);
+  if (mse1 < mse0) ++fp;
+  return fp;
+}
+
+void qconv2d_forward(const TensorI8& x, const QOp& op, TensorI8& out,
+                     int fix_pos_in) {
+  const std::int64_t h = x.shape()[0];
+  const std::int64_t w = x.shape()[1];
+  const std::int64_t ci = x.shape()[2];
+  const std::int64_t k = op.kernel;
+  const std::int64_t co = op.out_shape[2];
+  const std::int64_t pad = k / 2;
+  const int shift = fix_pos_in + op.fix_pos_w - op.fix_pos_out;
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(co));
+
+  for (std::int64_t oy = 0; oy < h; ++oy) {
+    for (std::int64_t ox = 0; ox < w; ++ox) {
+      for (std::int64_t o = 0; o < co; ++o) acc[static_cast<std::size_t>(o)] = op.bias[static_cast<std::size_t>(o)];
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t iy = oy + ky - pad;
+        if (iy < 0 || iy >= h) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t ix = ox + kx - pad;
+          if (ix < 0 || ix >= w) continue;
+          const std::int8_t* px = x.data() + (iy * w + ix) * ci;
+          const std::int8_t* pw = op.weights.data() + ((ky * k + kx) * ci) * co;
+          for (std::int64_t c = 0; c < ci; ++c) {
+            const std::int32_t xv = px[c];
+            if (xv == 0) continue;
+            const std::int8_t* pwc = pw + c * co;
+            for (std::int64_t o = 0; o < co; ++o) {
+              acc[static_cast<std::size_t>(o)] += xv * pwc[o];
+            }
+          }
+        }
+      }
+      std::int8_t* po = out.data() + (oy * w + ox) * co;
+      for (std::int64_t o = 0; o < co; ++o) {
+        std::int64_t v = rshift_round(acc[static_cast<std::size_t>(o)], shift);
+        if (op.relu && v < 0) v = 0;
+        po[o] = saturate_i8(v);
+      }
+    }
+  }
+}
+
+void qtconv2d_forward(const TensorI8& x, const QOp& op, TensorI8& out,
+                      int fix_pos_in) {
+  const std::int64_t h = x.shape()[0];
+  const std::int64_t w = x.shape()[1];
+  const std::int64_t ci = x.shape()[2];
+  const std::int64_t k = op.kernel;
+  const std::int64_t co = op.out_shape[2];
+  const std::int64_t oh = h * 2, ow = w * 2;
+  const int shift = fix_pos_in + op.fix_pos_w - op.fix_pos_out;
+
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(oh * ow * co));
+  for (std::int64_t i = 0; i < oh * ow; ++i) {
+    for (std::int64_t o = 0; o < co; ++o) {
+      acc[static_cast<std::size_t>(i * co + o)] = op.bias[static_cast<std::size_t>(o)];
+    }
+  }
+  for (std::int64_t iy = 0; iy < h; ++iy) {
+    for (std::int64_t ix = 0; ix < w; ++ix) {
+      const std::int8_t* px = x.data() + (iy * w + ix) * ci;
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const std::int64_t oy = 2 * iy - 1 + ky;
+        if (oy < 0 || oy >= oh) continue;
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::int64_t ox = 2 * ix - 1 + kx;
+          if (ox < 0 || ox >= ow) continue;
+          std::int64_t* pa = acc.data() + (oy * ow + ox) * co;
+          const std::int8_t* pw = op.weights.data() + ((ky * k + kx) * ci) * co;
+          for (std::int64_t c = 0; c < ci; ++c) {
+            const std::int32_t xv = px[c];
+            if (xv == 0) continue;
+            const std::int8_t* pwc = pw + c * co;
+            for (std::int64_t o = 0; o < co; ++o) pa[o] += xv * pwc[o];
+          }
+        }
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < oh * ow * co; ++i) {
+    std::int64_t v = rshift_round(acc[static_cast<std::size_t>(i)], shift);
+    if (op.relu && v < 0) v = 0;
+    out[i] = saturate_i8(v);
+  }
+}
+
+void qmaxpool2d_forward(const TensorI8& x, TensorI8& out) {
+  const std::int64_t h = x.shape()[0];
+  const std::int64_t w = x.shape()[1];
+  const std::int64_t c = x.shape()[2];
+  const std::int64_t ow = w / 2;
+  for (std::int64_t oy = 0; oy < h / 2; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      std::int8_t* po = out.data() + (oy * ow + ox) * c;
+      const std::int8_t* p00 = x.data() + ((2 * oy) * w + 2 * ox) * c;
+      const std::int8_t* p01 = p00 + c;
+      const std::int8_t* p10 = x.data() + ((2 * oy + 1) * w + 2 * ox) * c;
+      const std::int8_t* p11 = p10 + c;
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        po[ch] = std::max(std::max(p00[ch], p01[ch]), std::max(p10[ch], p11[ch]));
+      }
+    }
+  }
+}
+
+void qconcat_forward(const TensorI8& a, int fp_a, const TensorI8& b, int fp_b,
+                     TensorI8& out, int fp_out) {
+  const std::int64_t ca = a.shape()[2];
+  const std::int64_t cb = b.shape()[2];
+  const std::int64_t rows = a.numel() / ca;
+  const int sa = fp_a - fp_out;
+  const int sb = fp_b - fp_out;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int8_t* po = out.data() + r * (ca + cb);
+    const std::int8_t* pa = a.data() + r * ca;
+    const std::int8_t* pb = b.data() + r * cb;
+    for (std::int64_t ch = 0; ch < ca; ++ch) {
+      po[ch] = saturate_i8(rshift_round(pa[ch], sa));
+    }
+    for (std::int64_t ch = 0; ch < cb; ++ch) {
+      po[ca + ch] = saturate_i8(rshift_round(pb[ch], sb));
+    }
+  }
+}
+
+TensorI8 QGraph::forward(const TensorI8& input,
+                         std::vector<TensorI8>* activations) const {
+  std::vector<TensorI8> acts(ops.size());
+  std::vector<int> fps(ops.size(), 0);
+  acts[static_cast<std::size_t>(input_op)] = input;
+  fps[static_cast<std::size_t>(input_op)] = input_fix_pos;
+
+  for (std::size_t id = 0; id < ops.size(); ++id) {
+    const QOp& op = ops[id];
+    if (op.kind == QOpKind::kInput) continue;
+    const auto in0 = static_cast<std::size_t>(op.inputs[0]);
+    TensorI8 out(op.out_shape);
+    switch (op.kind) {
+      case QOpKind::kConv2D:
+        qconv2d_forward(acts[in0], op, out, fps[in0]);
+        break;
+      case QOpKind::kTConv2D:
+        qtconv2d_forward(acts[in0], op, out, fps[in0]);
+        break;
+      case QOpKind::kMaxPool2D:
+        qmaxpool2d_forward(acts[in0], out);
+        break;
+      case QOpKind::kConcat: {
+        const auto in1 = static_cast<std::size_t>(op.inputs[1]);
+        qconcat_forward(acts[in0], fps[in0], acts[in1], fps[in1], out,
+                        op.fix_pos_out);
+        break;
+      }
+      default:
+        throw std::logic_error("QGraph::forward: bad op");
+    }
+    acts[id] = std::move(out);
+    fps[id] = (op.kind == QOpKind::kMaxPool2D) ? fps[in0] : op.fix_pos_out;
+  }
+  TensorI8 result = acts[static_cast<std::size_t>(output_op)];
+  if (activations) *activations = std::move(acts);
+  return result;
+}
+
+std::int64_t QGraph::weight_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& op : ops) {
+    bytes += op.weights.numel();
+    bytes += static_cast<std::int64_t>(op.bias.size()) * 4;
+  }
+  return bytes;
+}
+
+}  // namespace seneca::quant

@@ -1,0 +1,271 @@
+#include "quant/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace seneca::quant {
+
+namespace {
+
+/// MSE of quantizing each stored activation sample at fix_pos.
+double sample_mse(const std::vector<TensorF>& samples, int fix_pos) {
+  double mse = 0.0;
+  for (const auto& t : samples) mse += quantization_mse(t, fix_pos);
+  return samples.empty() ? 0.0 : mse / static_cast<double>(samples.size());
+}
+
+int pick_fix_pos(float max_abs_value, const std::vector<TensorF>& samples) {
+  if (max_abs_value <= 0.f) return 7;
+  int fp = static_cast<int>(std::floor(std::log2(127.0 / max_abs_value)));
+  if (!samples.empty() && sample_mse(samples, fp + 1) < sample_mse(samples, fp)) {
+    ++fp;
+  }
+  return fp;
+}
+
+}  // namespace
+
+ActivationStats calibrate(const FGraph& fg,
+                          const std::vector<TensorF>& calibration,
+                          std::size_t max_images) {
+  if (calibration.empty()) {
+    throw std::invalid_argument("calibrate: empty calibration set");
+  }
+  const std::size_t n = std::min(calibration.size(), max_images);
+  // Keep full activations of the first few images for MSE refinement.
+  const std::size_t kept = std::min<std::size_t>(n, 4);
+
+  std::vector<float> max_abs(fg.ops.size(), 0.f);
+  float input_max = 0.f;
+  std::vector<std::vector<TensorF>> samples(fg.ops.size());
+  std::vector<TensorF> input_samples;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<TensorF> acts;
+    fg.forward(calibration[i], &acts);
+    input_max = std::max(input_max, tensor::max_abs(calibration[i]));
+    for (std::size_t op = 0; op < fg.ops.size(); ++op) {
+      max_abs[op] = std::max(max_abs[op], tensor::max_abs(acts[op]));
+      if (i < kept) samples[op].push_back(acts[op]);
+    }
+    if (i < kept) input_samples.push_back(calibration[i]);
+  }
+
+  ActivationStats stats;
+  stats.fix_pos.resize(fg.ops.size());
+  for (std::size_t op = 0; op < fg.ops.size(); ++op) {
+    stats.fix_pos[op] = pick_fix_pos(max_abs[op], samples[op]);
+  }
+  stats.input_fix_pos = pick_fix_pos(input_max, input_samples);
+  return stats;
+}
+
+namespace {
+
+/// Effective activation fix position of op `id`, with max-pool inheriting
+/// its producer's position (max of int8 values is scale-preserving).
+int effective_fp(const FGraph& fg, const ActivationStats& stats, int id) {
+  const FOp& op = fg.ops[static_cast<std::size_t>(id)];
+  if (op.kind == OpKind::kInput) return stats.input_fix_pos;
+  if (op.kind == OpKind::kMaxPool2D) {
+    return effective_fp(fg, stats, op.inputs[0]);
+  }
+  return stats.fix_pos[static_cast<std::size_t>(id)];
+}
+
+QGraph build_qgraph(const FGraph& fg, const ActivationStats& stats) {
+  QGraph qg;
+  qg.input_fix_pos = stats.input_fix_pos;
+  qg.input_shape = fg.ops[static_cast<std::size_t>(fg.input_op)].out_shape;
+  qg.ops.resize(fg.ops.size());
+
+  for (std::size_t id = 0; id < fg.ops.size(); ++id) {
+    const FOp& fop = fg.ops[id];
+    QOp& qop = qg.ops[id];
+    qop.name = fop.name;
+    qop.inputs = fop.inputs;
+    qop.out_shape = fop.out_shape;
+    switch (fop.kind) {
+      case OpKind::kInput:
+        qop.kind = QOpKind::kInput;
+        qop.fix_pos_out = stats.input_fix_pos;
+        break;
+      case OpKind::kMaxPool2D:
+        qop.kind = QOpKind::kMaxPool2D;
+        qop.fix_pos_out = effective_fp(fg, stats, static_cast<int>(id));
+        break;
+      case OpKind::kConcat:
+        qop.kind = QOpKind::kConcat;
+        qop.fix_pos_out = stats.fix_pos[id];
+        break;
+      case OpKind::kConv2D:
+      case OpKind::kTConv2D: {
+        qop.kind = (fop.kind == OpKind::kConv2D) ? QOpKind::kConv2D
+                                                 : QOpKind::kTConv2D;
+        qop.kernel = fop.kernel;
+        qop.relu = fop.relu;
+        qop.fix_pos_out = stats.fix_pos[id];
+        qop.fix_pos_w = choose_fix_pos(fop.weights);
+        qop.weights = quantize_tensor(fop.weights, qop.fix_pos_w);
+        const int fp_in = effective_fp(fg, stats, fop.inputs[0]);
+        const double bias_scale = std::ldexp(1.0, fp_in + qop.fix_pos_w);
+        qop.bias.resize(static_cast<std::size_t>(fop.bias.numel()));
+        for (std::int64_t c = 0; c < fop.bias.numel(); ++c) {
+          qop.bias[static_cast<std::size_t>(c)] = static_cast<std::int32_t>(
+              std::llround(static_cast<double>(fop.bias[c]) * bias_scale));
+        }
+        break;
+      }
+    }
+  }
+  qg.input_op = fg.input_op;
+  qg.output_op = fg.output_op;
+  return qg;
+}
+
+/// AdaQuant-style fast finetuning: walks conv ops in order, re-picks the
+/// weight fix position by measured output MSE and applies per-channel bias
+/// correction, propagating corrected INT8 activations forward.
+void fast_finetune(QGraph& qg, const FGraph& fg,
+                   const std::vector<TensorF>& calibration) {
+  const std::size_t n = std::min<std::size_t>(calibration.size(), 4);
+  if (n == 0) return;
+
+  // Reference float activations and evolving int activations per image.
+  std::vector<std::vector<TensorF>> facts(n);
+  std::vector<std::vector<TensorI8>> qacts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fg.forward(calibration[i], &facts[i]);
+    qg.forward(quantize_tensor(calibration[i], qg.input_fix_pos), &qacts[i]);
+  }
+
+  auto input_fp = [&](const QOp& op) {
+    const QOp& producer = qg.ops[static_cast<std::size_t>(op.inputs[0])];
+    return producer.fix_pos_out;
+  };
+
+  for (std::size_t id = 0; id < qg.ops.size(); ++id) {
+    QOp& op = qg.ops[id];
+    if (op.kind != QOpKind::kConv2D && op.kind != QOpKind::kTConv2D) continue;
+    const FOp& fop = fg.ops[id];
+    const int fp_in = input_fp(op);
+    const std::int64_t co = op.out_shape[2];
+
+    // 1) Try neighbouring weight fix positions; keep the MSE-minimizing one.
+    const int base_fp = op.fix_pos_w;
+    double best_mse = -1.0;
+    int best_fp = base_fp;
+    TensorI8 best_weights;
+    for (int cand = base_fp - 1; cand <= base_fp + 1; ++cand) {
+      TensorI8 qw = quantize_tensor(fop.weights, cand);
+      QOp trial = op;
+      trial.fix_pos_w = cand;
+      trial.weights = qw;
+      const double bias_rescale = std::ldexp(1.0, cand - base_fp);
+      for (std::size_t c = 0; c < trial.bias.size(); ++c) {
+        trial.bias[c] = static_cast<std::int32_t>(
+            std::llround(static_cast<double>(op.bias[c]) * bias_rescale));
+      }
+      double mse = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const TensorI8& qin = qacts[i][static_cast<std::size_t>(op.inputs[0])];
+        TensorI8 qout(op.out_shape);
+        if (op.kind == QOpKind::kConv2D) {
+          qconv2d_forward(qin, trial, qout, fp_in);
+        } else {
+          qtconv2d_forward(qin, trial, qout, fp_in);
+        }
+        const TensorF deq = dequantize_tensor(qout, op.fix_pos_out);
+        const TensorF& ref = facts[i][id];
+        for (std::int64_t e = 0; e < deq.numel(); ++e) {
+          const double d = deq[e] - ref[e];
+          mse += d * d;
+        }
+      }
+      if (best_mse < 0.0 || mse < best_mse) {
+        best_mse = mse;
+        best_fp = cand;
+        best_weights = std::move(qw);
+      }
+    }
+    if (best_fp != base_fp) {
+      const double bias_rescale = std::ldexp(1.0, best_fp - base_fp);
+      for (std::size_t c = 0; c < op.bias.size(); ++c) {
+        op.bias[c] = static_cast<std::int32_t>(
+            std::llround(static_cast<double>(op.bias[c]) * bias_rescale));
+      }
+      op.fix_pos_w = best_fp;
+      op.weights = std::move(best_weights);
+    }
+
+    // 2) Per-channel bias correction from the mean residual (skipped when a
+    //    fused ReLU clips the residual asymmetrically at zero).
+    if (!op.relu) {
+      std::vector<double> residual(static_cast<std::size_t>(co), 0.0);
+      std::int64_t rows_total = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const TensorI8& qin = qacts[i][static_cast<std::size_t>(op.inputs[0])];
+        TensorI8 qout(op.out_shape);
+        if (op.kind == QOpKind::kConv2D) {
+          qconv2d_forward(qin, op, qout, fp_in);
+        } else {
+          qtconv2d_forward(qin, op, qout, fp_in);
+        }
+        const TensorF deq = dequantize_tensor(qout, op.fix_pos_out);
+        const TensorF& ref = facts[i][id];
+        const std::int64_t rows = deq.numel() / co;
+        rows_total += rows;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          for (std::int64_t c = 0; c < co; ++c) {
+            residual[static_cast<std::size_t>(c)] +=
+                ref[r * co + c] - deq[r * co + c];
+          }
+        }
+      }
+      const double acc_scale = std::ldexp(1.0, fp_in + op.fix_pos_w);
+      for (std::int64_t c = 0; c < co; ++c) {
+        const double mean_r =
+            residual[static_cast<std::size_t>(c)] / static_cast<double>(rows_total);
+        op.bias[static_cast<std::size_t>(c)] += static_cast<std::int32_t>(
+            std::llround(mean_r * acc_scale));
+      }
+    }
+
+    // 3) Refresh this op's int activations for downstream layers.
+    for (std::size_t i = 0; i < n; ++i) {
+      const TensorI8& qin = qacts[i][static_cast<std::size_t>(op.inputs[0])];
+      TensorI8 qout(op.out_shape);
+      if (op.kind == QOpKind::kConv2D) {
+        qconv2d_forward(qin, op, qout, fp_in);
+      } else {
+        qtconv2d_forward(qin, op, qout, fp_in);
+      }
+      qacts[i][id] = std::move(qout);
+    }
+  }
+}
+
+}  // namespace
+
+QGraph quantize(const FGraph& fg, const std::vector<TensorF>& calibration,
+                const QuantizeOptions& opts) {
+  const ActivationStats stats =
+      calibrate(fg, calibration, opts.max_calibration_images);
+  QGraph qg = build_qgraph(fg, stats);
+  if (opts.mode == QuantMode::kFFQ) {
+    fast_finetune(qg, fg, calibration);
+  }
+  return qg;
+}
+
+TensorI8 quantize_input(const QGraph& qg, const TensorF& image) {
+  return quantize_tensor(image, qg.input_fix_pos);
+}
+
+TensorF dequantize_output(const QGraph& qg, const TensorI8& out) {
+  return dequantize_tensor(
+      out, qg.ops[static_cast<std::size_t>(qg.output_op)].fix_pos_out);
+}
+
+}  // namespace seneca::quant

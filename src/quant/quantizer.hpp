@@ -1,0 +1,54 @@
+#pragma once
+// Post-training quantizer (§III-D, Fig. 1 step D).
+//
+// PTQ: runs the calibration images through the folded FP32 graph, profiles
+// per-tensor activation ranges, picks power-of-two fix positions by the
+// max-abs + MSE-refinement rule, and converts weights/biases to INT8/INT32.
+//
+// FFQ ("fast finetuning", AdaQuant-style): after PTQ, revisits each conv
+// layer in topological order and locally reduces its output error on the
+// calibration set — trying neighbouring weight fix positions and applying a
+// per-channel bias correction computed from the mean residual.
+//
+// QAT lives in qat.hpp (it needs the labelled training set).
+
+#include <vector>
+
+#include "quant/fgraph.hpp"
+#include "quant/qgraph.hpp"
+
+namespace seneca::quant {
+
+enum class QuantMode { kPTQ, kFFQ };
+
+struct QuantizeOptions {
+  QuantMode mode = QuantMode::kPTQ;
+  /// Cap on calibration images actually consumed (paper uses 500).
+  std::size_t max_calibration_images = 500;
+};
+
+struct ActivationStats {
+  std::vector<int> fix_pos;  // per FGraph op id
+  int input_fix_pos = 0;
+};
+
+/// Profiles activation ranges of `fg` over the calibration images and picks
+/// fix positions for every op output (and the graph input).
+ActivationStats calibrate(const FGraph& fg,
+                          const std::vector<TensorF>& calibration,
+                          std::size_t max_images = 500);
+
+/// Full PTQ/FFQ pipeline: folded graph + calibration set -> QGraph.
+QGraph quantize(const FGraph& fg, const std::vector<TensorF>& calibration,
+                const QuantizeOptions& opts = {});
+
+/// Convenience: quantize the network input with the xmodel's stored scale
+/// (§III-E: "we scaled input slices with a specific factor generated during
+/// compilation").
+TensorI8 quantize_input(const QGraph& qg, const TensorF& image);
+
+/// Dequantized float logits of the quantized model (for metric parity with
+/// the FP32 path).
+TensorF dequantize_output(const QGraph& qg, const TensorI8& out);
+
+}  // namespace seneca::quant

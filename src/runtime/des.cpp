@@ -1,0 +1,48 @@
+#include "runtime/des.hpp"
+
+namespace seneca::runtime {
+
+void EventQueue::schedule_at(double t, Action action) {
+  events_.push(Event{t < now_ ? now_ : t, seq_++, std::move(action)});
+}
+
+double EventQueue::run() {
+  while (!events_.empty()) {
+    // priority_queue::top returns const&; move out via const_cast-free copy
+    // of the action (cheap: std::function).
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ev.action();
+  }
+  return now_;
+}
+
+void Resource::account() {
+  busy_time_ += static_cast<double>(in_use_) * (queue_->now() - last_change_);
+  last_change_ = queue_->now();
+}
+
+void Resource::acquire(std::function<void()> on_granted) {
+  if (in_use_ < capacity_) {
+    account();
+    ++in_use_;
+    queue_->schedule_after(0.0, std::move(on_granted));
+  } else {
+    waiters_.push(std::move(on_granted));
+  }
+}
+
+void Resource::release() {
+  account();
+  --in_use_;
+  if (!waiters_.empty()) {
+    account();
+    ++in_use_;
+    auto next = std::move(waiters_.front());
+    waiters_.pop();
+    queue_->schedule_after(0.0, std::move(next));
+  }
+}
+
+}  // namespace seneca::runtime

@@ -1,0 +1,79 @@
+#pragma once
+// Minimal discrete-event simulation kernel: a time-ordered event queue plus
+// counted resources with FIFO waiters. The SoC model (soc_sim) builds the
+// ZCU104 pipeline on top of it.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace seneca::runtime {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedules `action` at absolute time `t` (>= now). Events at equal time
+  /// fire in scheduling order.
+  void schedule_at(double t, Action action);
+  void schedule_after(double dt, Action action) { schedule_at(now_ + dt, std::move(action)); }
+
+  /// Runs until no events remain. Returns the final time.
+  double run();
+
+  bool empty() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+};
+
+/// A counted resource (CPU cores, DPU cores) with FIFO admission.
+class Resource {
+ public:
+  Resource(EventQueue& queue, int capacity, const char* name = "")
+      : queue_(&queue), capacity_(capacity), name_(name) {}
+
+  /// Requests one unit; `on_granted` runs (via the event queue, at the
+  /// current time) once a unit is available.
+  void acquire(std::function<void()> on_granted);
+
+  /// Returns one unit, admitting the next waiter if any.
+  void release();
+
+  int in_use() const { return in_use_; }
+  int capacity() const { return capacity_; }
+
+  /// Time-weighted average occupancy since construction (sampled on
+  /// transitions); call finalize(t) before reading at the end of a run.
+  double busy_time() const { return busy_time_; }
+  void finalize() { account(); }
+
+ private:
+  void account();
+
+  EventQueue* queue_;
+  int capacity_;
+  const char* name_;
+  int in_use_ = 0;
+  std::queue<std::function<void()>> waiters_;
+  double busy_time_ = 0.0;
+  double last_change_ = 0.0;
+};
+
+}  // namespace seneca::runtime

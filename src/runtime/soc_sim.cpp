@@ -1,0 +1,99 @@
+#include "runtime/soc_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "runtime/des.hpp"
+
+namespace seneca::runtime {
+
+namespace {
+
+/// Shared state of one simulation run.
+struct Sim {
+  EventQueue queue;
+  std::unique_ptr<Resource> arm;
+  std::unique_ptr<Resource> dpu;
+  const dpu::XModel* model = nullptr;
+  SocConfig soc;
+  int threads = 0;
+  int next_image = 0;
+  int images = 0;
+  std::vector<double> latencies;  // seconds, per completed image
+
+  double dispatch_s() const {
+    const double contention =
+        1.0 + soc.dispatch_contention * static_cast<double>(std::max(0, threads - 1));
+    return soc.dispatch_ms * contention * 1e-3;
+  }
+
+  /// One VART worker thread: loops over images until the pool is drained.
+  void thread_loop() {
+    if (next_image >= images) return;
+    ++next_image;
+    const double start = queue.now();
+    // Stage 1: preprocess + dispatch on an ARM core.
+    arm->acquire([this, start] {
+      queue.schedule_after(soc.preprocess_ms * 1e-3 + dispatch_s(), [this, start] {
+        arm->release();
+        // Stage 2: DPU inference; DDR bandwidth is shared with the other
+        // core when it is busy at job start.
+        dpu->acquire([this, start] {
+          const int sharers = std::max(1, dpu->in_use());
+          const double exec = model->latency_seconds(sharers);
+          queue.schedule_after(exec, [this, start] {
+            dpu->release();
+            // Stage 3: postprocess on an ARM core.
+            arm->acquire([this, start] {
+              queue.schedule_after(soc.postprocess_ms * 1e-3, [this, start] {
+                arm->release();
+                latencies.push_back(queue.now() - start);
+                thread_loop();  // fetch next image
+              });
+            });
+          });
+        });
+      });
+    });
+  }
+};
+
+}  // namespace
+
+ThroughputReport simulate_throughput(const dpu::XModel& model,
+                                     const SocConfig& soc, int threads,
+                                     int images) {
+  Sim sim;
+  sim.model = &model;
+  sim.soc = soc;
+  sim.threads = threads;
+  sim.images = images;
+  sim.arm = std::make_unique<Resource>(sim.queue, soc.arm_cores, "arm");
+  sim.dpu = std::make_unique<Resource>(sim.queue, model.arch.cores, "dpu");
+  sim.latencies.reserve(static_cast<std::size_t>(images));
+
+  for (int t = 0; t < threads; ++t) sim.thread_loop();
+  const double end = sim.queue.run();
+  sim.arm->finalize();
+  sim.dpu->finalize();
+
+  ThroughputReport report;
+  report.threads = threads;
+  report.images = images;
+  report.total_seconds = end;
+  report.fps = end > 0.0 ? static_cast<double>(images) / end : 0.0;
+  report.dpu_busy_cores_avg = end > 0.0 ? sim.dpu->busy_time() / end : 0.0;
+  report.arm_busy_cores_avg = end > 0.0 ? sim.arm->busy_time() / end : 0.0;
+  if (!sim.latencies.empty()) {
+    double sum = 0.0;
+    for (double l : sim.latencies) sum += l;
+    report.latency_mean_ms = 1e3 * sum / static_cast<double>(sim.latencies.size());
+    std::vector<double> sorted = sim.latencies;
+    std::sort(sorted.begin(), sorted.end());
+    const auto p99 = static_cast<std::size_t>(0.99 * static_cast<double>(sorted.size() - 1));
+    report.latency_p99_ms = 1e3 * sorted[p99];
+  }
+  return report;
+}
+
+}  // namespace seneca::runtime

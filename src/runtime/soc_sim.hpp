@@ -1,0 +1,40 @@
+#pragma once
+// ZCU104 system model (Fig. 2): quad-core ARM host + dual-core DPU, driven
+// by N VART worker threads. Each in-flight image walks the pipeline
+//   [ARM] preprocess+job dispatch -> [DPU core] inference -> [ARM] postproc
+// as a discrete-event simulation. Thread scaling (Fig. 3) and the
+// "no gain past 4 threads" observation (§IV-B) emerge from resource
+// contention: two DPU cores bound compute, four ARM cores bound pre/post,
+// and per-thread runtime dispatch contention grows mildly with threads.
+
+#include <vector>
+
+#include "dpu/xmodel.hpp"
+
+namespace seneca::runtime {
+
+struct SocConfig {
+  int arm_cores = 4;              // Cortex-A53 cluster
+  double preprocess_ms = 0.22;    // int8 scale + layout per 256^2 slice
+  double postprocess_ms = 0.45;   // argmax over 6 maps
+  double dispatch_ms = 0.12;      // VART submit/collect bookkeeping
+  double dispatch_contention = 0.06;  // extra dispatch cost per extra thread
+};
+
+struct ThroughputReport {
+  int threads = 0;
+  int images = 0;
+  double total_seconds = 0.0;
+  double fps = 0.0;
+  double dpu_busy_cores_avg = 0.0;   // 0..cores
+  double arm_busy_cores_avg = 0.0;   // 0..arm_cores
+  double latency_mean_ms = 0.0;
+  double latency_p99_ms = 0.0;
+};
+
+/// Simulates `images` inferences of `model` with `threads` VART workers.
+ThroughputReport simulate_throughput(const dpu::XModel& model,
+                                     const SocConfig& soc, int threads,
+                                     int images);
+
+}  // namespace seneca::runtime

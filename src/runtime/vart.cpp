@@ -1,0 +1,79 @@
+#include "runtime/vart.hpp"
+
+namespace seneca::runtime {
+
+VartRunner::VartRunner(const dpu::XModel& model, int num_workers)
+    : model_(model), core_(&model_) {
+  if (num_workers < 1) num_workers = 1;
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+VartRunner::~VartRunner() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::uint64_t VartRunner::submit(tensor::TensorI8 input) {
+  std::uint64_t id;
+  {
+    std::lock_guard lock(mutex_);
+    id = next_job_++;
+    pending_.emplace(id, std::move(input));
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+std::pair<std::uint64_t, tensor::TensorI8> VartRunner::collect() {
+  std::unique_lock lock(mutex_);
+  done_cv_.wait(lock, [this] { return !finished_.empty(); });
+  auto it = finished_.begin();
+  auto result = std::make_pair(it->first, std::move(it->second));
+  finished_.erase(it);
+  return result;
+}
+
+std::vector<tensor::TensorI8> VartRunner::run_batch(
+    const std::vector<tensor::TensorI8>& inputs) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(inputs.size());
+  for (const auto& in : inputs) ids.push_back(submit(in));
+
+  std::map<std::uint64_t, tensor::TensorI8> by_id;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    auto [id, out] = collect();
+    by_id.emplace(id, std::move(out));
+  }
+  std::vector<tensor::TensorI8> outputs;
+  outputs.reserve(inputs.size());
+  for (std::uint64_t id : ids) outputs.push_back(std::move(by_id.at(id)));
+  return outputs;
+}
+
+void VartRunner::worker_loop() {
+  for (;;) {
+    std::pair<std::uint64_t, tensor::TensorI8> job;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_ && pending_.empty()) return;
+      job = std::move(pending_.front());
+      pending_.pop();
+    }
+    dpu::RunResult result = core_.run(job.second);
+    {
+      std::lock_guard lock(mutex_);
+      finished_.emplace(job.first, std::move(result.output));
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace seneca::runtime

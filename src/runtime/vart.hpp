@@ -1,0 +1,58 @@
+#pragma once
+// VART-analog runtime (§III-E): asynchronous job submission/collection
+// against the (simulated) DPU cores. Host worker threads execute the
+// functional core model so results are bit-exact with the reference; the
+// timing story of a deployment is asked of soc_sim (the DES), keeping
+// functional correctness and temporal modelling decoupled.
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "dpu/core_sim.hpp"
+
+namespace seneca::runtime {
+
+class VartRunner {
+ public:
+  /// `num_workers` mirrors the paper's thread count (1/2/4). The xmodel must
+  /// outlive the runner.
+  VartRunner(const dpu::XModel& model, int num_workers);
+  ~VartRunner();
+
+  VartRunner(const VartRunner&) = delete;
+  VartRunner& operator=(const VartRunner&) = delete;
+
+  /// Asynchronously submits a job; returns its id.
+  std::uint64_t submit(tensor::TensorI8 input);
+
+  /// Blocks until some job finishes; returns {job id, INT8 output}.
+  std::pair<std::uint64_t, tensor::TensorI8> collect();
+
+  /// Convenience: submit all, collect all, return outputs in input order.
+  std::vector<tensor::TensorI8> run_batch(
+      const std::vector<tensor::TensorI8>& inputs);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  const dpu::XModel& model_;
+  dpu::DpuCoreSim core_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::pair<std::uint64_t, tensor::TensorI8>> pending_;
+  std::map<std::uint64_t, tensor::TensorI8> finished_;
+  std::uint64_t next_job_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace seneca::runtime

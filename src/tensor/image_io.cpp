@@ -1,0 +1,88 @@
+#include "tensor/image_io.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/io.hpp"
+
+namespace seneca::tensor {
+
+namespace {
+std::uint8_t to_u8(float v, float lo, float hi) {
+  const float t = (v - lo) / (hi - lo);
+  return static_cast<std::uint8_t>(
+      std::clamp(t, 0.f, 1.f) * 255.f + 0.5f);
+}
+}  // namespace
+
+void write_pgm(const std::filesystem::path& path, const TensorF& image,
+               float lo, float hi) {
+  const std::int64_t h = image.shape()[0];
+  const std::int64_t w = image.shape()[1];
+  if (image.shape().rank() == 3 && image.shape()[2] != 1) {
+    throw std::invalid_argument("write_pgm: expected single channel");
+  }
+  std::ostringstream header;
+  header << "P5\n" << w << ' ' << h << "\n255\n";
+  std::vector<std::uint8_t> bytes;
+  const std::string hs = header.str();
+  bytes.insert(bytes.end(), hs.begin(), hs.end());
+  for (std::int64_t i = 0; i < h * w; ++i) bytes.push_back(to_u8(image[i], lo, hi));
+  util::write_file(path, bytes.data(), bytes.size());
+}
+
+void write_ppm(const std::filesystem::path& path, const TensorU8& rgb) {
+  if (rgb.shape().rank() != 3 || rgb.shape()[2] != 3) {
+    throw std::invalid_argument("write_ppm: expected HW3 tensor");
+  }
+  const std::int64_t h = rgb.shape()[0];
+  const std::int64_t w = rgb.shape()[1];
+  std::ostringstream header;
+  header << "P6\n" << w << ' ' << h << "\n255\n";
+  std::vector<std::uint8_t> bytes;
+  const std::string hs = header.str();
+  bytes.insert(bytes.end(), hs.begin(), hs.end());
+  bytes.insert(bytes.end(), rgb.data(), rgb.data() + rgb.numel());
+  util::write_file(path, bytes.data(), bytes.size());
+}
+
+TensorU8 render_segmentation(const TensorF& ct_slice,
+                             const Tensor<std::int32_t>& labels) {
+  const std::int64_t h = ct_slice.shape()[0];
+  const std::int64_t w = ct_slice.shape()[1];
+  if (labels.shape()[0] != h || labels.shape()[1] != w) {
+    throw std::invalid_argument("render_segmentation: shape mismatch");
+  }
+  // Paper (Fig. 5 caption): liver red, bladder green, lungs blue, kidneys
+  // yellow, bones white. Class ids follow data::OrganClass.
+  static constexpr std::array<std::array<std::uint8_t, 3>, 6> kPalette = {{
+      {0, 0, 0},        // background (replaced by CT intensity)
+      {220, 40, 40},    // liver
+      {40, 200, 60},    // bladder
+      {60, 90, 230},    // lungs
+      {235, 220, 40},   // kidneys
+      {245, 245, 245},  // bones
+  }};
+  TensorU8 out(Shape{h, w, 3});
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const std::uint8_t gray = to_u8(ct_slice.at(y, x, 0), -1.f, 1.f);
+      const std::int32_t cls = labels[y * w + x];
+      if (cls <= 0 || cls >= static_cast<std::int32_t>(kPalette.size())) {
+        out.at(y, x, 0) = gray;
+        out.at(y, x, 1) = gray;
+        out.at(y, x, 2) = gray;
+      } else {
+        // 60 % label color / 40 % CT underlay, as in the paper's overlays.
+        for (int c = 0; c < 3; ++c) {
+          out.at(y, x, c) = static_cast<std::uint8_t>(
+              0.6f * kPalette[static_cast<std::size_t>(cls)][static_cast<std::size_t>(c)] + 0.4f * gray);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace seneca::tensor

@@ -1,0 +1,27 @@
+#pragma once
+// PGM/PPM writers used to dump CT slices and segmentation overlays
+// (Figure 5 reproduction) without any external image dependency.
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+
+#include "tensor/tensor.hpp"
+
+namespace seneca::tensor {
+
+/// Writes a single-channel HW1 (or HW) float tensor as an 8-bit PGM,
+/// linearly mapping [lo, hi] to [0, 255].
+void write_pgm(const std::filesystem::path& path, const TensorF& image,
+               float lo = -1.f, float hi = 1.f);
+
+/// Writes an HW3 uint8 tensor as a binary PPM.
+void write_ppm(const std::filesystem::path& path, const TensorU8& rgb);
+
+/// Renders a label map (HW1 float/int-valued classes) over a grayscale CT
+/// slice with the paper's color code: liver red, bladder green, lungs blue,
+/// kidneys yellow, bones white; background keeps the CT intensity.
+TensorU8 render_segmentation(const TensorF& ct_slice,
+                             const Tensor<std::int32_t>& labels);
+
+}  // namespace seneca::tensor

@@ -1,0 +1,122 @@
+#include "tensor/npy_io.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/io.hpp"
+
+namespace seneca::tensor {
+
+namespace {
+
+std::string shape_tuple(const Shape& shape) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < shape.rank(); ++i) {
+    os << shape[i] << ',';
+    if (i + 1 < shape.rank()) os << ' ';
+  }
+  os << ')';
+  return os.str();
+}
+
+void write_npy_raw(const std::filesystem::path& path, const Shape& shape,
+                   const char* dtype, const void* data, std::size_t bytes) {
+  std::ostringstream header;
+  header << "{'descr': '" << dtype << "', 'fortran_order': False, 'shape': "
+         << shape_tuple(shape) << ", }";
+  std::string h = header.str();
+  // Pad with spaces so that magic(6)+version(2)+len(2)+header is 64-aligned,
+  // terminated by '\n' (format spec v1.0).
+  const std::size_t unpadded = 10 + h.size() + 1;
+  h.append((64 - unpadded % 64) % 64, ' ');
+  h.push_back('\n');
+
+  util::BinaryWriter w;
+  const unsigned char magic[8] = {0x93, 'N', 'U', 'M', 'P', 'Y', 1, 0};
+  w.bytes(magic, 8);
+  w.u8(static_cast<std::uint8_t>(h.size() & 0xFF));
+  w.u8(static_cast<std::uint8_t>((h.size() >> 8) & 0xFF));
+  w.bytes(h.data(), h.size());
+  w.bytes(data, bytes);
+  util::write_file(path, w.data().data(), w.data().size());
+}
+
+}  // namespace
+
+void write_npy(const std::filesystem::path& path, const TensorF& t) {
+  write_npy_raw(path, t.shape(), "<f4", t.data(),
+                static_cast<std::size_t>(t.numel()) * 4);
+}
+
+void write_npy(const std::filesystem::path& path,
+               const Tensor<std::int32_t>& t) {
+  write_npy_raw(path, t.shape(), "<i4", t.data(),
+                static_cast<std::size_t>(t.numel()) * 4);
+}
+
+void write_npy(const std::filesystem::path& path, const TensorI8& t) {
+  write_npy_raw(path, t.shape(), "|i1", t.data(),
+                static_cast<std::size_t>(t.numel()));
+}
+
+TensorF read_npy_f32(const std::filesystem::path& path) {
+  const auto bytes = util::read_file(path);
+  if (bytes.size() < 10 || bytes[0] != 0x93 ||
+      std::memcmp(bytes.data() + 1, "NUMPY", 5) != 0) {
+    throw std::runtime_error("read_npy: bad magic");
+  }
+  const std::size_t header_len =
+      static_cast<std::size_t>(bytes[8]) | (static_cast<std::size_t>(bytes[9]) << 8);
+  if (bytes.size() < 10 + header_len) {
+    throw std::runtime_error("read_npy: truncated header");
+  }
+  const std::string header(reinterpret_cast<const char*>(bytes.data()) + 10,
+                           header_len);
+  if (header.find("'<f4'") == std::string::npos) {
+    throw std::runtime_error("read_npy: expected little-endian float32");
+  }
+  if (header.find("'fortran_order': False") == std::string::npos) {
+    throw std::runtime_error("read_npy: expected C order");
+  }
+  const auto lp = header.find('(');
+  const auto rp = header.find(')');
+  if (lp == std::string::npos || rp == std::string::npos || rp < lp) {
+    throw std::runtime_error("read_npy: no shape tuple");
+  }
+  std::vector<std::int64_t> dims;
+  std::string token;
+  for (std::size_t i = lp + 1; i <= rp; ++i) {
+    const char c = header[i];
+    if (c == ',' || c == ')') {
+      if (!token.empty()) {
+        dims.push_back(std::strtoll(token.c_str(), nullptr, 10));
+        token.clear();
+      }
+    } else if (c != ' ') {
+      token.push_back(c);
+    }
+  }
+  if (dims.empty() || dims.size() > Shape::kMaxRank) {
+    throw std::runtime_error("read_npy: unsupported rank");
+  }
+  Shape shape = [&] {
+    switch (dims.size()) {
+      case 1: return Shape{dims[0]};
+      case 2: return Shape{dims[0], dims[1]};
+      case 3: return Shape{dims[0], dims[1], dims[2]};
+      case 4: return Shape{dims[0], dims[1], dims[2], dims[3]};
+      default: return Shape{dims[0], dims[1], dims[2], dims[3], dims[4]};
+    }
+  }();
+  TensorF t(shape);
+  const std::size_t need = static_cast<std::size_t>(t.numel()) * 4;
+  if (bytes.size() < 10 + header_len + need) {
+    throw std::runtime_error("read_npy: truncated data");
+  }
+  std::memcpy(t.data(), bytes.data() + 10 + header_len, need);
+  return t;
+}
+
+}  // namespace seneca::tensor

@@ -1,0 +1,23 @@
+#pragma once
+// NumPy .npy export/import for tensors (format version 1.0), so phantom
+// slices, activations, and segmentation maps can be inspected with the
+// Python ecosystem (np.load) without any bridge code.
+
+#include <filesystem>
+
+#include "tensor/tensor.hpp"
+
+namespace seneca::tensor {
+
+/// Writes a float32 tensor as a C-order .npy file.
+void write_npy(const std::filesystem::path& path, const TensorF& t);
+/// Writes an int32 label map as .npy.
+void write_npy(const std::filesystem::path& path, const Tensor<std::int32_t>& t);
+/// Writes an int8 tensor as .npy.
+void write_npy(const std::filesystem::path& path, const TensorI8& t);
+
+/// Reads a float32 .npy written by write_npy (little-endian '<f4',
+/// C-order, up to rank 5). Throws std::runtime_error on anything else.
+TensorF read_npy_f32(const std::filesystem::path& path);
+
+}  // namespace seneca::tensor

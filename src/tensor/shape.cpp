@@ -1,0 +1,18 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+namespace seneca::tensor {
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) os << 'x';
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace seneca::tensor

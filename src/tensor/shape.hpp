@@ -1,0 +1,56 @@
+#pragma once
+// Dense tensor shape (row-major / channels-last). SENECA stores activations
+// as NHWC (2D nets) or NDHWC (3D nets) and weights as [KH][KW][Cin][Cout],
+// matching the layout the DPU's channel-parallel datapath consumes.
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace seneca::tensor {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 5;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) {
+    if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > 5");
+    for (auto d : dims) {
+      if (d < 0) throw std::invalid_argument("Shape: negative dim");
+      dims_[rank_++] = d;
+    }
+  }
+
+  std::size_t rank() const { return rank_; }
+
+  std::int64_t operator[](std::size_t i) const {
+    if (i >= rank_) throw std::out_of_range("Shape: dim index");
+    return dims_[i];
+  }
+
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != o.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace seneca::tensor

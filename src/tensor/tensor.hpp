@@ -1,0 +1,107 @@
+#pragma once
+// Dense, owning, row-major tensor. This is the one data container used by
+// the NN framework, the quantizer, and the DPU simulator; activations are
+// channels-last (HWC / NHWC / DHWC) and convolution weights are
+// [KH][KW][Cin][Cout] so that the innermost dimension maps onto the DPU's
+// output-channel lanes.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace seneca::tensor {
+
+template <typename T>
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.numel())) {}
+  Tensor(Shape shape, T fill)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), fill) {}
+
+  const Shape& shape() const { return shape_; }
+  /// Number of stored elements. A default-constructed tensor is EMPTY
+  /// (numel 0), not a rank-0 scalar.
+  std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  const T& operator[](std::int64_t i) const {
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  /// 2D image access: (y, x, c) on an HWC tensor.
+  T& at(std::int64_t y, std::int64_t x, std::int64_t c) {
+    return data_[static_cast<std::size_t>((y * shape_[1] + x) * shape_[2] + c)];
+  }
+  const T& at(std::int64_t y, std::int64_t x, std::int64_t c) const {
+    return data_[static_cast<std::size_t>((y * shape_[1] + x) * shape_[2] + c)];
+  }
+
+  /// 3D volume access: (z, y, x, c) on a DHWC tensor.
+  T& at(std::int64_t z, std::int64_t y, std::int64_t x, std::int64_t c) {
+    return data_[static_cast<std::size_t>(
+        (((z * shape_[1]) + y) * shape_[2] + x) * shape_[3] + c)];
+  }
+  const T& at(std::int64_t z, std::int64_t y, std::int64_t x,
+              std::int64_t c) const {
+    return data_[static_cast<std::size_t>(
+        (((z * shape_[1]) + y) * shape_[2] + x) * shape_[3] + c)];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  void reshape(Shape new_shape) {
+    if (new_shape.numel() != shape_.numel()) {
+      throw std::invalid_argument("Tensor::reshape: numel mismatch " +
+                                  shape_.to_string() + " -> " +
+                                  new_shape.to_string());
+    }
+    shape_ = new_shape;
+  }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using TensorF = Tensor<float>;
+using TensorI8 = Tensor<std::int8_t>;
+using TensorU8 = Tensor<std::uint8_t>;
+using TensorI32 = Tensor<std::int32_t>;
+
+/// Max-abs over all elements (used by the activation-range calibrator).
+inline float max_abs(const TensorF& t) {
+  float m = 0.f;
+  for (float v : t) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+/// Elementwise max |a-b| — the workhorse of the bit-exactness tests.
+template <typename T>
+double max_abs_diff(const Tensor<T>& a, const Tensor<T>& b) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  }
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return m;
+}
+
+}  // namespace seneca::tensor

@@ -1,0 +1,32 @@
+#pragma once
+// Tiny declarative command-line parser for the examples and benches.
+// Supports --flag, --key value, and --key=value forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace seneca::util {
+
+class Cli {
+ public:
+  /// Parses argv; unrecognized positional arguments are kept in positional().
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace seneca::util

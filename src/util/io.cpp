@@ -1,0 +1,106 @@
+#include "util/io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace seneca::util {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open file: " + path.string());
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> data(size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("short read: " + path.string());
+  return data;
+}
+
+void write_file(const std::filesystem::path& path, const void* data,
+                std::size_t size) {
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot create file: " + path.string());
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!out) throw std::runtime_error("short write: " + path.string());
+}
+
+void write_text_file(const std::filesystem::path& path, const std::string& text) {
+  write_file(path, text.data(), text.size());
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void BinaryWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  u32(bits);
+}
+
+void BinaryWriter::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + size);
+}
+
+void BinaryWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+void BinaryReader::require(std::size_t n) const {
+  if (pos_ + n > buf_.size()) {
+    throw std::runtime_error("BinaryReader: truncated stream");
+  }
+}
+
+std::uint8_t BinaryReader::u8() {
+  require(1);
+  return buf_[pos_++];
+}
+
+std::uint32_t BinaryReader::u32() {
+  require(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+float BinaryReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+void BinaryReader::bytes(void* out, std::size_t size) {
+  require(size);
+  std::memcpy(out, buf_.data() + pos_, size);
+  pos_ += size;
+}
+
+std::string BinaryReader::str() {
+  const std::uint32_t n = u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace seneca::util

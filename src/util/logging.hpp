@@ -1,0 +1,41 @@
+#pragma once
+// Minimal levelled logger. All SENECA libraries log through this so that
+// examples and benches can silence or redirect output uniformly.
+
+#include <sstream>
+#include <string>
+
+namespace seneca::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message (appends '\n'). Thread-safe.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace seneca::util

@@ -1,0 +1,109 @@
+#pragma once
+// Deterministic, splittable random number generation.
+//
+// Every stochastic component in SENECA (phantom anatomy, weight init, dropout,
+// sampling, measurement-noise models) draws from an explicitly seeded Rng so
+// that experiments are reproducible run-to-run and independent of each other:
+// two components seeded from disjoint streams never interact.
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace seneca::util {
+
+/// xoshiro256** PRNG seeded via splitmix64. Small, fast, and good enough for
+/// simulation workloads; deliberately not <random> so results are identical
+/// across standard library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5E0ECAULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the scalar seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+    has_gauss_ = false;
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(uniform_index(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller with caching of the paired deviate.
+  double gauss() {
+    if (has_gauss_) {
+      has_gauss_ = false;
+      return cached_gauss_;
+    }
+    double u1 = uniform();
+    while (u1 <= std::numeric_limits<double>::min()) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_gauss_ = r * std::sin(theta);
+    has_gauss_ = true;
+    return r * std::cos(theta);
+  }
+
+  double gauss(double mean, double stddev) { return mean + stddev * gauss(); }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derive an independent child stream; stable under call order.
+  Rng split(std::uint64_t stream_id) {
+    return Rng(next_u64() ^ (stream_id * 0x9e3779b97f4a7c15ULL));
+  }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = uniform_index(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  bool has_gauss_ = false;
+  double cached_gauss_ = 0.0;
+};
+
+}  // namespace seneca::util

@@ -1,0 +1,61 @@
+#pragma once
+// Work-sharing thread pool and parallel_for used by the compute kernels.
+//
+// The pool is created once (see global_pool()) and shared; parallel_for
+// chunks an index range across the workers and blocks until every chunk is
+// done. On a single-core host the pool degenerates to inline execution with
+// no thread churn, which keeps unit-test runtimes predictable.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace seneca::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Fire-and-forget; use parallel_for for joinable work.
+  void submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end), split into ~3 chunks per worker.
+  /// Blocks until all iterations complete. Exceptions from fn propagate as
+  /// std::terminate (kernels are noexcept by convention).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end) — lower per-index overhead.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide shared pool, sized to the hardware.
+ThreadPool& global_pool();
+
+/// Convenience wrapper over global_pool().parallel_for.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace seneca::util

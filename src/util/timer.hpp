@@ -1,0 +1,24 @@
+#pragma once
+// Wall-clock timing helpers for the examples and benches. Simulated time
+// (DPU cycles, discrete-event timestamps) lives in the respective models;
+// this is only for measuring host execution.
+
+#include <chrono>
+
+namespace seneca::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace seneca::util

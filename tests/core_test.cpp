@@ -1,0 +1,138 @@
+// Workflow API tests: end-to-end pipeline at miniature scale, caching,
+// timing-model entry point.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/evaluate.hpp"
+#include "core/workflow.hpp"
+
+namespace seneca::core {
+namespace {
+
+WorkflowConfig tiny_config(const std::filesystem::path& dir) {
+  WorkflowConfig cfg;
+  cfg.dataset.num_volumes = 6;
+  cfg.dataset.slices_per_volume = 6;
+  cfg.dataset.resolution = 32;
+  cfg.model_name = "1M";  // depth 4 fits 32x32
+  cfg.train.epochs = 1;
+  cfg.train.learning_rate = 1e-3f;
+  cfg.calibration_images = 6;
+  cfg.artifacts_dir = dir;
+  return cfg;
+}
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "seneca_wf_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(WorkflowTest, EndToEndProducesAllArtifacts) {
+  Workflow wf(tiny_config(dir_));
+  WorkflowArtifacts art = wf.run();
+  EXPECT_FALSE(art.trained_from_cache);
+  ASSERT_NE(art.fp32, nullptr);
+  EXPECT_GT(art.fp32->num_parameters(), 100000);
+  EXPECT_FALSE(art.folded.ops.empty());
+  EXPECT_FALSE(art.qgraph.ops.empty());
+  EXPECT_FALSE(art.xmodel.layers.empty());
+  EXPECT_EQ(art.xmodel.input_shape, (tensor::Shape{32, 32, 1}));
+  EXPECT_EQ(art.calibration.images.size(), 6u);
+  EXPECT_FALSE(art.dataset.train.empty());
+  EXPECT_FALSE(art.dataset.test.empty());
+}
+
+TEST_F(WorkflowTest, SecondRunUsesCache) {
+  WorkflowConfig cfg = tiny_config(dir_);
+  Workflow first(cfg);
+  first.run();
+  Workflow second(cfg);
+  WorkflowArtifacts art = second.run();
+  EXPECT_TRUE(art.trained_from_cache);
+}
+
+TEST_F(WorkflowTest, CachedModelIsIdentical) {
+  WorkflowConfig cfg = tiny_config(dir_);
+  WorkflowArtifacts a = Workflow(cfg).run();
+  WorkflowArtifacts b = Workflow(cfg).run();
+  const auto& img = a.dataset.test[0].sample.image;
+  EXPECT_LT(tensor::max_abs_diff(a.fp32->forward(img), b.fp32->forward(img)),
+            1e-7);
+}
+
+TEST_F(WorkflowTest, CacheKeyReflectsConfig) {
+  WorkflowConfig cfg = tiny_config(dir_);
+  const std::string base = Workflow(cfg).train_cache_key();
+  cfg.train.epochs = 2;
+  EXPECT_NE(Workflow(cfg).train_cache_key(), base);
+  cfg = tiny_config(dir_);
+  cfg.weighted_loss = false;
+  EXPECT_NE(Workflow(cfg).train_cache_key(), base);
+}
+
+TEST_F(WorkflowTest, EvaluationRunsOnArtifacts) {
+  Workflow wf(tiny_config(dir_));
+  WorkflowArtifacts art = wf.run();
+  auto ev32 = evaluate_fp32(*art.fp32, art.dataset.test);
+  auto ev8 = evaluate_int8(art.xmodel, art.dataset.test);
+  EXPECT_GE(ev32.global_dice(), 0.0);
+  EXPECT_LE(ev32.global_dice(), 1.0);
+  EXPECT_GE(ev8.global_dice(), 0.0);
+  EXPECT_LE(ev8.global_dice(), 1.0);
+  EXPECT_GE(ev8.global_tnr(), 0.0);
+}
+
+TEST_F(WorkflowTest, PredictionsShapeMatchesInput) {
+  Workflow wf(tiny_config(dir_));
+  WorkflowArtifacts art = wf.run();
+  dpu::DpuCoreSim core(&art.xmodel);
+  const auto labels = predict_int8(core, art.dataset.test[0].sample.image);
+  EXPECT_EQ(labels.shape(), (tensor::Shape{32, 32}));
+  for (std::int64_t i = 0; i < labels.numel(); ++i) {
+    ASSERT_GE(labels[i], 0);
+    ASSERT_LT(labels[i], 6);
+  }
+}
+
+TEST_F(WorkflowTest, PerCaseDiceGrouping) {
+  Workflow wf(tiny_config(dir_));
+  WorkflowArtifacts art = wf.run();
+  const auto samples = per_case_organ_dice_int8(art.xmodel, art.dataset.test);
+  ASSERT_EQ(samples.size(), 6u);
+  // every per-case DSC is a valid fraction
+  for (std::size_t c = 1; c < samples.size(); ++c) {
+    for (double d : samples[c]) {
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, 1.0);
+    }
+  }
+}
+
+TEST(TimingXModel, FullResolutionCompiles) {
+  const dpu::XModel xm = build_timing_xmodel("1M");
+  EXPECT_EQ(xm.input_shape, (tensor::Shape{256, 256, 1}));
+  EXPECT_GT(xm.total_macs(), 100ll * 1000 * 1000);
+  EXPECT_GT(xm.latency_seconds(2), 1e-3);
+  EXPECT_LT(xm.latency_seconds(2), 0.1);
+}
+
+TEST(TimingXModel, BiggerModelsSlower) {
+  const double lat_1m = build_timing_xmodel("1M").latency_seconds(2);
+  const double lat_16m = build_timing_xmodel("16M").latency_seconds(2);
+  EXPECT_GT(lat_16m, 2.0 * lat_1m);
+}
+
+TEST(TimingXModel, ArchSweepMonotone) {
+  const double big = build_timing_xmodel("1M", dpu::DpuArch::b4096()).latency_seconds(1);
+  const double small = build_timing_xmodel("1M", dpu::DpuArch::b512()).latency_seconds(1);
+  EXPECT_GT(small, big);
+}
+
+}  // namespace
+}  // namespace seneca::core

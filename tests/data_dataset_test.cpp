@@ -1,0 +1,154 @@
+// Dataset assembly + calibration sampler tests: patient-level splits,
+// frequency analysis, and the Table III manual sampling behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/calibration.hpp"
+#include "data/dataset.hpp"
+
+namespace seneca::data {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.num_volumes = 20;
+  cfg.slices_per_volume = 10;
+  cfg.resolution = 64;
+  return cfg;
+}
+
+TEST(Dataset, SplitSizes) {
+  const Dataset ds = build_dataset(small_config());
+  EXPECT_EQ(ds.train.size(), 14u * 10u);
+  EXPECT_EQ(ds.val.size(), 2u * 10u);
+  EXPECT_EQ(ds.test.size(), 4u * 10u);
+}
+
+TEST(Dataset, PatientsDoNotStraddleSplits) {
+  const Dataset ds = build_dataset(small_config());
+  std::set<int> train_p, val_p, test_p;
+  for (const auto& r : ds.train) train_p.insert(r.patient_id);
+  for (const auto& r : ds.val) val_p.insert(r.patient_id);
+  for (const auto& r : ds.test) test_p.insert(r.patient_id);
+  for (int p : train_p) {
+    EXPECT_EQ(val_p.count(p), 0u);
+    EXPECT_EQ(test_p.count(p), 0u);
+  }
+  for (int p : val_p) EXPECT_EQ(test_p.count(p), 0u);
+}
+
+TEST(Dataset, Deterministic) {
+  const Dataset a = build_dataset(small_config());
+  const Dataset b = build_dataset(small_config());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  EXPECT_LT(tensor::max_abs_diff(a.train[0].sample.image,
+                                 b.train[0].sample.image), 1e-9);
+}
+
+TEST(Dataset, SeedChangesSplit) {
+  DatasetConfig cfg = small_config();
+  const Dataset a = build_dataset(cfg);
+  cfg.seed = 999;
+  const Dataset b = build_dataset(cfg);
+  std::set<int> pa, pb;
+  for (const auto& r : a.train) pa.insert(r.patient_id);
+  for (const auto& r : b.train) pb.insert(r.patient_id);
+  EXPECT_NE(pa, pb);
+}
+
+TEST(Dataset, SamplesCarryConsistentShapes) {
+  const Dataset ds = build_dataset(small_config());
+  for (const auto& r : ds.train) {
+    ASSERT_EQ(r.sample.image.shape(), (tensor::Shape{64, 64, 1}));
+    ASSERT_EQ(r.sample.labels.shape(), (tensor::Shape{64, 64}));
+  }
+}
+
+TEST(OrganFrequencies, SumTo100OverOrgans) {
+  const Dataset ds = build_dataset(small_config());
+  const auto freq = organ_frequencies(ds.train);
+  double sum = 0.0;
+  for (std::size_t c = 1; c < freq.size(); ++c) sum += freq[c];
+  EXPECT_NEAR(sum, 100.0, 1e-6);
+  EXPECT_EQ(freq[static_cast<std::size_t>(Organ::kBrain)], 0.0);  // removed
+}
+
+TEST(OrganFrequencies, EmptyLabelsGiveZeros) {
+  LabelMap empty(tensor::Shape{4, 4}, 0);
+  const auto freq = organ_frequencies(std::vector<const LabelMap*>{&empty});
+  for (double f : freq) EXPECT_EQ(f, 0.0);
+}
+
+TEST(Calibration, RandomSamplerSizeAndDeterminism) {
+  const Dataset ds = build_dataset(small_config());
+  const auto a = sample_calibration_random(ds.train, 20, 5);
+  const auto b = sample_calibration_random(ds.train, 20, 5);
+  ASSERT_EQ(a.images.size(), 20u);
+  EXPECT_LT(tensor::max_abs_diff(a.images[0], b.images[0]), 1e-9);
+}
+
+TEST(Calibration, RandomSamplerSeedMatters) {
+  const Dataset ds = build_dataset(small_config());
+  const auto a = sample_calibration_random(ds.train, 10, 1);
+  const auto b = sample_calibration_random(ds.train, 10, 2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    diff += tensor::max_abs_diff(a.images[i], b.images[i]);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Calibration, SizeCappedAtPool) {
+  const Dataset ds = build_dataset(small_config());
+  const auto set = sample_calibration_random(ds.train, 100000, 3);
+  EXPECT_EQ(set.images.size(), ds.train.size());
+}
+
+TEST(Calibration, EmptyPoolThrows) {
+  EXPECT_THROW(sample_calibration_random({}, 5, 1), std::invalid_argument);
+  EXPECT_THROW(sample_calibration_manual({}, 5), std::invalid_argument);
+}
+
+/// Table III: the manual sampler must shift the organ distribution toward
+/// the target — bladder and kidneys up, the big organs down — relative to
+/// random sampling.
+TEST(Calibration, ManualSamplingLevelsFrequencies) {
+  DatasetConfig cfg = small_config();
+  cfg.num_volumes = 30;
+  const Dataset ds = build_dataset(cfg);
+  const auto random_set = sample_calibration_random(ds.train, 60, 7);
+  const auto manual_set = sample_calibration_manual(ds.train, 60);
+
+  // Relative distance to the Table III target distribution (rare organs
+  // weigh as much as abundant ones, matching the sampler's objective).
+  auto rel_l1 = [](const std::array<double, 5>& f) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < 5; ++i) {
+      d += std::fabs(f[i] - kManualTargetFrequencies[i]) /
+           kManualTargetFrequencies[i];
+    }
+    return d;
+  };
+  EXPECT_LT(rel_l1(manual_set.frequencies), rel_l1(random_set.frequencies));
+  // bladder (the rarest organ) boosted toward the target
+  EXPECT_GT(manual_set.frequencies[1], random_set.frequencies[1]);
+}
+
+TEST(Calibration, ManualSetHasRequestedSize) {
+  const Dataset ds = build_dataset(small_config());
+  const auto set = sample_calibration_manual(ds.train, 25);
+  EXPECT_EQ(set.images.size(), 25u);
+}
+
+TEST(Calibration, ImagesArePreprocessed) {
+  const Dataset ds = build_dataset(small_config());
+  const auto set = sample_calibration_random(ds.train, 5, 9);
+  for (const auto& img : set.images) {
+    EXPECT_EQ(img.shape(), (tensor::Shape{64, 64, 1}));
+    EXPECT_LE(tensor::max_abs(img), 1.f + 1e-6f);
+  }
+}
+
+}  // namespace
+}  // namespace seneca::data

@@ -1,0 +1,143 @@
+// NIfTI-1 volume I/O tests: header layout, round trips at every supported
+// bit width, CT-ORG-style export, malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/nifti.hpp"
+#include "data/phantom.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::data {
+namespace {
+
+using tensor::Shape;
+
+NiftiVolume make_volume(std::int64_t nz, std::int64_t ny, std::int64_t nx,
+                        NiftiDataType type, std::uint64_t seed) {
+  NiftiVolume vol;
+  vol.stored_type = type;
+  vol.voxels = tensor::TensorF(Shape{nz, ny, nx});
+  util::Rng rng(seed);
+  for (auto& v : vol.voxels) {
+    v = static_cast<float>(rng.uniform_int(-1000, 1000));
+  }
+  vol.spacing_mm[0] = 1.5f;
+  vol.spacing_mm[1] = 1.5f;
+  vol.spacing_mm[2] = 5.0f;
+  return vol;
+}
+
+class NiftiRoundTrip : public ::testing::TestWithParam<NiftiDataType> {};
+
+TEST_P(NiftiRoundTrip, PreservesVoxelsAndGeometry) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_rt.nii";
+  const NiftiVolume vol = make_volume(4, 6, 8, GetParam(), 3);
+  write_nifti(path, vol);
+  const NiftiVolume back = read_nifti(path);
+  EXPECT_EQ(back.stored_type, GetParam());
+  ASSERT_EQ(back.voxels.shape(), vol.voxels.shape());
+  EXPECT_LT(tensor::max_abs_diff(back.voxels, vol.voxels), 0.5);
+  EXPECT_FLOAT_EQ(back.spacing_mm[0], 1.5f);
+  EXPECT_FLOAT_EQ(back.spacing_mm[2], 5.0f);
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, NiftiRoundTrip,
+                         ::testing::Values(NiftiDataType::kInt16,
+                                           NiftiDataType::kInt32,
+                                           NiftiDataType::kFloat32));
+
+TEST(Nifti, Float32ExactRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_f32.nii";
+  NiftiVolume vol = make_volume(2, 3, 5, NiftiDataType::kFloat32, 7);
+  vol.voxels[0] = 0.12345f;  // non-integral value survives only in float
+  write_nifti(path, vol);
+  const NiftiVolume back = read_nifti(path);
+  EXPECT_FLOAT_EQ(back.voxels[0], 0.12345f);
+  std::filesystem::remove(path);
+}
+
+TEST(Nifti, HeaderMagicAndSize) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_hdr.nii";
+  write_nifti(path, make_volume(2, 2, 2, NiftiDataType::kInt16, 9));
+  const auto bytes = util::read_file(path);
+  // sizeof_hdr little-endian 348 at offset 0
+  EXPECT_EQ(bytes[0], 348 - 256);
+  EXPECT_EQ(bytes[1], 1);
+  // magic "n+1\0" at offset 344
+  EXPECT_EQ(bytes[344], 'n');
+  EXPECT_EQ(bytes[345], '+');
+  EXPECT_EQ(bytes[346], '1');
+  // data offset 352: header + extension flag + 8 voxels * 2 bytes
+  EXPECT_EQ(bytes.size(), 352u + 16u);
+  std::filesystem::remove(path);
+}
+
+TEST(Nifti, DimensionsInHeader) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_dim.nii";
+  write_nifti(path, make_volume(3, 5, 7, NiftiDataType::kInt16, 11));
+  const auto bytes = util::read_file(path);
+  // dim[] at offset 40: rank, nx, ny, nz (int16 LE)
+  EXPECT_EQ(bytes[40], 3);  // rank
+  EXPECT_EQ(bytes[42], 7);  // nx
+  EXPECT_EQ(bytes[44], 5);  // ny
+  EXPECT_EQ(bytes[46], 3);  // nz
+  std::filesystem::remove(path);
+}
+
+TEST(Nifti, RejectsGarbage) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_bad.nii";
+  util::write_text_file(path, std::string(400, 'x'));
+  EXPECT_THROW(read_nifti(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Nifti, RejectsTruncatedData) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_trunc.nii";
+  write_nifti(path, make_volume(4, 4, 4, NiftiDataType::kInt32, 13));
+  auto bytes = util::read_file(path);
+  bytes.resize(bytes.size() - 32);
+  util::write_file(path, bytes.data(), bytes.size());
+  EXPECT_THROW(read_nifti(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Nifti, RejectsNon3D) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_4d.nii";
+  write_nifti(path, make_volume(2, 2, 2, NiftiDataType::kInt16, 15));
+  auto bytes = util::read_file(path);
+  bytes[40] = 4;  // claim rank 4
+  util::write_file(path, bytes.data(), bytes.size());
+  EXPECT_THROW(read_nifti(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Nifti, CtOrgStyleExport) {
+  PhantomConfig cfg;
+  cfg.resolution = 32;
+  cfg.slices_per_volume = 6;
+  PhantomGenerator gen(cfg, 17);
+  const PhantomVolume vol = gen.generate_volume(0);
+  const auto stem = std::filesystem::temp_directory_path() / "seneca_case0";
+  export_ctorg_style(stem, vol);
+
+  const NiftiVolume ct = read_nifti(stem.string() + "_ct.nii");
+  const NiftiVolume labels = read_nifti(stem.string() + "_labels.nii");
+  EXPECT_EQ(ct.nz(), 6);
+  EXPECT_EQ(ct.nx(), 32);
+  EXPECT_EQ(labels.voxels.shape(), ct.voxels.shape());
+  // HU stored as int16 must match the slice values after rounding
+  EXPECT_NEAR(ct.voxels[100], std::round(vol.slices[0].image_hu[100]), 0.51);
+  // labels are small non-negative integers
+  for (std::int64_t i = 0; i < labels.voxels.numel(); ++i) {
+    ASSERT_GE(labels.voxels[i], 0.f);
+    ASSERT_LE(labels.voxels[i], 6.f);
+  }
+  std::filesystem::remove(stem.string() + "_ct.nii");
+  std::filesystem::remove(stem.string() + "_labels.nii");
+}
+
+}  // namespace
+}  // namespace seneca::data

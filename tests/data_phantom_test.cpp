@@ -1,0 +1,194 @@
+// Phantom generator tests: determinism, anatomy plausibility, intensity
+// model, scan composition, and the Table I frequency reproduction.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/dataset.hpp"
+#include "data/phantom.hpp"
+
+namespace seneca::data {
+namespace {
+
+PhantomConfig small_config() {
+  PhantomConfig cfg;
+  cfg.resolution = 96;
+  cfg.slices_per_volume = 12;
+  return cfg;
+}
+
+TEST(Phantom, SliceDeterministic) {
+  PhantomGenerator gen(small_config(), 42);
+  const PhantomSlice a = gen.render_slice(3, 0.5);
+  const PhantomSlice b = gen.render_slice(3, 0.5);
+  EXPECT_LT(tensor::max_abs_diff(a.image_hu, b.image_hu), 1e-9);
+  for (std::int64_t i = 0; i < a.labels.numel(); ++i) {
+    ASSERT_EQ(a.labels[i], b.labels[i]);
+  }
+}
+
+TEST(Phantom, DifferentPatientsDiffer) {
+  PhantomGenerator gen(small_config(), 42);
+  const PhantomSlice a = gen.render_slice(1, 0.5);
+  const PhantomSlice b = gen.render_slice(2, 0.5);
+  EXPECT_GT(tensor::max_abs_diff(a.image_hu, b.image_hu), 1.0);
+}
+
+TEST(Phantom, DatasetSeedChangesAnatomy) {
+  PhantomGenerator g1(small_config(), 1);
+  PhantomGenerator g2(small_config(), 2);
+  const auto a1 = g1.anatomy(0);
+  const auto a2 = g2.anatomy(0);
+  EXPECT_NE(a1.shape_seed, a2.shape_seed);
+}
+
+TEST(Phantom, AnatomyWithinDocumentedRanges) {
+  PhantomGenerator gen(small_config(), 7);
+  for (int p = 0; p < 20; ++p) {
+    const PatientAnatomy a = gen.anatomy(p);
+    EXPECT_GE(a.body_rx, 0.66);
+    EXPECT_LE(a.body_rx, 0.78);
+    EXPECT_GT(a.lung_hu, -900.0);
+    EXPECT_LT(a.lung_hu, -700.0);
+    EXPECT_GT(a.bone_hu, 400.0);
+    EXPECT_GT(a.liver_hu, a.soft_hu);     // enhanced liver brighter
+    EXPECT_LT(a.bladder_hu, a.soft_hu);   // urine darker
+  }
+}
+
+TEST(Phantom, LungsAreDarkBonesAreBright) {
+  PhantomConfig cfg = small_config();
+  cfg.noise_hu = 0.0;
+  cfg.blur_radius = 0;
+  PhantomGenerator gen(cfg, 11);
+  const PhantomSlice s = gen.render_slice(0, 0.30);  // chest
+  double lung_sum = 0, soft_sum = 0, bone_sum = 0;
+  std::int64_t lung_n = 0, soft_n = 0, bone_n = 0;
+  for (std::int64_t i = 0; i < s.labels.numel(); ++i) {
+    switch (static_cast<Organ>(s.labels[i])) {
+      case Organ::kLungs: lung_sum += s.image_hu[i]; ++lung_n; break;
+      case Organ::kBones: bone_sum += s.image_hu[i]; ++bone_n; break;
+      case Organ::kBackground:
+        if (s.image_hu[i] > -500.f) { soft_sum += s.image_hu[i]; ++soft_n; }
+        break;
+      default: break;
+    }
+  }
+  ASSERT_GT(lung_n, 0);
+  ASSERT_GT(bone_n, 0);
+  EXPECT_LT(lung_sum / lung_n, -600.0);
+  EXPECT_GT(bone_sum / bone_n, 300.0);
+  EXPECT_NEAR(soft_sum / soft_n, 40.0, 20.0);
+}
+
+TEST(Phantom, OrgansRespectZRanges) {
+  PhantomGenerator gen(small_config(), 13);
+  auto organs_at = [&](double z) {
+    const PhantomSlice s = gen.render_slice(0, z);
+    std::map<std::int32_t, std::int64_t> counts;
+    for (std::int64_t i = 0; i < s.labels.numel(); ++i) ++counts[s.labels[i]];
+    return counts;
+  };
+  // chest slice: lungs yes, bladder no
+  auto chest = organs_at(0.30);
+  EXPECT_GT(chest[static_cast<std::int32_t>(Organ::kLungs)], 0);
+  EXPECT_EQ(chest[static_cast<std::int32_t>(Organ::kBladder)], 0);
+  // pelvis slice: bladder yes, lungs no
+  auto pelvis = organs_at(0.85);
+  EXPECT_GT(pelvis[static_cast<std::int32_t>(Organ::kBladder)], 0);
+  EXPECT_EQ(pelvis[static_cast<std::int32_t>(Organ::kLungs)], 0);
+  // head slice: brain, no torso organs
+  auto head = organs_at(0.04);
+  EXPECT_GT(head[static_cast<std::int32_t>(Organ::kBrain)], 0);
+  EXPECT_EQ(head[static_cast<std::int32_t>(Organ::kLiver)], 0);
+}
+
+TEST(Phantom, LiverIsLateralized) {
+  PhantomConfig cfg = small_config();
+  PhantomGenerator gen(cfg, 17);
+  const PhantomSlice s = gen.render_slice(0, 0.50);
+  const std::int64_t res = cfg.resolution;
+  std::int64_t left = 0, right = 0;
+  for (std::int64_t y = 0; y < res; ++y) {
+    for (std::int64_t x = 0; x < res; ++x) {
+      if (s.labels[y * res + x] == static_cast<std::int32_t>(Organ::kLiver)) {
+        (x < res / 2 ? left : right) += 1;
+      }
+    }
+  }
+  EXPECT_GT(left, right);  // liver sits on the image-left side
+}
+
+TEST(Phantom, NoiseConfigurable) {
+  PhantomConfig noisy = small_config();
+  noisy.noise_hu = 50.0;
+  PhantomConfig clean = small_config();
+  clean.noise_hu = 0.0;
+  PhantomGenerator g1(noisy, 19);
+  PhantomGenerator g2(clean, 19);
+  const auto a = g1.render_slice(0, 0.5);
+  const auto b = g2.render_slice(0, 0.5);
+  double var = 0;
+  for (std::int64_t i = 0; i < a.image_hu.numel(); ++i) {
+    const double d = a.image_hu[i] - b.image_hu[i];
+    var += d * d;
+  }
+  var /= static_cast<double>(a.image_hu.numel());
+  EXPECT_NEAR(std::sqrt(var), 50.0, 5.0);
+}
+
+TEST(Phantom, IncludeBrainFlag) {
+  PhantomConfig cfg = small_config();
+  cfg.include_brain = false;
+  PhantomGenerator gen(cfg, 23);
+  const PhantomSlice s = gen.render_slice(0, 0.04);
+  for (std::int64_t i = 0; i < s.labels.numel(); ++i) {
+    ASSERT_NE(s.labels[i], static_cast<std::int32_t>(Organ::kBrain));
+  }
+}
+
+TEST(Phantom, ScanTypeMixMatchesCtOrgComposition) {
+  PhantomGenerator gen(small_config(), 1234);
+  int whole = 0, chest = 0, abd = 0;
+  for (int p = 0; p < 500; ++p) {
+    switch (gen.scan_type(p)) {
+      case ScanType::kWholeBody: ++whole; break;
+      case ScanType::kChestOnly: ++chest; break;
+      case ScanType::kChestAbdomen: ++abd; break;
+    }
+  }
+  EXPECT_LT(whole, 25);          // whole-body scans are rare (~2 %)
+  EXPECT_GT(chest, 80);          // ~24 %
+  EXPECT_GT(abd, 300);           // the majority
+}
+
+TEST(Phantom, VolumeCoversScanRange) {
+  PhantomGenerator gen(small_config(), 29);
+  const PhantomVolume vol = gen.generate_volume(5);
+  ASSERT_EQ(vol.slices.size(), 12u);
+  const auto [z0, z1] = PhantomGenerator::scan_range(vol.scan_type);
+  for (const auto& s : vol.slices) {
+    EXPECT_GT(s.z, z0 - 1e-9);
+    EXPECT_LT(s.z, z1 + 1e-9);
+  }
+  EXPECT_LT(vol.slices.front().z, vol.slices.back().z);
+}
+
+/// Table I: organ pixel frequencies. A 30-volume sample at reduced
+/// resolution must land near the paper's distribution (the bench reproduces
+/// it at full scale).
+TEST(Phantom, TableIOrganFrequencies) {
+  const auto freq = raw_organ_frequencies(30, 16, 96, 1234);
+  ASSERT_EQ(freq.size(), 6u);
+  const double paper[6] = {22.18, 2.51, 34.17, 4.70, 36.26, 0.18};
+  const double tol[6] = {5.0, 1.5, 6.0, 2.0, 6.0, 0.8};
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(freq[i], paper[i], tol[i]) << "organ " << i;
+  }
+  double sum = 0;
+  for (double f : freq) sum += f;
+  EXPECT_NEAR(sum, 100.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace seneca::data

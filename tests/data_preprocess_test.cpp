@@ -1,0 +1,144 @@
+// Pre-processing pipeline tests (§III-A): downsampling, percentile
+// saturation, [-1,1] rescaling, brain-label removal.
+#include <gtest/gtest.h>
+
+#include "data/preprocess.hpp"
+
+namespace seneca::data {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+
+TEST(Downsample, BoxFilterAverages) {
+  TensorF img(Shape{2, 2, 1});
+  img[0] = 1.f; img[1] = 2.f; img[2] = 3.f; img[3] = 6.f;
+  const TensorF out = downsample2x(img);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0], 3.f);
+}
+
+TEST(Downsample, HalvesShape) {
+  TensorF img(Shape{512, 512, 1}, 1.f);
+  const TensorF out = downsample2x(img);
+  EXPECT_EQ(out.shape(), (Shape{256, 256, 1}));
+  EXPECT_FLOAT_EQ(out[1000], 1.f);
+}
+
+TEST(Downsample, OddDimsThrow) {
+  TensorF img(Shape{3, 4, 1});
+  EXPECT_THROW(downsample2x(img), std::invalid_argument);
+}
+
+TEST(Downsample, LabelsUseTopLeftPick) {
+  LabelMap labels(Shape{2, 2});
+  labels[0] = 5; labels[1] = 1; labels[2] = 2; labels[3] = 3;
+  const LabelMap out = downsample2x_labels(labels);
+  EXPECT_EQ(out.shape(), (Shape{1, 1}));
+  EXPECT_EQ(out[0], 5);
+}
+
+TEST(Saturate, ClampsTails) {
+  TensorF img(Shape{100, 1, 1});
+  for (std::int64_t i = 0; i < 100; ++i) img[i] = static_cast<float>(i);
+  const auto [lo, hi] = saturate_percentiles(img, 2.0);
+  EXPECT_NEAR(lo, 2.0f, 1.1f);
+  EXPECT_NEAR(hi, 97.0f, 1.1f);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_GE(img[i], lo);
+    EXPECT_LE(img[i], hi);
+  }
+}
+
+TEST(Saturate, InteriorValuesUntouched) {
+  TensorF img(Shape{100, 1, 1});
+  for (std::int64_t i = 0; i < 100; ++i) img[i] = static_cast<float>(i);
+  saturate_percentiles(img, 1.0);
+  EXPECT_FLOAT_EQ(img[50], 50.f);
+}
+
+TEST(Rescale, MapsToUnitRange) {
+  TensorF img(Shape{3});
+  img[0] = 10.f; img[1] = 15.f; img[2] = 20.f;
+  rescale_to_unit(img, 10.f, 20.f);
+  EXPECT_NEAR(img[0], -1.f, 1e-6);
+  EXPECT_NEAR(img[1], 0.f, 1e-6);
+  EXPECT_NEAR(img[2], 1.f, 1e-6);
+}
+
+TEST(Rescale, DegenerateRangeZeros) {
+  TensorF img(Shape{2}, 5.f);
+  rescale_to_unit(img, 5.f, 5.f);
+  EXPECT_FLOAT_EQ(img[0], 0.f);
+}
+
+TEST(BrainRemoval, RelabelsToBackground) {
+  LabelMap labels(Shape{4});
+  labels[0] = static_cast<std::int32_t>(Organ::kBrain);
+  labels[1] = static_cast<std::int32_t>(Organ::kLiver);
+  labels[2] = static_cast<std::int32_t>(Organ::kBrain);
+  labels[3] = 0;
+  remove_brain_label(labels);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], static_cast<std::int32_t>(Organ::kLiver));
+  EXPECT_EQ(labels[2], 0);
+}
+
+TEST(Pipeline, Produces256From512) {
+  PhantomConfig cfg;
+  cfg.resolution = 512;
+  PhantomGenerator gen(cfg, 3);
+  const PhantomSlice slice = gen.render_slice(0, 0.5);
+  const nn::Sample sample = preprocess_slice(slice);
+  EXPECT_EQ(sample.image.shape(), (Shape{256, 256, 1}));
+  EXPECT_EQ(sample.labels.shape(), (Shape{256, 256}));
+}
+
+TEST(Pipeline, OutputInUnitRange) {
+  PhantomConfig cfg;
+  cfg.resolution = 128;
+  PhantomGenerator gen(cfg, 5);
+  const nn::Sample sample = preprocess_slice(gen.render_slice(0, 0.4));
+  for (std::int64_t i = 0; i < sample.image.numel(); ++i) {
+    ASSERT_GE(sample.image[i], -1.f);
+    ASSERT_LE(sample.image[i], 1.f);
+  }
+}
+
+TEST(Pipeline, NoBrainLabelsSurvive) {
+  PhantomConfig cfg;
+  cfg.resolution = 96;
+  PhantomGenerator gen(cfg, 7);
+  // whole-body head slice: raw labels contain brain
+  const PhantomSlice raw = gen.render_slice(0, 0.04);
+  bool had_brain = false;
+  for (std::int64_t i = 0; i < raw.labels.numel(); ++i) {
+    had_brain |= raw.labels[i] == static_cast<std::int32_t>(Organ::kBrain);
+  }
+  ASSERT_TRUE(had_brain);
+  const nn::Sample sample = preprocess_slice(raw);
+  for (std::int64_t i = 0; i < sample.labels.numel(); ++i) {
+    ASSERT_LT(sample.labels[i], static_cast<std::int32_t>(Organ::kBrain));
+  }
+}
+
+TEST(Pipeline, LungsDarkAfterRescale) {
+  PhantomConfig cfg;
+  cfg.resolution = 96;
+  PhantomGenerator gen(cfg, 9);
+  const PhantomSlice raw = gen.render_slice(0, 0.3);
+  const nn::Sample sample = preprocess_slice(raw);
+  double lung_mean = 0;
+  std::int64_t n = 0;
+  for (std::int64_t i = 0; i < sample.labels.numel(); ++i) {
+    if (sample.labels[i] == static_cast<std::int32_t>(Organ::kLungs)) {
+      lung_mean += sample.image[i];
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(lung_mean / static_cast<double>(n), -0.4);
+}
+
+}  // namespace
+}  // namespace seneca::data

@@ -1,0 +1,99 @@
+// Disassembler tests: the report must faithfully reflect the compiled
+// model's structure and totals.
+#include <gtest/gtest.h>
+
+#include "dpu/compiler.hpp"
+#include "dpu/disasm.hpp"
+#include "nn/unet.hpp"
+#include "quant/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::dpu {
+namespace {
+
+XModel tiny_xmodel() {
+  nn::UNet2DConfig cfg;
+  cfg.input_size = 16;
+  cfg.depth = 2;
+  cfg.base_filters = 4;
+  auto graph = nn::build_unet2d(cfg);
+  util::Rng rng(3);
+  tensor::TensorF x(tensor::Shape{16, 16, 1});
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  graph->forward(x, true);
+  quant::FGraph fg = quant::fold(*graph);
+  std::vector<tensor::TensorF> calib{x};
+  return compile(quant::quantize(fg, calib));
+}
+
+TEST(Disasm, ListsEveryLayer) {
+  const XModel xm = tiny_xmodel();
+  const std::string text = disassemble(xm);
+  for (const auto& layer : xm.layers) {
+    EXPECT_NE(text.find(layer.name), std::string::npos) << layer.name;
+  }
+}
+
+TEST(Disasm, ContainsArchAndOpcodes) {
+  const XModel xm = tiny_xmodel();
+  const std::string text = disassemble(xm);
+  EXPECT_NE(text.find("DPUCZDX8G-B4096"), std::string::npos);
+  EXPECT_NE(text.find("LOAD"), std::string::npos);
+  EXPECT_NE(text.find("SAVE"), std::string::npos);
+  EXPECT_NE(text.find("CONV"), std::string::npos);
+  EXPECT_NE(text.find("END"), std::string::npos);
+}
+
+TEST(Disasm, SummaryTogglable) {
+  const XModel xm = tiny_xmodel();
+  DisasmOptions opts;
+  opts.summary = false;
+  opts.instructions = false;
+  const std::string text = disassemble(xm, opts);
+  EXPECT_EQ(text.find("TOTAL:"), std::string::npos);
+  EXPECT_EQ(text.find("LOAD"), std::string::npos);
+  DisasmOptions with;
+  EXPECT_NE(disassemble(xm, with).find("TOTAL:"), std::string::npos);
+  EXPECT_NE(disassemble(xm, with).find("LATENCY:"), std::string::npos);
+}
+
+TEST(Disasm, BreakdownSortedByContribution) {
+  const XModel xm = tiny_xmodel();
+  const std::string text = latency_breakdown(xm);
+  // percentage of the first listed layer >= percentage of the last
+  const auto first = text.find('%');
+  ASSERT_NE(first, std::string::npos);
+  // every layer appears
+  for (const auto& layer : xm.layers) {
+    EXPECT_NE(text.find(layer.name), std::string::npos);
+  }
+  // percentages sum to ~100
+  double sum = 0.0;
+  std::size_t pos = 0;
+  while ((pos = text.find('%', pos)) != std::string::npos) {
+    const std::size_t line_start = text.rfind('\n', pos);
+    const std::string head =
+        text.substr(line_start + 1, pos - line_start - 1);
+    sum += std::strtod(head.c_str(), nullptr);
+    ++pos;
+  }
+  EXPECT_NEAR(sum, 100.0, 2.0);
+}
+
+TEST(Disasm, InstructionCountsMatchModel) {
+  const XModel xm = tiny_xmodel();
+  const std::string text = disassemble(xm);
+  std::size_t loads = 0, pos = 0;
+  while ((pos = text.find("LOAD", pos)) != std::string::npos) {
+    ++loads;
+    ++pos;
+  }
+  std::size_t expected = 0;
+  for (const auto& l : xm.layers) {
+    for (const auto& i : l.instrs) expected += (i.opcode == Opcode::kLoad);
+  }
+  EXPECT_EQ(loads, expected);
+}
+
+}  // namespace
+}  // namespace seneca::dpu

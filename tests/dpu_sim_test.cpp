@@ -1,0 +1,146 @@
+// DPU core simulator tests. The central property is BIT-EXACTNESS: the
+// functional core model must produce byte-identical outputs to the
+// quantized reference executor (quant::QGraph), across seeds/sizes
+// (parameterized) and across an xmodel save/load round trip.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dpu/compiler.hpp"
+#include "dpu/core_sim.hpp"
+#include "nn/unet.hpp"
+#include "quant/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::dpu {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+using tensor::TensorI8;
+
+struct Built {
+  quant::QGraph qgraph;
+  XModel xmodel;
+  std::int64_t size;
+};
+
+Built build(std::uint64_t seed, std::int64_t size, int depth,
+            std::int64_t filters) {
+  nn::UNet2DConfig cfg;
+  cfg.input_size = size;
+  cfg.depth = depth;
+  cfg.base_filters = filters;
+  cfg.seed = seed;
+  auto graph = nn::build_unet2d(cfg);
+  for (int i = 0; i < 3; ++i) {
+    util::Rng rng(seed + 31 + static_cast<std::uint64_t>(i));
+    TensorF x(Shape{size, size, 1});
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+    graph->forward(x, true);
+  }
+  quant::FGraph fg = quant::fold(*graph);
+  std::vector<TensorF> calib;
+  util::Rng rng(seed + 77);
+  TensorF img(Shape{size, size, 1});
+  for (auto& v : img) v = static_cast<float>(rng.uniform(-1, 1));
+  calib.push_back(img);
+  Built b;
+  b.qgraph = quant::quantize(fg, calib);
+  b.xmodel = compile(b.qgraph);
+  b.size = size;
+  return b;
+}
+
+TensorI8 random_input(std::int64_t size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TensorI8 x(Shape{size, size, 1});
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  return x;
+}
+
+class BitExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitExactness, CoreSimMatchesQGraphReference) {
+  const std::uint64_t seed = GetParam();
+  const Built b = build(seed, 16, 2, 4);
+  DpuCoreSim core(&b.xmodel);
+  for (int trial = 0; trial < 3; ++trial) {
+    const TensorI8 input = random_input(16, seed * 100 + static_cast<std::uint64_t>(trial));
+    const TensorI8 ref = b.qgraph.forward(input);
+    const RunResult result = core.run(input);
+    ASSERT_EQ(result.output.shape(), ref.shape());
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_EQ(result.output[i], ref[i]) << "seed " << seed << " elem " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitExactness,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class BitExactnessShapes
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int, std::int64_t>> {};
+
+TEST_P(BitExactnessShapes, AcrossSizesAndDepths) {
+  const auto [size, depth, filters] = GetParam();
+  const Built b = build(99, size, depth, filters);
+  DpuCoreSim core(&b.xmodel);
+  const TensorI8 input = random_input(size, 4242);
+  const TensorI8 ref = b.qgraph.forward(input);
+  const RunResult result = core.run(input);
+  ASSERT_EQ(tensor::max_abs_diff(result.output, ref), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BitExactnessShapes,
+    ::testing::Values(std::make_tuple(16, 2, 4), std::make_tuple(32, 2, 4),
+                      std::make_tuple(16, 2, 6), std::make_tuple(32, 3, 4),
+                      std::make_tuple(64, 4, 4)));
+
+TEST(CoreSim, BitExactAfterXmodelRoundTrip) {
+  const Built b = build(7, 16, 2, 4);
+  const auto path = std::filesystem::temp_directory_path() / "rt.xmodel";
+  b.xmodel.save(path);
+  const XModel loaded = XModel::load(path);
+  DpuCoreSim original(&b.xmodel);
+  DpuCoreSim reloaded(&loaded);
+  const TensorI8 input = random_input(16, 31415);
+  EXPECT_EQ(tensor::max_abs_diff(original.run(input).output,
+                                 reloaded.run(input).output), 0.0);
+  std::filesystem::remove(path);
+}
+
+TEST(CoreSim, RejectsWrongInputShape) {
+  const Built b = build(11, 16, 2, 4);
+  DpuCoreSim core(&b.xmodel);
+  EXPECT_THROW(core.run(random_input(32, 1)), std::invalid_argument);
+}
+
+TEST(CoreSim, ReportsLatency) {
+  const Built b = build(13, 16, 2, 4);
+  DpuCoreSim core(&b.xmodel);
+  const RunResult r1 = core.run(random_input(16, 5), 1);
+  const RunResult r2 = core.run(random_input(16, 5), 2);
+  EXPECT_GT(r1.cycles, 0.0);
+  EXPECT_LT(r1.cycles, r2.cycles);
+  EXPECT_NEAR(r1.seconds, r1.cycles / (b.xmodel.arch.clock_mhz * 1e6), 1e-12);
+}
+
+TEST(CoreSim, DeterministicAcrossRuns) {
+  const Built b = build(17, 16, 2, 4);
+  DpuCoreSim core(&b.xmodel);
+  const TensorI8 input = random_input(16, 9);
+  EXPECT_EQ(tensor::max_abs_diff(core.run(input).output,
+                                 core.run(input).output), 0.0);
+}
+
+TEST(CoreSim, OutputShapeIsLogitMaps) {
+  const Built b = build(19, 32, 2, 4);
+  DpuCoreSim core(&b.xmodel);
+  const RunResult r = core.run(random_input(32, 10));
+  EXPECT_EQ(r.output.shape(), (Shape{32, 32, 6}));
+}
+
+}  // namespace
+}  // namespace seneca::dpu

@@ -1,0 +1,192 @@
+// Metric tests: DSC/TPR/TNR on hand-computed confusion cases, global
+// weighting, run statistics, boxplots, table rendering.
+#include <gtest/gtest.h>
+
+#include "eval/metrics.hpp"
+#include "eval/stats.hpp"
+#include "eval/table.hpp"
+
+namespace seneca::eval {
+namespace {
+
+using tensor::Shape;
+
+LabelMap make_labels(std::initializer_list<std::int32_t> values) {
+  LabelMap m(Shape{static_cast<std::int64_t>(values.size())});
+  std::int64_t i = 0;
+  for (auto v : values) m[i++] = v;
+  return m;
+}
+
+TEST(BinaryCountsTest, DiceHandComputed) {
+  BinaryCounts c;
+  c.tp = 8;
+  c.fp = 2;
+  c.fn = 2;
+  EXPECT_DOUBLE_EQ(c.dice(), 16.0 / 20.0);
+}
+
+TEST(BinaryCountsTest, EmptyClassIsPerfect) {
+  BinaryCounts c;
+  c.tn = 100;
+  EXPECT_DOUBLE_EQ(c.dice(), 1.0);
+  EXPECT_DOUBLE_EQ(c.tpr(), 1.0);
+}
+
+TEST(BinaryCountsTest, TprTnr) {
+  BinaryCounts c;
+  c.tp = 9;
+  c.fn = 1;
+  c.tn = 90;
+  c.fp = 10;
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.9);
+  EXPECT_DOUBLE_EQ(c.tnr(), 0.9);
+}
+
+TEST(Confusion, PerfectPrediction) {
+  const LabelMap truth = make_labels({0, 1, 2, 1, 0});
+  const auto counts = confusion_per_class(truth, truth, 3);
+  for (const auto& c : counts) {
+    EXPECT_EQ(c.fp, 0);
+    EXPECT_EQ(c.fn, 0);
+    EXPECT_DOUBLE_EQ(c.dice(), 1.0);
+  }
+}
+
+TEST(Confusion, HandComputedCase) {
+  const LabelMap pred = make_labels({1, 1, 0, 2});
+  const LabelMap truth = make_labels({1, 0, 0, 1});
+  const auto counts = confusion_per_class(pred, truth, 3);
+  // class 1: tp=1 (pos 0), fp=1 (pos 1), fn=1 (pos 3)
+  EXPECT_EQ(counts[1].tp, 1);
+  EXPECT_EQ(counts[1].fp, 1);
+  EXPECT_EQ(counts[1].fn, 1);
+  EXPECT_DOUBLE_EQ(counts[1].dice(), 2.0 / 4.0);
+  // class 2: tp=0, fp=1, fn=0
+  EXPECT_EQ(counts[2].fp, 1);
+}
+
+TEST(Confusion, SizeMismatchThrows) {
+  EXPECT_THROW(confusion_per_class(make_labels({0, 1}), make_labels({0}), 2),
+               std::invalid_argument);
+}
+
+TEST(Evaluator, AccumulatesAcrossAdds) {
+  SegmentationEvaluator ev(2);
+  ev.add(make_labels({1, 0}), make_labels({1, 1}));
+  ev.add(make_labels({1, 1}), make_labels({1, 1}));
+  // class 1: tp=3, fn=1, fp=0 -> dice 6/7
+  EXPECT_DOUBLE_EQ(ev.dice_per_class()[1], 6.0 / 7.0);
+}
+
+TEST(Evaluator, GlobalDiceWeightsByFrequency) {
+  SegmentationEvaluator ev(3);
+  // class 1: 90 px perfectly predicted; class 2: 10 px all missed
+  LabelMap truth(Shape{100});
+  LabelMap pred(Shape{100});
+  for (std::int64_t i = 0; i < 100; ++i) {
+    truth[i] = i < 90 ? 1 : 2;
+    pred[i] = 1;
+  }
+  ev.add(pred, truth);
+  // class1 dice = 180/190, class2 dice = 0; weights 90:10
+  const double expected = (90.0 * (180.0 / 190.0) + 10.0 * 0.0) / 100.0;
+  EXPECT_NEAR(ev.global_dice(), expected, 1e-9);
+}
+
+TEST(Evaluator, GlobalMetricsIgnoreBackground) {
+  SegmentationEvaluator ev(2);
+  // all background, predicted perfectly: no organ pixels -> global = 1
+  ev.add(make_labels({0, 0, 0}), make_labels({0, 0, 0}));
+  EXPECT_DOUBLE_EQ(ev.global_dice(), 1.0);
+}
+
+TEST(Evaluator, TnrNearOneForSparsePredictions) {
+  SegmentationEvaluator ev(2);
+  LabelMap truth(Shape{1000}, 0);
+  LabelMap pred(Shape{1000}, 0);
+  truth[0] = 1;
+  pred[0] = 1;
+  pred[1] = 1;  // one FP among 999 negatives
+  ev.add(pred, truth);
+  EXPECT_GT(ev.global_tnr(), 0.99);
+}
+
+TEST(Stats, MeanAndStd) {
+  const RunStats s = compute_stats({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.mean, 5.0, 1e-9);
+  EXPECT_NEAR(s.stddev, 2.138, 0.01);  // sample std
+  EXPECT_EQ(s.n, 8u);
+}
+
+TEST(Stats, SingleSampleZeroStd) {
+  const RunStats s = compute_stats({3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, EmptyIsZero) {
+  const RunStats s = compute_stats({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, FormatContainsPlusMinus) {
+  const std::string out = format_stats(compute_stats({1.0, 2.0, 3.0}), 2);
+  EXPECT_NE(out.find("2.00"), std::string::npos);
+  EXPECT_NE(out.find("+/-"), std::string::npos);
+}
+
+TEST(Boxplot, QuartilesOfKnownData) {
+  const BoxplotStats b = compute_boxplot({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_DOUBLE_EQ(b.minimum, 1.0);
+  EXPECT_DOUBLE_EQ(b.maximum, 9.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+}
+
+TEST(Boxplot, UnsortedInputHandled) {
+  const BoxplotStats b = compute_boxplot({9, 1, 5});
+  EXPECT_DOUBLE_EQ(b.minimum, 1.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.maximum, 9.0);
+}
+
+TEST(Boxplot, RenderHasBracketsAndMedian) {
+  BoxplotStats b;
+  b.minimum = 0.2;
+  b.q1 = 0.4;
+  b.median = 0.5;
+  b.q3 = 0.6;
+  b.maximum = 0.8;
+  const std::string line = render_boxplot(b, 0.0, 1.0, 50);
+  EXPECT_EQ(line.size(), 50u);
+  EXPECT_NE(line.find('['), std::string::npos);
+  EXPECT_NE(line.find(']'), std::string::npos);
+  EXPECT_NE(line.find('|'), std::string::npos);
+  EXPECT_NE(line.find('='), std::string::npos);
+}
+
+TEST(TableRender, AlignsAndContainsCells) {
+  Table t({"Config", "FPS", "DSC"});
+  t.add_row({"1M", Table::num(335.4, 1), Table::pm(93.04, 0.07)});
+  t.add_row({"16M", Table::num(98.12, 2), "n/a"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Config"), std::string::npos);
+  EXPECT_NE(out.find("335.4"), std::string::npos);
+  EXPECT_NE(out.find("93.04 +/- 0.07"), std::string::npos);
+  EXPECT_NE(out.find("n/a"), std::string::npos);
+  // header separator row present
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TableRender, ShortRowsPadded) {
+  Table t({"A", "B"});
+  t.add_row({"x"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace seneca::eval

@@ -1,0 +1,332 @@
+// Layer-level functional tests: each forward pass against a naive reference
+// or hand-computed values; structural/shape validation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers2d.hpp"
+#include "nn/layers3d.hpp"
+#include "nn/layers_common.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+
+TensorF random_tensor(Shape shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TensorF t(shape);
+  for (auto& v : t) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+/// Naive O(everything) same-padding conv reference.
+TensorF naive_conv2d(const TensorF& x, const TensorF& w, const TensorF& b) {
+  const std::int64_t h = x.shape()[0], wd = x.shape()[1], ci = x.shape()[2];
+  const std::int64_t k = w.shape()[0], co = w.shape()[3];
+  const std::int64_t pad = k / 2;
+  TensorF out(Shape{h, wd, co});
+  for (std::int64_t y = 0; y < h; ++y)
+    for (std::int64_t xx = 0; xx < wd; ++xx)
+      for (std::int64_t o = 0; o < co; ++o) {
+        float acc = b[o];
+        for (std::int64_t ky = 0; ky < k; ++ky)
+          for (std::int64_t kx = 0; kx < k; ++kx)
+            for (std::int64_t c = 0; c < ci; ++c) {
+              const std::int64_t iy = y + ky - pad, ix = xx + kx - pad;
+              if (iy < 0 || iy >= h || ix < 0 || ix >= wd) continue;
+              acc += x.at(iy, ix, c) * w[((ky * k + kx) * ci + c) * co + o];
+            }
+        out.at(y, xx, o) = acc;
+      }
+  return out;
+}
+
+TEST(Conv2D, MatchesNaiveReference) {
+  Conv2D conv(3, 5, 3);
+  util::Rng rng(1);
+  conv.init_he(rng);
+  TensorF x = random_tensor(Shape{7, 6, 3}, 2);
+  TensorF out(Shape{7, 6, 5});
+  conv.forward({&x}, out, false);
+  TensorF ref = naive_conv2d(x, conv.weight().value, conv.bias().value);
+  EXPECT_LT(tensor::max_abs_diff(out, ref), 1e-5);
+}
+
+TEST(Conv2D, IdentityKernelPassesThrough) {
+  Conv2D conv(1, 1, 3);
+  conv.weight().value.fill(0.f);
+  conv.weight().value[(1 * 3 + 1) * 1 * 1] = 1.f;  // center tap
+  conv.bias().value.fill(0.f);
+  TensorF x = random_tensor(Shape{5, 5, 1}, 3);
+  TensorF out(Shape{5, 5, 1});
+  conv.forward({&x}, out, false);
+  EXPECT_LT(tensor::max_abs_diff(out, x), 1e-7);
+}
+
+TEST(Conv2D, BiasApplied) {
+  Conv2D conv(1, 2, 3);
+  conv.weight().value.fill(0.f);
+  conv.bias().value[0] = 1.25f;
+  conv.bias().value[1] = -0.5f;
+  TensorF x = random_tensor(Shape{4, 4, 1}, 4);
+  TensorF out(Shape{4, 4, 2});
+  conv.forward({&x}, out, false);
+  EXPECT_FLOAT_EQ(out.at(2, 2, 0), 1.25f);
+  EXPECT_FLOAT_EQ(out.at(2, 2, 1), -0.5f);
+}
+
+TEST(Conv2D, KernelFiveSupported) {
+  Conv2D conv(2, 3, 5);
+  util::Rng rng(5);
+  conv.init_he(rng);
+  TensorF x = random_tensor(Shape{8, 8, 2}, 6);
+  TensorF out(Shape{8, 8, 3});
+  conv.forward({&x}, out, false);
+  TensorF ref = naive_conv2d(x, conv.weight().value, conv.bias().value);
+  EXPECT_LT(tensor::max_abs_diff(out, ref), 1e-5);
+}
+
+TEST(Conv2D, EvenKernelThrows) {
+  EXPECT_THROW(Conv2D(1, 1, 4), std::invalid_argument);
+}
+
+TEST(Conv2D, WrongChannelCountThrows) {
+  Conv2D conv(3, 5);
+  EXPECT_THROW(conv.output_shape({Shape{4, 4, 2}}), std::invalid_argument);
+}
+
+TEST(TransposedConv2D, DoublesSpatialSize) {
+  TransposedConv2D up(4, 2);
+  EXPECT_EQ(up.output_shape({Shape{5, 6, 4}}), (Shape{10, 12, 2}));
+}
+
+TEST(TransposedConv2D, MatchesScatterReference) {
+  TransposedConv2D up(2, 3);
+  util::Rng rng(7);
+  up.init_he(rng);
+  TensorF x = random_tensor(Shape{3, 4, 2}, 8);
+  TensorF out(Shape{6, 8, 3});
+  up.forward({&x}, out, false);
+
+  // Scatter reference.
+  TensorF ref(Shape{6, 8, 3});
+  for (std::int64_t i = 0; i < ref.numel(); i += 3)
+    for (std::int64_t o = 0; o < 3; ++o) ref[i + o] = up.bias().value[o];
+  for (std::int64_t iy = 0; iy < 3; ++iy)
+    for (std::int64_t ix = 0; ix < 4; ++ix)
+      for (std::int64_t ky = 0; ky < 3; ++ky)
+        for (std::int64_t kx = 0; kx < 3; ++kx) {
+          const std::int64_t oy = 2 * iy - 1 + ky, ox = 2 * ix - 1 + kx;
+          if (oy < 0 || oy >= 6 || ox < 0 || ox >= 8) continue;
+          for (std::int64_t c = 0; c < 2; ++c)
+            for (std::int64_t o = 0; o < 3; ++o)
+              ref.at(oy, ox, o) +=
+                  x.at(iy, ix, c) *
+                  up.weight().value[((ky * 3 + kx) * 2 + c) * 3 + o];
+        }
+  EXPECT_LT(tensor::max_abs_diff(out, ref), 1e-5);
+}
+
+TEST(MaxPool2D, HalvesAndTakesMax) {
+  MaxPool2D pool;
+  TensorF x(Shape{4, 4, 1}, 0.f);
+  x.at(0, 0, 0) = 5.f;
+  x.at(2, 3, 0) = -1.f;
+  x.at(3, 3, 0) = 2.f;
+  TensorF out(Shape{2, 2, 1});
+  pool.forward({&x}, out, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0), 2.f);
+}
+
+TEST(MaxPool2D, OddDimsThrow) {
+  MaxPool2D pool;
+  EXPECT_THROW(pool.output_shape({Shape{5, 4, 1}}), std::invalid_argument);
+}
+
+TEST(MaxPool2D, PerChannelIndependence) {
+  MaxPool2D pool;
+  TensorF x(Shape{2, 2, 2}, 0.f);
+  x.at(0, 0, 0) = 3.f;
+  x.at(1, 1, 1) = 4.f;
+  TensorF out(Shape{1, 1, 2});
+  pool.forward({&x}, out, false);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 4.f);
+}
+
+TEST(ReLULayer, ClampsNegatives) {
+  ReLU relu;
+  TensorF x(Shape{4});
+  x[0] = -1.f; x[1] = 0.f; x[2] = 2.f; x[3] = -0.1f;
+  TensorF out(Shape{4});
+  relu.forward({&x}, out, false);
+  EXPECT_FLOAT_EQ(out[0], 0.f);
+  EXPECT_FLOAT_EQ(out[1], 0.f);
+  EXPECT_FLOAT_EQ(out[2], 2.f);
+  EXPECT_FLOAT_EQ(out[3], 0.f);
+}
+
+TEST(BatchNormLayer, TrainingNormalizesPerChannel) {
+  BatchNorm bn(2);
+  TensorF x = random_tensor(Shape{8, 8, 2}, 9);
+  // offset channel 1 strongly
+  for (std::int64_t i = 1; i < x.numel(); i += 2) x[i] += 10.f;
+  TensorF out(Shape{8, 8, 2});
+  bn.forward({&x}, out, true);
+  double mean[2] = {0, 0}, var[2] = {0, 0};
+  for (std::int64_t i = 0; i < out.numel(); i += 2) {
+    mean[0] += out[i];
+    mean[1] += out[i + 1];
+  }
+  mean[0] /= 64; mean[1] /= 64;
+  for (std::int64_t i = 0; i < out.numel(); i += 2) {
+    var[0] += (out[i] - mean[0]) * (out[i] - mean[0]);
+    var[1] += (out[i + 1] - mean[1]) * (out[i + 1] - mean[1]);
+  }
+  var[0] /= 64; var[1] /= 64;
+  EXPECT_NEAR(mean[0], 0.0, 1e-4);
+  EXPECT_NEAR(mean[1], 0.0, 1e-4);
+  EXPECT_NEAR(var[0], 1.0, 1e-2);
+  EXPECT_NEAR(var[1], 1.0, 1e-2);
+}
+
+TEST(BatchNormLayer, GammaBetaApplied) {
+  BatchNorm bn(1);
+  bn.params()[0]->value[0] = 2.f;  // gamma
+  bn.params()[1]->value[0] = 3.f;  // beta
+  TensorF x = random_tensor(Shape{4, 4, 1}, 10);
+  TensorF out(Shape{4, 4, 1});
+  bn.forward({&x}, out, true);
+  double mean = 0;
+  for (std::int64_t i = 0; i < 16; ++i) mean += out[i];
+  EXPECT_NEAR(mean / 16, 3.0, 1e-4);  // beta shifts the normalized mean
+}
+
+TEST(BatchNormLayer, RunningStatsConvergeToConstantBatch) {
+  BatchNorm bn(1, 0.5f);
+  TensorF x(Shape{4, 4, 1});
+  for (std::int64_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  TensorF out(Shape{4, 4, 1});
+  for (int step = 0; step < 30; ++step) bn.forward({&x}, out, true);
+  EXPECT_NEAR(bn.running_mean()[0], 7.5f, 1e-3);
+  // inference should now match training output
+  TensorF out_eval(Shape{4, 4, 1});
+  bn.forward({&x}, out_eval, false);
+  EXPECT_LT(tensor::max_abs_diff(out, out_eval), 1e-3);
+}
+
+TEST(DropoutLayer, InferenceIsIdentity) {
+  Dropout drop(0.5f);
+  TensorF x = random_tensor(Shape{10, 10, 1}, 11);
+  TensorF out(Shape{10, 10, 1});
+  drop.forward({&x}, out, false);
+  EXPECT_LT(tensor::max_abs_diff(out, x), 1e-9);
+}
+
+TEST(DropoutLayer, TrainingDropsAboutRate) {
+  Dropout drop(0.3f, 12);
+  TensorF x(Shape{100, 100, 1}, 1.f);
+  TensorF out(Shape{100, 100, 1});
+  drop.forward({&x}, out, true);
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < out.numel(); ++i) zeros += (out[i] == 0.f);
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+  // kept values are scaled by 1/(1-rate)
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    if (out[i] != 0.f) {
+      EXPECT_NEAR(out[i], 1.f / 0.7f, 1e-5);
+      break;
+    }
+  }
+}
+
+TEST(SoftmaxLayer, SumsToOneAndOrders) {
+  Softmax sm;
+  TensorF x(Shape{1, 1, 4});
+  x[0] = 0.f; x[1] = 1.f; x[2] = 2.f; x[3] = -1.f;
+  TensorF out(Shape{1, 1, 4});
+  sm.forward({&x}, out, false);
+  float sum = 0.f;
+  for (int c = 0; c < 4; ++c) sum += out[c];
+  EXPECT_NEAR(sum, 1.f, 1e-6);
+  EXPECT_GT(out[2], out[1]);
+  EXPECT_GT(out[1], out[0]);
+  EXPECT_GT(out[0], out[3]);
+}
+
+TEST(SoftmaxLayer, NumericallyStableForLargeLogits) {
+  Softmax sm;
+  TensorF x(Shape{1, 1, 2});
+  x[0] = 1000.f; x[1] = 999.f;
+  TensorF out(Shape{1, 1, 2});
+  sm.forward({&x}, out, false);
+  EXPECT_TRUE(std::isfinite(out[0]));
+  EXPECT_NEAR(out[0] + out[1], 1.f, 1e-6);
+  EXPECT_GT(out[0], out[1]);
+}
+
+TEST(ConcatLayer, JoinsChannels) {
+  Concat cat;
+  TensorF a(Shape{2, 2, 1}, 1.f);
+  TensorF b(Shape{2, 2, 2}, 2.f);
+  TensorF out(Shape{2, 2, 3});
+  cat.forward({&a, &b}, out, false);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0), 1.f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 1), 2.f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 2), 2.f);
+}
+
+TEST(ConcatLayer, SpatialMismatchThrows) {
+  Concat cat;
+  EXPECT_THROW(cat.output_shape({Shape{2, 2, 1}, Shape{3, 2, 1}}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- 3D layers --
+
+TEST(Conv3D, IdentityKernelPassesThrough) {
+  Conv3D conv(1, 1, 3);
+  conv.params()[0]->value.fill(0.f);
+  // center tap of the 3x3x3 kernel
+  conv.params()[0]->value[((1 * 3 + 1) * 3 + 1) * 1 * 1] = 1.f;
+  TensorF x = random_tensor(Shape{4, 4, 4, 1}, 13);
+  TensorF out(Shape{4, 4, 4, 1});
+  conv.forward({&x}, out, false);
+  EXPECT_LT(tensor::max_abs_diff(out, x), 1e-7);
+}
+
+TEST(Conv3D, OutputShape) {
+  Conv3D conv(2, 6);
+  EXPECT_EQ(conv.output_shape({Shape{4, 8, 8, 2}}), (Shape{4, 8, 8, 6}));
+}
+
+TEST(TransposedConv3D, DoublesAllSpatialDims) {
+  TransposedConv3D up(4, 2);
+  EXPECT_EQ(up.output_shape({Shape{2, 3, 4, 4}}), (Shape{4, 6, 8, 2}));
+}
+
+TEST(MaxPool3D, HalvesAllSpatialDims) {
+  MaxPool3D pool;
+  TensorF x(Shape{2, 2, 2, 1}, 0.f);
+  x.at(1, 1, 1, 0) = 9.f;
+  TensorF out(Shape{1, 1, 1, 1});
+  pool.forward({&x}, out, false);
+  EXPECT_FLOAT_EQ(out[0], 9.f);
+}
+
+TEST(ConcatLayer, Works4D) {
+  Concat cat;
+  TensorF a(Shape{2, 2, 2, 1}, 1.f);
+  TensorF b(Shape{2, 2, 2, 1}, 2.f);
+  TensorF out(Shape{2, 2, 2, 2});
+  cat.forward({&a, &b}, out, false);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 1, 0), 1.f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 1, 1), 2.f);
+}
+
+}  // namespace
+}  // namespace seneca::nn

@@ -1,0 +1,242 @@
+// Loss-function tests: values on hand-built cases, analytic gradients vs
+// finite differences (losses act directly on probabilities, so numeric
+// checks are exact up to float noise), weighting properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+
+/// Random probability maps (positive, normalized per pixel).
+TensorF random_probs(std::int64_t n, std::int64_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TensorF p(Shape{n, c});
+  for (std::int64_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      p[i * c + ch] = static_cast<float>(rng.uniform(0.05, 1.0));
+      sum += p[i * c + ch];
+    }
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      p[i * c + ch] = static_cast<float>(p[i * c + ch] / sum);
+    }
+  }
+  return p;
+}
+
+LabelMap random_labels(std::int64_t n, std::int64_t c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  LabelMap y(Shape{n});
+  for (auto& v : y) v = static_cast<std::int32_t>(rng.uniform_index(static_cast<std::uint64_t>(c)));
+  return y;
+}
+
+void check_gradient(const Loss& loss, std::int64_t n, std::int64_t c,
+                    std::uint64_t seed) {
+  TensorF p = random_probs(n, c, seed);
+  LabelMap y = random_labels(n, c, seed + 1);
+  TensorF grad(p.shape());
+  loss.compute(p, y, grad);
+  util::Rng pick(seed + 2);
+  const float h = 1e-4f;
+  TensorF scratch(p.shape());
+  for (int k = 0; k < 6; ++k) {
+    const std::int64_t idx = static_cast<std::int64_t>(
+        pick.uniform_index(static_cast<std::uint64_t>(p.numel())));
+    const float orig = p[idx];
+    p[idx] = orig + h;
+    const double lp = loss.compute(p, y, scratch);
+    p[idx] = orig - h;
+    const double lm = loss.compute(p, y, scratch);
+    p[idx] = orig;
+    const double num = (lp - lm) / (2.0 * h);
+    EXPECT_NEAR(grad[idx], num, 1e-3 * (std::fabs(num) + std::fabs(grad[idx]) + 1.0))
+        << loss.name() << " idx " << idx;
+  }
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZero) {
+  TensorF p(Shape{2, 3}, 0.f);
+  LabelMap y(Shape{2});
+  y[0] = 1; y[1] = 2;
+  p[0 * 3 + 1] = 1.f;
+  p[1 * 3 + 2] = 1.f;
+  CrossEntropyLoss ce;
+  TensorF g(p.shape());
+  EXPECT_NEAR(ce.compute(p, y, g), 0.0, 1e-6);
+}
+
+TEST(CrossEntropy, UniformPredictionIsLogC) {
+  const std::int64_t c = 4;
+  TensorF p(Shape{5, c}, 1.f / c);
+  LabelMap y = random_labels(5, c, 3);
+  CrossEntropyLoss ce;
+  TensorF g(p.shape());
+  EXPECT_NEAR(ce.compute(p, y, g), std::log(static_cast<double>(c)), 1e-5);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  check_gradient(CrossEntropyLoss{}, 12, 4, 5);
+}
+
+TEST(Dice, PerfectPredictionNearZero) {
+  const std::int64_t n = 16, c = 3;
+  LabelMap y = random_labels(n, c, 7);
+  TensorF p(Shape{n, c}, 0.f);
+  for (std::int64_t i = 0; i < n; ++i) p[i * c + y[i]] = 1.f;
+  DiceLoss dice;
+  TensorF g(p.shape());
+  EXPECT_LT(dice.compute(p, y, g), 0.05);  // only the smooth term remains
+}
+
+TEST(Dice, WrongPredictionNearOne) {
+  const std::int64_t n = 64, c = 2;
+  LabelMap y(Shape{n}, 0);
+  TensorF p(Shape{n, c}, 0.f);
+  for (std::int64_t i = 0; i < n; ++i) p[i * c + 1] = 1.f;  // all wrong
+  DiceLoss dice;
+  TensorF g(p.shape());
+  EXPECT_GT(dice.compute(p, y, g), 0.8);
+}
+
+TEST(Dice, GradientMatchesFiniteDifference) {
+  check_gradient(DiceLoss{}, 10, 3, 11);
+}
+
+TEST(FocalTversky, PerfectPredictionNearZero) {
+  const std::int64_t n = 32, c = 3;
+  LabelMap y = random_labels(n, c, 13);
+  TensorF p(Shape{n, c}, 0.f);
+  for (std::int64_t i = 0; i < n; ++i) p[i * c + y[i]] = 1.f;
+  auto ftl = FocalTverskyLoss::unweighted(c);
+  TensorF g(p.shape());
+  EXPECT_LT(ftl.compute(p, y, g), 1e-3);
+}
+
+TEST(FocalTversky, GradientMatchesFiniteDifference) {
+  FocalTverskyLoss ftl(0.7f, 0.3f, 4.f / 3.f, {0.4f, 1.2f, 2.5f});
+  check_gradient(ftl, 14, 3, 17);
+}
+
+TEST(FocalTversky, AlphaPenalizesFalseNegatives) {
+  // One class present; prediction misses half of it (FN) vs hallucinates the
+  // same amount elsewhere (FP). With alpha(0.7) > beta(0.3), FN costs more.
+  const std::int64_t n = 40;
+  LabelMap y(Shape{n}, 0);
+  for (std::int64_t i = 0; i < 20; ++i) y[i] = 1;
+
+  TensorF fn_case(Shape{n, 2}, 0.f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    // predict class 1 only on first 10 (misses 10 -> FN), rest background
+    const bool pred1 = i < 10;
+    fn_case[i * 2 + (pred1 ? 1 : 0)] = 1.f;
+  }
+  TensorF fp_case(Shape{n, 2}, 0.f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    // predict class 1 on all 20 true + 10 extra (FP)
+    const bool pred1 = i < 30;
+    fp_case[i * 2 + (pred1 ? 1 : 0)] = 1.f;
+  }
+  FocalTverskyLoss ftl(0.7f, 0.3f, 1.f, {0.f, 1.f});  // isolate class 1
+  TensorF g(fn_case.shape());
+  const double loss_fn = ftl.compute(fn_case, y, g);
+  const double loss_fp = ftl.compute(fp_case, y, g);
+  EXPECT_GT(loss_fn, loss_fp);
+}
+
+TEST(FocalTversky, GammaFocusesLoss) {
+  // For the same moderately-bad prediction, gamma > 1 shrinks the loss
+  // (since 1-S < 1) but grows the relative gradient on hard examples.
+  const std::int64_t n = 20, c = 2;
+  LabelMap y = random_labels(n, c, 19);
+  TensorF p = random_probs(n, c, 23);
+  TensorF g(p.shape());
+  FocalTverskyLoss flat(0.7f, 0.3f, 1.f, {1.f, 1.f});
+  FocalTverskyLoss focused(0.7f, 0.3f, 4.f / 3.f, {1.f, 1.f});
+  const double l1 = flat.compute(p, y, g);
+  const double l2 = focused.compute(p, y, g);
+  EXPECT_NEAR(l2, std::pow(l1, 4.0 / 3.0), 1e-6);
+}
+
+TEST(FocalTversky, InverseFrequencyWeightsOrdering) {
+  // Table I frequencies: rarer organ -> strictly larger weight.
+  auto ftl = FocalTverskyLoss::inverse_frequency(
+      {12.0, 0.2218, 0.0251, 0.3417, 0.0470, 0.3626});
+  const auto& w = ftl.class_weights();
+  EXPECT_LT(w[0], w[1]);          // background lightest
+  EXPECT_GT(w[2], w[1]);          // bladder > liver
+  EXPECT_GT(w[2], w[3]);          // bladder > lungs
+  EXPECT_GT(w[4], w[5]);          // kidneys > bones
+  double sum = 0.0;
+  for (float v : w) sum += v;
+  EXPECT_NEAR(sum, 6.0, 1e-3);    // normalized to C
+}
+
+TEST(FocalTversky, WeightsSteerLossTowardWeightedClass) {
+  const std::int64_t n = 30;
+  LabelMap y(Shape{n});
+  for (std::int64_t i = 0; i < n; ++i) y[i] = (i < 15) ? 0 : 1;
+  // class 1 predicted badly, class 0 predicted well
+  TensorF p(Shape{n, 2}, 0.f);
+  for (std::int64_t i = 0; i < n; ++i) p[i * 2 + 0] = 1.f;
+  TensorF g(p.shape());
+  FocalTverskyLoss w0(0.7f, 0.3f, 1.f, {1.f, 0.1f});
+  FocalTverskyLoss w1(0.7f, 0.3f, 1.f, {0.1f, 1.f});
+  EXPECT_GT(w1.compute(p, y, g), w0.compute(p, y, g));
+}
+
+TEST(FocalTversky, MismatchedWeightCountThrows) {
+  FocalTverskyLoss ftl(0.7f, 0.3f, 1.f, {1.f, 1.f});
+  TensorF p = random_probs(4, 3, 29);
+  LabelMap y = random_labels(4, 3, 31);
+  TensorF g(p.shape());
+  EXPECT_THROW(ftl.compute(p, y, g), std::invalid_argument);
+}
+
+TEST(Combined, IsWeightedSum) {
+  std::vector<std::unique_ptr<Loss>> parts;
+  parts.push_back(std::make_unique<CrossEntropyLoss>());
+  parts.push_back(std::make_unique<DiceLoss>());
+  CombinedLoss combo(std::move(parts), {1.0, 0.5});
+
+  TensorF p = random_probs(8, 3, 37);
+  LabelMap y = random_labels(8, 3, 41);
+  TensorF g(p.shape());
+  const double total = combo.compute(p, y, g);
+
+  CrossEntropyLoss ce;
+  DiceLoss dice;
+  TensorF g1(p.shape()), g2(p.shape());
+  const double expect = ce.compute(p, y, g1) + 0.5 * dice.compute(p, y, g2);
+  EXPECT_NEAR(total, expect, 1e-9);
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    EXPECT_NEAR(g[i], g1[i] + 0.5f * g2[i], 1e-6);
+  }
+}
+
+TEST(Combined, GradientMatchesFiniteDifference) {
+  std::vector<std::unique_ptr<Loss>> parts;
+  parts.push_back(std::make_unique<FocalTverskyLoss>(
+      FocalTverskyLoss::unweighted(3)));
+  parts.push_back(std::make_unique<CrossEntropyLoss>());
+  CombinedLoss combo(std::move(parts), {1.0, 0.3});
+  check_gradient(combo, 10, 3, 43);
+}
+
+TEST(Combined, MakeSenecaLossRuns) {
+  auto loss = make_seneca_loss({12.0, 0.22, 0.025, 0.34, 0.047, 0.36});
+  TensorF p = random_probs(6, 6, 47);
+  LabelMap y = random_labels(6, 6, 53);
+  TensorF g(p.shape());
+  EXPECT_GT(loss->compute(p, y, g), 0.0);
+}
+
+}  // namespace
+}  // namespace seneca::nn

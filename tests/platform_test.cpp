@@ -1,0 +1,156 @@
+// Platform model tests: GPU analytic model, ZCU104 power model, energy
+// logger, measurement-noise model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model_zoo.hpp"
+#include "nn/unet.hpp"
+#include "platform/gpu_model.hpp"
+#include "platform/power.hpp"
+
+namespace seneca::platform {
+namespace {
+
+TEST(GpuModel, FlopsPositiveAndScaleWithModel) {
+  auto small = nn::build_unet2d(core::unet_config(core::zoo_entry("1M"), 64));
+  auto big = nn::build_unet2d(core::unet_config(core::zoo_entry("16M"), 64));
+  const double f_small = GpuModel::graph_flops(*small);
+  const double f_big = GpuModel::graph_flops(*big);
+  EXPECT_GT(f_small, 0.0);
+  EXPECT_GT(f_big, 4.0 * f_small);
+}
+
+TEST(GpuModel, FlopsScaleWithResolution) {
+  auto lo = nn::build_unet2d(core::unet_config(core::zoo_entry("1M"), 64));
+  auto hi = nn::build_unet2d(core::unet_config(core::zoo_entry("1M"), 128));
+  EXPECT_NEAR(GpuModel::graph_flops(*hi) / GpuModel::graph_flops(*lo), 4.0, 0.2);
+}
+
+TEST(GpuModel, LatencyHasFixedFloor) {
+  GpuModel gpu;
+  auto g = nn::build_unet2d(core::unet_config(core::zoo_entry("1M"), 64));
+  // even a small model cannot beat the fixed dispatch/transfer time
+  EXPECT_GE(gpu.inference_seconds(*g), gpu.host_transfer_ms * 1e-3);
+}
+
+TEST(GpuModel, BiggerModelSlower) {
+  GpuModel gpu;
+  auto small = nn::build_unet2d(core::unet_config(core::zoo_entry("2M"), 128));
+  auto big = nn::build_unet2d(core::unet_config(core::zoo_entry("16M"), 128));
+  EXPECT_LT(gpu.fps(*big), gpu.fps(*small));
+}
+
+TEST(GpuModel, FpsIsInverseLatency) {
+  GpuModel gpu;
+  auto g = nn::build_unet2d(core::unet_config(core::zoo_entry("4M"), 64));
+  EXPECT_NEAR(gpu.fps(*g) * gpu.inference_seconds(*g), 1.0, 1e-9);
+}
+
+TEST(GpuModel, BytesPositive) {
+  auto g = nn::build_unet2d(core::unet_config(core::zoo_entry("1M"), 64));
+  EXPECT_GT(GpuModel::graph_bytes(*g), 0.0);
+}
+
+TEST(ZcuPower, MoreBusyCoresMorePower) {
+  ZcuPowerModel pm;
+  runtime::ThroughputReport idle;
+  idle.threads = 1;
+  idle.dpu_busy_cores_avg = 0.5;
+  runtime::ThroughputReport busy = idle;
+  busy.dpu_busy_cores_avg = 2.0;
+  EXPECT_GT(pm.watts(busy, 0.5), pm.watts(idle, 0.5));
+}
+
+TEST(ZcuPower, UtilizationRaisesPower) {
+  ZcuPowerModel pm;
+  runtime::ThroughputReport rep;
+  rep.threads = 4;
+  rep.dpu_busy_cores_avg = 2.0;
+  EXPECT_GT(pm.watts(rep, 0.9), pm.watts(rep, 0.5));
+}
+
+TEST(ZcuPower, ThreadsCostPower) {
+  ZcuPowerModel pm;
+  runtime::ThroughputReport four;
+  four.threads = 4;
+  runtime::ThroughputReport eight = four;
+  eight.threads = 8;
+  EXPECT_GT(pm.watts(eight, 0.5), pm.watts(four, 0.5));
+}
+
+TEST(ZcuPower, InPlausibleBoardRange) {
+  ZcuPowerModel pm;
+  runtime::ThroughputReport rep;
+  rep.threads = 4;
+  rep.dpu_busy_cores_avg = 2.0;
+  rep.arm_busy_cores_avg = 0.5;
+  const double w = pm.watts(rep, 0.6, 1.0);
+  EXPECT_GT(w, 22.0);
+  EXPECT_LT(w, 35.0);
+}
+
+TEST(EnergyLogger, IntegratesPowerOverTime) {
+  EnergyLogger logger(0.5, 0.0);  // no jitter
+  logger.log_phase(10.0, 4.0);
+  EXPECT_NEAR(logger.joules(), 40.0, 1e-9);
+  EXPECT_NEAR(logger.mean_watts(), 10.0, 1e-9);
+  EXPECT_NEAR(logger.seconds(), 4.0, 1e-9);
+}
+
+TEST(EnergyLogger, AccumulatesPhases) {
+  EnergyLogger logger(0.5, 0.0);
+  logger.log_phase(10.0, 1.0);
+  logger.log_phase(20.0, 1.0);
+  EXPECT_NEAR(logger.joules(), 30.0, 1e-9);
+  EXPECT_NEAR(logger.mean_watts(), 15.0, 1e-9);
+}
+
+TEST(EnergyLogger, JitterProducesSmallSpread) {
+  double min_j = 1e18, max_j = -1e18;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EnergyLogger logger(0.5, 0.002, seed);
+    logger.log_phase(28.0, 6.0);
+    min_j = std::min(min_j, logger.joules());
+    max_j = std::max(max_j, logger.joules());
+  }
+  EXPECT_GT(max_j, min_j);                      // runs differ
+  EXPECT_LT((max_j - min_j) / 168.0, 0.01);     // ...by well under 1 %
+}
+
+TEST(EnergyLogger, ResetClears) {
+  EnergyLogger logger(0.5, 0.0);
+  logger.log_phase(10.0, 1.0);
+  logger.reset();
+  EXPECT_EQ(logger.joules(), 0.0);
+  EXPECT_EQ(logger.seconds(), 0.0);
+}
+
+TEST(MeasurementModel, MeanPreservedSpreadSmall) {
+  MeasurementModel meter(0.001, 7);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += meter.observe(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 0.05);
+}
+
+TEST(MeasurementModel, Deterministic) {
+  MeasurementModel a(0.001, 3), b(0.001, 3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.observe(50.0), b.observe(50.0));
+  }
+}
+
+/// Calibration pin: the GPU model constants were fitted once against Table
+/// IV; this test freezes that contract (1M row: 72.20 FPS, and the model
+/// must stay within a few percent).
+TEST(GpuModel, CalibrationPinnedToTableIV) {
+  GpuModel gpu;
+  auto g = nn::build_unet2d(core::unet_config(core::zoo_entry("1M"), 256));
+  EXPECT_NEAR(gpu.fps(*g), 72.20, 8.0);
+  auto g16 = nn::build_unet2d(core::unet_config(core::zoo_entry("16M"), 256));
+  EXPECT_NEAR(gpu.fps(*g16), 37.23, 5.0);
+}
+
+}  // namespace
+}  // namespace seneca::platform

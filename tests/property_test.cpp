@@ -1,0 +1,212 @@
+// Property-style sweeps (TEST_P) over cross-cutting invariants of the
+// stack: quantization round trips across the whole fix-position range,
+// phantom anatomy across the body axis, timing-model monotonicity across
+// the architecture grid, DES conservation laws, and .npy interchange.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "data/phantom.hpp"
+#include "dpu/compiler.hpp"
+#include "quant/qgraph.hpp"
+#include "runtime/soc_sim.hpp"
+#include "tensor/npy_io.hpp"
+#include "util/io.hpp"
+#include "util/rng.hpp"
+
+namespace seneca {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+
+// ----------------------------------------------- fix-position sweep ------
+
+class FixPosSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FixPosSweep, RoundTripErrorBoundedByHalfStep) {
+  const int fp = GetParam();
+  const double step = std::ldexp(1.0, -fp);
+  util::Rng rng(static_cast<std::uint64_t>(fp + 100));
+  TensorF x(Shape{256});
+  // values within the representable range for this fix position
+  const double range = 127.0 * step;
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-range, range));
+  const TensorF back =
+      quant::dequantize_tensor(quant::quantize_tensor(x, fp), fp);
+  EXPECT_LE(tensor::max_abs_diff(x, back), 0.5 * step + 1e-12);
+}
+
+TEST_P(FixPosSweep, SaturationClampsOutOfRange) {
+  const int fp = GetParam();
+  TensorF x(Shape{2});
+  x[0] = static_cast<float>(std::ldexp(200.0, -fp));   // > 127 * 2^-fp
+  x[1] = static_cast<float>(std::ldexp(-200.0, -fp));
+  const auto q = quant::quantize_tensor(x, fp);
+  EXPECT_EQ(q[0], 127);
+  EXPECT_EQ(q[1], -128);
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, FixPosSweep,
+                         ::testing::Values(-2, 0, 1, 3, 5, 6, 7, 9, 12));
+
+// ----------------------------------------------- rshift_round sweep ------
+
+class ShiftSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShiftSweep, MatchesFloatRounding) {
+  const int shift = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(shift) * 31 + 7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t v = rng.uniform_int(-5000000, 5000000);
+    const double expect = std::nearbyint(static_cast<double>(v) /
+                                         std::ldexp(1.0, shift));
+    const std::int64_t got = quant::rshift_round(v, shift);
+    // round-half-away vs round-half-even only differ at exact .5 ties
+    const double diff = std::fabs(static_cast<double>(got) - expect);
+    EXPECT_LE(diff, 1.0) << "v=" << v << " shift=" << shift;
+    if (diff > 0.0) {
+      const double frac = static_cast<double>(v) / std::ldexp(1.0, shift);
+      EXPECT_NEAR(std::fabs(frac - std::trunc(frac)), 0.5, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, ShiftSweep, ::testing::Values(1, 2, 4, 7, 11));
+
+// ------------------------------------------------- phantom z sweep -------
+
+class BodyAxisSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BodyAxisSweep, SliceIsWellFormedEverywhere) {
+  const double z = GetParam();
+  data::PhantomConfig cfg;
+  cfg.resolution = 48;
+  data::PhantomGenerator gen(cfg, 77);
+  const data::PhantomSlice slice = gen.render_slice(3, z);
+  // labels in range, HU within CT physics, some body present
+  std::int64_t body = 0;
+  for (std::int64_t i = 0; i < slice.labels.numel(); ++i) {
+    ASSERT_GE(slice.labels[i], 0);
+    ASSERT_LE(slice.labels[i], 6);
+    ASSERT_GT(slice.image_hu[i], -1200.f);
+    ASSERT_LT(slice.image_hu[i], 1500.f);
+    body += (slice.image_hu[i] > -300.f);
+  }
+  EXPECT_GT(body, 48);  // at least a sliver of anatomy at every z
+}
+
+INSTANTIATE_TEST_SUITE_P(BodyAxis, BodyAxisSweep,
+                         ::testing::Values(0.03, 0.12, 0.2, 0.3, 0.45, 0.55,
+                                           0.65, 0.8, 0.9));
+
+// ------------------------------------------ timing-model monotonicity ----
+
+class ChannelSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ChannelSweep, ConvCyclesMonotoneInChannels) {
+  const std::int64_t c = GetParam();
+  const dpu::DpuArch arch = dpu::DpuArch::b4096();
+  EXPECT_LE(dpu::conv_cycles(arch, 32, 32, 3, c, 16),
+            dpu::conv_cycles(arch, 32, 32, 3, c + 16, 16));
+  EXPECT_LE(dpu::conv_cycles(arch, 32, 32, 3, 16, c),
+            dpu::conv_cycles(arch, 32, 32, 3, 16, c + 16));
+}
+
+TEST_P(ChannelSweep, CyclesScaleLinearlyAcrossGroups) {
+  const std::int64_t c = GetParam();
+  const dpu::DpuArch arch = dpu::DpuArch::b4096();
+  // doubling a lane-aligned channel count exactly doubles cycles
+  const std::int64_t aligned = ((c + 15) / 16) * 16;
+  EXPECT_DOUBLE_EQ(dpu::conv_cycles(arch, 16, 16, 3, aligned * 2, 16),
+                   2.0 * dpu::conv_cycles(arch, 16, 16, 3, aligned, 16));
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelSweep,
+                         ::testing::Values(1, 6, 8, 11, 16, 24, 48, 96));
+
+// --------------------------------------------------- DES conservation ----
+
+class ThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweep, AllImagesCompleteAndFpsConsistent) {
+  const int threads = GetParam();
+  dpu::XModel xm;
+  xm.arch = dpu::DpuArch::b4096();
+  dpu::XLayer layer;
+  layer.compute_cycles = 150000.0;
+  xm.layers.push_back(layer);
+  xm.output_layer = 0;
+  runtime::SocConfig soc;
+  const auto rep = runtime::simulate_throughput(xm, soc, threads, 150);
+  EXPECT_EQ(rep.images, 150);
+  EXPECT_GT(rep.total_seconds, 0.0);
+  // fps * time == images (conservation)
+  EXPECT_NEAR(rep.fps * rep.total_seconds, 150.0, 1e-6);
+  // latency cannot be below the bare DPU execution time
+  EXPECT_GE(rep.latency_p99_ms, 1e3 * xm.latency_seconds(1) * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 16));
+
+// ------------------------------------------------------------- npy -------
+
+class NpyRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NpyRankSweep, Float32RoundTrip) {
+  const int rank = GetParam();
+  Shape shape = [&] {
+    switch (rank) {
+      case 1: return Shape{7};
+      case 2: return Shape{3, 5};
+      case 3: return Shape{2, 3, 4};
+      case 4: return Shape{2, 2, 3, 2};
+      default: return Shape{2, 2, 2, 2, 2};
+    }
+  }();
+  util::Rng rng(static_cast<std::uint64_t>(rank) + 5);
+  TensorF t(shape);
+  for (auto& v : t) v = static_cast<float>(rng.uniform(-10, 10));
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("seneca_rank" + std::to_string(rank) + ".npy");
+  tensor::write_npy(path, t);
+  const TensorF back = tensor::read_npy_f32(path);
+  EXPECT_EQ(back.shape(), shape);
+  EXPECT_EQ(tensor::max_abs_diff(back, t), 0.0);
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, NpyRankSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Npy, HeaderIs64ByteAligned) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_hdr.npy";
+  tensor::write_npy(path, TensorF(Shape{4, 4}, 1.f));
+  const auto bytes = util::read_file(path);
+  const std::size_t header_len =
+      static_cast<std::size_t>(bytes[8]) | (static_cast<std::size_t>(bytes[9]) << 8);
+  EXPECT_EQ((10 + header_len) % 64, 0u);
+  EXPECT_EQ(bytes[10 + header_len - 1], '\n');
+  std::filesystem::remove(path);
+}
+
+TEST(Npy, Int8AndInt32Writable) {
+  const auto dir = std::filesystem::temp_directory_path();
+  tensor::write_npy(dir / "seneca_i8.npy", tensor::TensorI8(Shape{3, 3}, -1));
+  tensor::write_npy(dir / "seneca_i32.npy",
+                    tensor::Tensor<std::int32_t>(Shape{3, 3}, 7));
+  EXPECT_TRUE(std::filesystem::exists(dir / "seneca_i8.npy"));
+  std::filesystem::remove(dir / "seneca_i8.npy");
+  std::filesystem::remove(dir / "seneca_i32.npy");
+}
+
+TEST(Npy, RejectsGarbage) {
+  const auto path = std::filesystem::temp_directory_path() / "seneca_bad.npy";
+  util::write_text_file(path, "definitely not numpy");
+  EXPECT_THROW(tensor::read_npy_f32(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace seneca

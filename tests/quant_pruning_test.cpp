@@ -1,0 +1,202 @@
+// Structured-pruning tests: shape/channel bookkeeping through skips, output
+// preservation when removing provably-dead filters, MAC/weight accounting,
+// and composition with quantization + DPU compilation.
+#include <gtest/gtest.h>
+
+#include "dpu/compiler.hpp"
+#include "dpu/core_sim.hpp"
+#include "nn/unet.hpp"
+#include "quant/pruning.hpp"
+#include "quant/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::quant {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+
+FGraph tiny_fgraph(std::uint64_t seed = 5, std::int64_t filters = 8) {
+  nn::UNet2DConfig cfg;
+  cfg.input_size = 16;
+  cfg.depth = 2;
+  cfg.base_filters = filters;
+  cfg.seed = seed;
+  auto graph = nn::build_unet2d(cfg);
+  util::Rng rng(seed + 1);
+  TensorF x(Shape{16, 16, 1});
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  graph->forward(x, true);
+  return fold(*graph);
+}
+
+TensorF random_input(std::uint64_t seed) {
+  util::Rng rng(seed);
+  TensorF x(Shape{16, 16, 1});
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  return x;
+}
+
+TEST(Pruning, FractionZeroIsIdentity) {
+  const FGraph fg = tiny_fgraph();
+  PruneOptions opts;
+  opts.fraction = 0.0;
+  const FGraph pruned = prune(fg, opts);
+  const TensorF x = random_input(9);
+  EXPECT_LT(tensor::max_abs_diff(fg.forward(x), pruned.forward(x)), 1e-6);
+}
+
+TEST(Pruning, RemovingZeroFiltersPreservesOutputExactly) {
+  FGraph fg = tiny_fgraph(7);
+  // Zero out half the filters of the first encoder conv by hand: pruning
+  // must pick exactly those and leave the function unchanged.
+  for (auto& op : fg.ops) {
+    if (op.name != "enc0_a_conv") continue;
+    const std::int64_t co = op.out_shape[2];
+    for (std::int64_t i = 0; i < op.weights.numel(); ++i) {
+      if (i % co >= co / 2) op.weights[i] = 0.f;
+    }
+    for (std::int64_t c = co / 2; c < co; ++c) op.bias[c] = 0.f;
+  }
+  // Prune only lightly so exactly the dead filters of that layer can go.
+  PruneOptions opts;
+  opts.fraction = 0.0;  // identity elsewhere
+  const FGraph base = prune(fg, opts);
+  const TensorF x = random_input(11);
+  const TensorF ref = base.forward(x);
+  // Now prune 50% — the zeroed filters have the lowest L1 by construction.
+  opts.fraction = 0.5;
+  opts.min_filters = 1;
+  const FGraph pruned = prune(fg, opts);
+  // enc0_a's dead filters contribute nothing downstream; but pruning also
+  // removes live filters in other layers, so compare only the first layer's
+  // effect: re-prune with a graph where ONLY enc0_a is prunable is not
+  // expressible — instead check output change is purely from other layers
+  // by verifying enc0_a kept exactly the non-zero filters.
+  for (const auto& op : pruned.ops) {
+    if (op.name != "enc0_a_conv") continue;
+    EXPECT_EQ(op.out_shape[2], fg.ops[1].out_shape[2] / 2);
+    // surviving weights are the non-zeroed (lower-index) filters
+    EXPECT_GT(tensor::max_abs(op.weights), 0.f);
+  }
+  EXPECT_EQ(ref.shape(), pruned.forward(x).shape());
+}
+
+TEST(Pruning, OutputShapeKeepsClassMaps) {
+  const FGraph fg = tiny_fgraph();
+  PruneOptions opts;
+  opts.fraction = 0.4;
+  const FGraph pruned = prune(fg, opts);
+  const TensorF out = pruned.forward(random_input(13));
+  EXPECT_EQ(out.shape(), (Shape{16, 16, 6}));  // head never pruned
+}
+
+TEST(Pruning, ReportsReductions) {
+  const FGraph fg = tiny_fgraph();
+  PruneOptions opts;
+  opts.fraction = 0.5;
+  opts.min_filters = 1;
+  PruneReport report;
+  prune(fg, opts, &report);
+  EXPECT_GT(report.weight_reduction(), 0.5);  // quadratic in channel count
+  EXPECT_GT(report.mac_reduction(), 0.5);
+  EXPECT_LT(report.weights_after, report.weights_before);
+}
+
+TEST(Pruning, MinFiltersFloorRespected) {
+  const FGraph fg = tiny_fgraph(5, 4);
+  PruneOptions opts;
+  opts.fraction = 0.95;
+  opts.min_filters = 2;
+  const FGraph pruned = prune(fg, opts);
+  for (std::size_t i = 0; i < pruned.ops.size(); ++i) {
+    const auto& op = pruned.ops[i];
+    if (op.kind != OpKind::kConv2D && op.kind != OpKind::kTConv2D) continue;
+    EXPECT_GE(op.out_shape[2], 2) << op.name;
+  }
+}
+
+TEST(Pruning, InvalidFractionThrows) {
+  const FGraph fg = tiny_fgraph();
+  PruneOptions opts;
+  opts.fraction = 1.0;
+  EXPECT_THROW(prune(fg, opts), std::invalid_argument);
+  opts.fraction = -0.1;
+  EXPECT_THROW(prune(fg, opts), std::invalid_argument);
+}
+
+TEST(Pruning, ConcatChannelBookkeepingConsistent) {
+  const FGraph fg = tiny_fgraph();
+  PruneOptions opts;
+  opts.fraction = 0.25;
+  const FGraph pruned = prune(fg, opts);
+  for (const auto& op : pruned.ops) {
+    if (op.kind != OpKind::kConcat) continue;
+    const auto& a = pruned.ops[static_cast<std::size_t>(op.inputs[0])];
+    const auto& b = pruned.ops[static_cast<std::size_t>(op.inputs[1])];
+    EXPECT_EQ(op.out_shape[2], a.out_shape[2] + b.out_shape[2]);
+  }
+  // consumer conv weights must match their (pruned) input channel counts
+  for (const auto& op : pruned.ops) {
+    if (op.kind != OpKind::kConv2D && op.kind != OpKind::kTConv2D) continue;
+    const auto& in = pruned.ops[static_cast<std::size_t>(op.inputs[0])];
+    EXPECT_EQ(op.weights.shape()[2], in.out_shape[2]) << op.name;
+  }
+}
+
+TEST(Pruning, ComposesWithQuantizationAndCompilation) {
+  const FGraph fg = tiny_fgraph(21);
+  PruneOptions opts;
+  opts.fraction = 0.25;
+  const FGraph pruned = prune(fg, opts);
+  std::vector<TensorF> calib{random_input(23)};
+  const QGraph qg = quantize(pruned, calib);
+  const dpu::XModel xm = dpu::compile(qg);
+  const dpu::XModel full = dpu::compile(quantize(fg, calib));
+  EXPECT_LT(xm.total_macs(), full.total_macs());
+  // still executable end to end
+  dpu::DpuCoreSim core(&xm);
+  const auto out = core.run(quantize_input(qg, calib[0]));
+  EXPECT_EQ(out.output.shape(), (Shape{16, 16, 6}));
+}
+
+TEST(Pruning, DpuSpeedupWhenCrossingLaneBoundaries) {
+  // Lane quantization means pruning only buys DPU cycles when channel
+  // counts cross an ICP/OCP group boundary: halving 32-channel layers to 16
+  // halves the group count, whereas trimming 8 to 6 does not. Pin both.
+  const FGraph fg = tiny_fgraph(31, 32);  // channels 32/64/128
+  std::vector<TensorF> calib{random_input(33)};
+  const dpu::XModel full = dpu::compile(quantize(fg, calib));
+  PruneOptions opts;
+  opts.fraction = 0.5;
+  opts.min_filters = 1;
+  const dpu::XModel half = dpu::compile(quantize(prune(fg, opts), calib));
+  // Compare hybrid-array compute cycles: at this miniature input size the
+  // fixed per-job and per-instruction overheads dominate end-to-end latency
+  // and would mask the effect (itself a finding: pruning pays off on large
+  // feature maps, not on dispatch-bound tiny ones).
+  auto compute_cycles = [](const dpu::XModel& m) {
+    double c = 0.0;
+    for (const auto& l : m.layers) c += l.compute_cycles;
+    return c;
+  };
+  EXPECT_LT(compute_cycles(half), 0.5 * compute_cycles(full));
+
+  const FGraph small = tiny_fgraph(35, 8);
+  opts.fraction = 0.25;  // 8 -> 6: same single lane group
+  const dpu::XModel small_full = dpu::compile(quantize(small, calib));
+  const dpu::XModel small_pruned =
+      dpu::compile(quantize(prune(small, opts), calib));
+  // compute cycles are identical; only memory traffic moves a little
+  EXPECT_NEAR(small_pruned.latency_cycles(2) / small_full.latency_cycles(2),
+              1.0, 0.1);
+}
+
+TEST(Pruning, FgraphMacsAnalytic) {
+  // single conv 16x16, k=3, 1->4: 16*16*9*1*4
+  const FGraph fg = tiny_fgraph(3, 4);
+  EXPECT_GT(fgraph_macs(fg), 16 * 16 * 9 * 1 * 4);
+}
+
+}  // namespace
+}  // namespace seneca::quant

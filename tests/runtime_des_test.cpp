@@ -1,0 +1,205 @@
+// Discrete-event kernel + SoC model tests: event ordering, resource
+// accounting, and the thread-scaling behaviour of Fig. 3 / §IV-B.
+#include <gtest/gtest.h>
+
+#include "dpu/xmodel.hpp"
+#include "runtime/des.hpp"
+#include "runtime/soc_sim.hpp"
+
+namespace seneca::runtime {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(3.0, [&] { order.push_back(3); });
+  q.schedule_at(1.0, [&] { order.push_back(1); });
+  q.schedule_at(2.0, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, NowAdvances) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(5.5, [&] { seen = q.now(); });
+  const double end = q.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(end, 5.5);
+}
+
+TEST(EventQueue, ScheduleAfterFromInsideEvent) {
+  EventQueue q;
+  double second = 0.0;
+  q.schedule_at(1.0, [&] {
+    q.schedule_after(2.0, [&] { second = q.now(); });
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(second, 3.0);
+}
+
+TEST(EventQueue, PastEventsClampToNow) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule_at(2.0, [&] {
+    q.schedule_at(1.0, [&] { seen = q.now(); });  // in the past
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+}
+
+TEST(Resource, GrantsUpToCapacity) {
+  EventQueue q;
+  Resource res(q, 2);
+  int granted = 0;
+  for (int i = 0; i < 3; ++i) res.acquire([&] { ++granted; });
+  q.run();
+  EXPECT_EQ(granted, 2);  // third waits
+  EXPECT_EQ(res.in_use(), 2);
+  res.release();
+  q.run();
+  EXPECT_EQ(granted, 3);
+}
+
+TEST(Resource, FifoAdmission) {
+  EventQueue q;
+  Resource res(q, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    res.acquire([&order, &res, &q, i] {
+      order.push_back(i);
+      q.schedule_after(1.0, [&res] { res.release(); });
+    });
+  }
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Resource, BusyTimeAccounting) {
+  EventQueue q;
+  Resource res(q, 1);
+  res.acquire([&] {
+    q.schedule_after(10.0, [&] { res.release(); });
+  });
+  q.run();
+  res.finalize();
+  EXPECT_NEAR(res.busy_time(), 10.0, 1e-9);
+}
+
+// --------------------------------------------------------------- SoC ----
+
+/// Hand-built single-layer xmodel with known latency.
+dpu::XModel fake_xmodel(double compute_cycles, std::int64_t ddr_bytes) {
+  dpu::XModel xm;
+  xm.arch = dpu::DpuArch::b4096();
+  xm.arch.job_overhead_cycles = 0.0;
+  xm.arch.instr_overhead_cycles = 0.0;
+  xm.input_shape = tensor::Shape{8, 8, 1};
+  dpu::XLayer layer;
+  layer.compute_cycles = compute_cycles;
+  layer.ddr_bytes = ddr_bytes;
+  xm.layers.push_back(layer);
+  xm.output_layer = 0;
+  return xm;
+}
+
+TEST(SocSim, FpsPositiveAndLatencyAboveDpuTime) {
+  const dpu::XModel xm = fake_xmodel(300000.0, 0);  // 1 ms compute
+  SocConfig soc;
+  const ThroughputReport rep = simulate_throughput(xm, soc, 2, 200);
+  EXPECT_GT(rep.fps, 0.0);
+  EXPECT_GE(rep.latency_mean_ms, 1.0);
+  EXPECT_EQ(rep.images, 200);
+}
+
+TEST(SocSim, ThroughputScalesWithThreadsUntilSaturation) {
+  const dpu::XModel xm = fake_xmodel(600000.0, 0);  // 2 ms
+  SocConfig soc;
+  const double f1 = simulate_throughput(xm, soc, 1, 300).fps;
+  const double f2 = simulate_throughput(xm, soc, 2, 300).fps;
+  const double f4 = simulate_throughput(xm, soc, 4, 300).fps;
+  const double f8 = simulate_throughput(xm, soc, 8, 300).fps;
+  EXPECT_GT(f2, f1 * 1.3);
+  EXPECT_GT(f4, f2 * 1.02);
+  // Section IV-B: 8+ threads bring no throughput gain.
+  EXPECT_LT(f8, f4 * 1.02);
+}
+
+TEST(SocSim, DualCoreBeatsSingleCore) {
+  dpu::XModel xm = fake_xmodel(600000.0, 0);
+  SocConfig soc;
+  const double dual = simulate_throughput(xm, soc, 4, 300).fps;
+  xm.arch.cores = 1;
+  const double single = simulate_throughput(xm, soc, 4, 300).fps;
+  EXPECT_GT(dual, single * 1.6);
+}
+
+TEST(SocSim, SaturatedThroughputMatchesCoreCount) {
+  // Pure compute model: saturated fps == cores / latency.
+  const dpu::XModel xm = fake_xmodel(300000.0, 0);  // 1 ms/core, no memory
+  SocConfig soc;
+  soc.preprocess_ms = 0.01;
+  soc.postprocess_ms = 0.01;
+  soc.dispatch_ms = 0.0;
+  const ThroughputReport rep = simulate_throughput(xm, soc, 6, 1000);
+  EXPECT_NEAR(rep.fps, 2000.0, 60.0);
+}
+
+TEST(SocSim, BandwidthContentionSlowsDualCore) {
+  // Memory-heavy model: two active cores halve per-core bandwidth.
+  const dpu::XModel xm = fake_xmodel(1000.0, 4 << 20);
+  SocConfig soc;
+  const double lat1 =
+      simulate_throughput(xm, soc, 1, 50).latency_mean_ms;
+  const double lat4 =
+      simulate_throughput(xm, soc, 4, 50).latency_mean_ms;
+  EXPECT_GT(lat4, lat1 * 1.2);
+}
+
+TEST(SocSim, DpuUtilizationBounded) {
+  const dpu::XModel xm = fake_xmodel(300000.0, 0);
+  SocConfig soc;
+  const ThroughputReport rep = simulate_throughput(xm, soc, 4, 200);
+  EXPECT_GT(rep.dpu_busy_cores_avg, 1.0);
+  EXPECT_LE(rep.dpu_busy_cores_avg, 2.0 + 1e-9);
+  EXPECT_GE(rep.arm_busy_cores_avg, 0.0);
+  EXPECT_LE(rep.arm_busy_cores_avg, 4.0 + 1e-9);
+}
+
+TEST(SocSim, LatencyPercentileAboveMean) {
+  const dpu::XModel xm = fake_xmodel(300000.0, 0);
+  SocConfig soc;
+  const ThroughputReport rep = simulate_throughput(xm, soc, 4, 200);
+  EXPECT_GE(rep.latency_p99_ms, rep.latency_mean_ms * 0.99);
+}
+
+TEST(SocSim, DispatchContentionGrowsWithThreads) {
+  const dpu::XModel xm = fake_xmodel(30000.0, 0);  // tiny compute: ARM-bound
+  SocConfig soc;
+  soc.dispatch_contention = 0.5;  // exaggerate for the test
+  const double f4 = simulate_throughput(xm, soc, 4, 300).fps;
+  const double f16 = simulate_throughput(xm, soc, 16, 300).fps;
+  EXPECT_LT(f16, f4);  // more threads actively hurt when dispatch-bound
+}
+
+TEST(SocSim, Deterministic) {
+  const dpu::XModel xm = fake_xmodel(123456.0, 1 << 20);
+  SocConfig soc;
+  const ThroughputReport a = simulate_throughput(xm, soc, 3, 100);
+  const ThroughputReport b = simulate_throughput(xm, soc, 3, 100);
+  EXPECT_DOUBLE_EQ(a.fps, b.fps);
+  EXPECT_DOUBLE_EQ(a.latency_mean_ms, b.latency_mean_ms);
+}
+
+}  // namespace
+}  // namespace seneca::runtime

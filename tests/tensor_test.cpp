@@ -1,0 +1,151 @@
+// Unit tests for the tensor library: Shape, Tensor, image writers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "tensor/image_io.hpp"
+#include "tensor/tensor.hpp"
+#include "util/io.hpp"
+
+namespace seneca::tensor {
+namespace {
+
+TEST(Shape, RankAndDims) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[1], 3);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.numel(), 24);
+}
+
+TEST(Shape, EmptyShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+}
+
+TEST(Shape, OutOfRangeThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s[2], std::out_of_range);
+}
+
+TEST(Shape, NegativeDimThrows) {
+  EXPECT_THROW((Shape{2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, ToString) {
+  EXPECT_EQ((Shape{4, 5, 6}).to_string(), "[4x5x6]");
+}
+
+TEST(Tensor, FillAndIndex) {
+  TensorF t(Shape{2, 2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 12);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_FLOAT_EQ(t[i], 1.5f);
+  t.at(1, 0, 2) = 7.f;
+  EXPECT_FLOAT_EQ(t[(1 * 2 + 0) * 3 + 2], 7.f);
+}
+
+TEST(Tensor, At4D) {
+  TensorF t(Shape{2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 9.f;
+  EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  TensorF t(Shape{2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  t.reshape(Shape{3, 4});
+  EXPECT_EQ(t.shape(), (Shape{3, 4}));
+  EXPECT_FLOAT_EQ(t[7], 7.f);
+}
+
+TEST(Tensor, ReshapeMismatchThrows) {
+  TensorF t(Shape{2, 6});
+  EXPECT_THROW(t.reshape(Shape{5, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, MaxAbs) {
+  TensorF t(Shape{4});
+  t[0] = -3.f; t[1] = 2.f; t[2] = 0.f; t[3] = 2.9f;
+  EXPECT_FLOAT_EQ(max_abs(t), 3.f);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  TensorF a(Shape{3}, 1.f), b(Shape{3}, 1.f);
+  b[1] = 1.5f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+}
+
+TEST(Tensor, MaxAbsDiffShapeMismatchThrows) {
+  TensorF a(Shape{3}), b(Shape{4});
+  EXPECT_THROW(max_abs_diff(a, b), std::invalid_argument);
+}
+
+TEST(Tensor, Int8TensorBasics) {
+  TensorI8 t(Shape{2, 2}, -5);
+  EXPECT_EQ(t[3], -5);
+  t[0] = 127;
+  EXPECT_EQ(t[0], 127);
+}
+
+TEST(ImageIo, PgmHeaderAndSize) {
+  TensorF img(Shape{4, 6, 1}, 0.f);
+  const auto path = std::filesystem::temp_directory_path() / "seneca_t.pgm";
+  write_pgm(path, img);
+  const auto data = util::read_file(path);
+  const std::string head(data.begin(), data.begin() + 2);
+  EXPECT_EQ(head, "P5");
+  // header "P5\n6 4\n255\n" = 11 bytes + 24 pixels
+  EXPECT_EQ(data.size(), 11u + 24u);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, PgmValueMapping) {
+  TensorF img(Shape{1, 3, 1});
+  img[0] = -1.f; img[1] = 0.f; img[2] = 1.f;
+  const auto path = std::filesystem::temp_directory_path() / "seneca_t2.pgm";
+  write_pgm(path, img);
+  const auto data = util::read_file(path);
+  const std::size_t off = data.size() - 3;
+  EXPECT_EQ(data[off + 0], 0);
+  EXPECT_EQ(data[off + 1], 128);
+  EXPECT_EQ(data[off + 2], 255);
+  std::filesystem::remove(path);
+}
+
+TEST(ImageIo, PpmRejectsWrongShape) {
+  TensorU8 rgb(Shape{2, 2, 4});
+  EXPECT_THROW(write_ppm("/tmp/x.ppm", rgb), std::invalid_argument);
+}
+
+TEST(ImageIo, RenderSegmentationColorsOrgans) {
+  TensorF ct(Shape{2, 2, 1}, 0.f);
+  Tensor<std::int32_t> labels(Shape{2, 2}, 0);
+  labels[1] = 1;  // liver -> red-dominant
+  labels[2] = 3;  // lungs -> blue-dominant
+  TensorU8 rgb = render_segmentation(ct, labels);
+  EXPECT_EQ(rgb.shape(), (Shape{2, 2, 3}));
+  // background keeps grayscale (all channels equal)
+  EXPECT_EQ(rgb.at(0, 0, 0), rgb.at(0, 0, 1));
+  EXPECT_EQ(rgb.at(0, 0, 1), rgb.at(0, 0, 2));
+  // liver: red channel dominates
+  EXPECT_GT(rgb.at(0, 1, 0), rgb.at(0, 1, 2));
+  // lungs: blue channel dominates
+  EXPECT_GT(rgb.at(1, 0, 2), rgb.at(1, 0, 0));
+}
+
+TEST(ImageIo, RenderSegmentationShapeMismatchThrows) {
+  TensorF ct(Shape{2, 2, 1});
+  Tensor<std::int32_t> labels(Shape{3, 3});
+  EXPECT_THROW(render_segmentation(ct, labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace seneca::tensor
