@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dpu_architecture.dir/ablation_dpu_architecture.cpp.o"
+  "CMakeFiles/ablation_dpu_architecture.dir/ablation_dpu_architecture.cpp.o.d"
+  "ablation_dpu_architecture"
+  "ablation_dpu_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dpu_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loss_functions.dir/ablation_loss_functions.cpp.o"
+  "CMakeFiles/ablation_loss_functions.dir/ablation_loss_functions.cpp.o.d"
+  "ablation_loss_functions"
+  "ablation_loss_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loss_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

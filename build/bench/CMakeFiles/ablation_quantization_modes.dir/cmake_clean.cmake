@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_quantization_modes.dir/ablation_quantization_modes.cpp.o"
+  "CMakeFiles/ablation_quantization_modes.dir/ablation_quantization_modes.cpp.o.d"
+  "ablation_quantization_modes"
+  "ablation_quantization_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quantization_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

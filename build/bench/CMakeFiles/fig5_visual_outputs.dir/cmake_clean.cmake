@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_visual_outputs.dir/fig5_visual_outputs.cpp.o"
+  "CMakeFiles/fig5_visual_outputs.dir/fig5_visual_outputs.cpp.o.d"
+  "fig5_visual_outputs"
+  "fig5_visual_outputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_visual_outputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_organ_boxplots.dir/fig6_organ_boxplots.cpp.o"
+  "CMakeFiles/fig6_organ_boxplots.dir/fig6_organ_boxplots.cpp.o.d"
+  "fig6_organ_boxplots"
+  "fig6_organ_boxplots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_organ_boxplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

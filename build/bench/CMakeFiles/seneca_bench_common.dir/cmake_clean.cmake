@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_bench_common.dir/common.cpp.o"
+  "CMakeFiles/seneca_bench_common.dir/common.cpp.o.d"
+  "libseneca_bench_common.a"
+  "libseneca_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

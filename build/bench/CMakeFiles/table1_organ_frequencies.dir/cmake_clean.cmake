@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_organ_frequencies.dir/table1_organ_frequencies.cpp.o"
+  "CMakeFiles/table1_organ_frequencies.dir/table1_organ_frequencies.cpp.o.d"
+  "table1_organ_frequencies"
+  "table1_organ_frequencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_organ_frequencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

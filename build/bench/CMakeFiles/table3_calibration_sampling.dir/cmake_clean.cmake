@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_calibration_sampling.dir/table3_calibration_sampling.cpp.o"
+  "CMakeFiles/table3_calibration_sampling.dir/table3_calibration_sampling.cpp.o.d"
+  "table3_calibration_sampling"
+  "table3_calibration_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_calibration_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

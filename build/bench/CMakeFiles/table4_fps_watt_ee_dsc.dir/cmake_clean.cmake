@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fps_watt_ee_dsc.dir/table4_fps_watt_ee_dsc.cpp.o"
+  "CMakeFiles/table4_fps_watt_ee_dsc.dir/table4_fps_watt_ee_dsc.cpp.o.d"
+  "table4_fps_watt_ee_dsc"
+  "table4_fps_watt_ee_dsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fps_watt_ee_dsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

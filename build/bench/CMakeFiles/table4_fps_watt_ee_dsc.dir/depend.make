@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_fps_watt_ee_dsc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_study.dir/calibration_study.cpp.o"
+  "CMakeFiles/calibration_study.dir/calibration_study.cpp.o.d"
+  "calibration_study"
+  "calibration_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/inspect_xmodel.cpp" "examples/CMakeFiles/inspect_xmodel.dir/inspect_xmodel.cpp.o" "gcc" "examples/CMakeFiles/inspect_xmodel.dir/inspect_xmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/seneca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/seneca_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/seneca_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/seneca_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpu/CMakeFiles/seneca_dpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/seneca_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/seneca_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/seneca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seneca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seneca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_xmodel.dir/inspect_xmodel.cpp.o"
+  "CMakeFiles/inspect_xmodel.dir/inspect_xmodel.cpp.o.d"
+  "inspect_xmodel"
+  "inspect_xmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_xmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

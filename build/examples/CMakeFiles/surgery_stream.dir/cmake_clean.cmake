@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surgery_stream.dir/surgery_stream.cpp.o"
+  "CMakeFiles/surgery_stream.dir/surgery_stream.cpp.o.d"
+  "surgery_stream"
+  "surgery_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surgery_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

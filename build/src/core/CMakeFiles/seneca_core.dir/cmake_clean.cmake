@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_core.dir/evaluate.cpp.o"
+  "CMakeFiles/seneca_core.dir/evaluate.cpp.o.d"
+  "CMakeFiles/seneca_core.dir/model_zoo.cpp.o"
+  "CMakeFiles/seneca_core.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/seneca_core.dir/workflow.cpp.o"
+  "CMakeFiles/seneca_core.dir/workflow.cpp.o.d"
+  "libseneca_core.a"
+  "libseneca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/calibration.cpp" "src/data/CMakeFiles/seneca_data.dir/calibration.cpp.o" "gcc" "src/data/CMakeFiles/seneca_data.dir/calibration.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/seneca_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/seneca_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/nifti.cpp" "src/data/CMakeFiles/seneca_data.dir/nifti.cpp.o" "gcc" "src/data/CMakeFiles/seneca_data.dir/nifti.cpp.o.d"
+  "/root/repo/src/data/phantom.cpp" "src/data/CMakeFiles/seneca_data.dir/phantom.cpp.o" "gcc" "src/data/CMakeFiles/seneca_data.dir/phantom.cpp.o.d"
+  "/root/repo/src/data/preprocess.cpp" "src/data/CMakeFiles/seneca_data.dir/preprocess.cpp.o" "gcc" "src/data/CMakeFiles/seneca_data.dir/preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/seneca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seneca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seneca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

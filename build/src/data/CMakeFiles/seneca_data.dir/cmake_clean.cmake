@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_data.dir/calibration.cpp.o"
+  "CMakeFiles/seneca_data.dir/calibration.cpp.o.d"
+  "CMakeFiles/seneca_data.dir/dataset.cpp.o"
+  "CMakeFiles/seneca_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/seneca_data.dir/nifti.cpp.o"
+  "CMakeFiles/seneca_data.dir/nifti.cpp.o.d"
+  "CMakeFiles/seneca_data.dir/phantom.cpp.o"
+  "CMakeFiles/seneca_data.dir/phantom.cpp.o.d"
+  "CMakeFiles/seneca_data.dir/preprocess.cpp.o"
+  "CMakeFiles/seneca_data.dir/preprocess.cpp.o.d"
+  "libseneca_data.a"
+  "libseneca_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

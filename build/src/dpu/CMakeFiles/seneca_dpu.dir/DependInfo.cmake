@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpu/compiler.cpp" "src/dpu/CMakeFiles/seneca_dpu.dir/compiler.cpp.o" "gcc" "src/dpu/CMakeFiles/seneca_dpu.dir/compiler.cpp.o.d"
+  "/root/repo/src/dpu/core_sim.cpp" "src/dpu/CMakeFiles/seneca_dpu.dir/core_sim.cpp.o" "gcc" "src/dpu/CMakeFiles/seneca_dpu.dir/core_sim.cpp.o.d"
+  "/root/repo/src/dpu/disasm.cpp" "src/dpu/CMakeFiles/seneca_dpu.dir/disasm.cpp.o" "gcc" "src/dpu/CMakeFiles/seneca_dpu.dir/disasm.cpp.o.d"
+  "/root/repo/src/dpu/isa.cpp" "src/dpu/CMakeFiles/seneca_dpu.dir/isa.cpp.o" "gcc" "src/dpu/CMakeFiles/seneca_dpu.dir/isa.cpp.o.d"
+  "/root/repo/src/dpu/xmodel.cpp" "src/dpu/CMakeFiles/seneca_dpu.dir/xmodel.cpp.o" "gcc" "src/dpu/CMakeFiles/seneca_dpu.dir/xmodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quant/CMakeFiles/seneca_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seneca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seneca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/seneca_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_dpu.dir/compiler.cpp.o"
+  "CMakeFiles/seneca_dpu.dir/compiler.cpp.o.d"
+  "CMakeFiles/seneca_dpu.dir/core_sim.cpp.o"
+  "CMakeFiles/seneca_dpu.dir/core_sim.cpp.o.d"
+  "CMakeFiles/seneca_dpu.dir/disasm.cpp.o"
+  "CMakeFiles/seneca_dpu.dir/disasm.cpp.o.d"
+  "CMakeFiles/seneca_dpu.dir/isa.cpp.o"
+  "CMakeFiles/seneca_dpu.dir/isa.cpp.o.d"
+  "CMakeFiles/seneca_dpu.dir/xmodel.cpp.o"
+  "CMakeFiles/seneca_dpu.dir/xmodel.cpp.o.d"
+  "libseneca_dpu.a"
+  "libseneca_dpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_dpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/seneca_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/seneca_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/stats.cpp" "src/eval/CMakeFiles/seneca_eval.dir/stats.cpp.o" "gcc" "src/eval/CMakeFiles/seneca_eval.dir/stats.cpp.o.d"
+  "/root/repo/src/eval/table.cpp" "src/eval/CMakeFiles/seneca_eval.dir/table.cpp.o" "gcc" "src/eval/CMakeFiles/seneca_eval.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/seneca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seneca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seneca_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_eval.dir/metrics.cpp.o"
+  "CMakeFiles/seneca_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/seneca_eval.dir/stats.cpp.o"
+  "CMakeFiles/seneca_eval.dir/stats.cpp.o.d"
+  "CMakeFiles/seneca_eval.dir/table.cpp.o"
+  "CMakeFiles/seneca_eval.dir/table.cpp.o.d"
+  "libseneca_eval.a"
+  "libseneca_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/seneca_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/seneca_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/layers2d.cpp" "src/nn/CMakeFiles/seneca_nn.dir/layers2d.cpp.o" "gcc" "src/nn/CMakeFiles/seneca_nn.dir/layers2d.cpp.o.d"
+  "/root/repo/src/nn/layers3d.cpp" "src/nn/CMakeFiles/seneca_nn.dir/layers3d.cpp.o" "gcc" "src/nn/CMakeFiles/seneca_nn.dir/layers3d.cpp.o.d"
+  "/root/repo/src/nn/layers_common.cpp" "src/nn/CMakeFiles/seneca_nn.dir/layers_common.cpp.o" "gcc" "src/nn/CMakeFiles/seneca_nn.dir/layers_common.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/seneca_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/seneca_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/seneca_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/seneca_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/seneca_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/seneca_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/unet.cpp" "src/nn/CMakeFiles/seneca_nn.dir/unet.cpp.o" "gcc" "src/nn/CMakeFiles/seneca_nn.dir/unet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/seneca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seneca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

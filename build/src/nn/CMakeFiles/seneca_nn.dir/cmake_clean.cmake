@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_nn.dir/graph.cpp.o"
+  "CMakeFiles/seneca_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/seneca_nn.dir/layers2d.cpp.o"
+  "CMakeFiles/seneca_nn.dir/layers2d.cpp.o.d"
+  "CMakeFiles/seneca_nn.dir/layers3d.cpp.o"
+  "CMakeFiles/seneca_nn.dir/layers3d.cpp.o.d"
+  "CMakeFiles/seneca_nn.dir/layers_common.cpp.o"
+  "CMakeFiles/seneca_nn.dir/layers_common.cpp.o.d"
+  "CMakeFiles/seneca_nn.dir/loss.cpp.o"
+  "CMakeFiles/seneca_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/seneca_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/seneca_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/seneca_nn.dir/trainer.cpp.o"
+  "CMakeFiles/seneca_nn.dir/trainer.cpp.o.d"
+  "CMakeFiles/seneca_nn.dir/unet.cpp.o"
+  "CMakeFiles/seneca_nn.dir/unet.cpp.o.d"
+  "libseneca_nn.a"
+  "libseneca_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_platform.dir/gpu_model.cpp.o"
+  "CMakeFiles/seneca_platform.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/seneca_platform.dir/power.cpp.o"
+  "CMakeFiles/seneca_platform.dir/power.cpp.o.d"
+  "libseneca_platform.a"
+  "libseneca_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

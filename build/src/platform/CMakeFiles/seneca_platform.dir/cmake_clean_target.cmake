@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libseneca_platform.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/fgraph.cpp" "src/quant/CMakeFiles/seneca_quant.dir/fgraph.cpp.o" "gcc" "src/quant/CMakeFiles/seneca_quant.dir/fgraph.cpp.o.d"
+  "/root/repo/src/quant/pruning.cpp" "src/quant/CMakeFiles/seneca_quant.dir/pruning.cpp.o" "gcc" "src/quant/CMakeFiles/seneca_quant.dir/pruning.cpp.o.d"
+  "/root/repo/src/quant/qat.cpp" "src/quant/CMakeFiles/seneca_quant.dir/qat.cpp.o" "gcc" "src/quant/CMakeFiles/seneca_quant.dir/qat.cpp.o.d"
+  "/root/repo/src/quant/qgraph.cpp" "src/quant/CMakeFiles/seneca_quant.dir/qgraph.cpp.o" "gcc" "src/quant/CMakeFiles/seneca_quant.dir/qgraph.cpp.o.d"
+  "/root/repo/src/quant/quantizer.cpp" "src/quant/CMakeFiles/seneca_quant.dir/quantizer.cpp.o" "gcc" "src/quant/CMakeFiles/seneca_quant.dir/quantizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/seneca_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/seneca_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/seneca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

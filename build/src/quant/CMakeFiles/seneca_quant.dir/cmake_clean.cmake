@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_quant.dir/fgraph.cpp.o"
+  "CMakeFiles/seneca_quant.dir/fgraph.cpp.o.d"
+  "CMakeFiles/seneca_quant.dir/pruning.cpp.o"
+  "CMakeFiles/seneca_quant.dir/pruning.cpp.o.d"
+  "CMakeFiles/seneca_quant.dir/qat.cpp.o"
+  "CMakeFiles/seneca_quant.dir/qat.cpp.o.d"
+  "CMakeFiles/seneca_quant.dir/qgraph.cpp.o"
+  "CMakeFiles/seneca_quant.dir/qgraph.cpp.o.d"
+  "CMakeFiles/seneca_quant.dir/quantizer.cpp.o"
+  "CMakeFiles/seneca_quant.dir/quantizer.cpp.o.d"
+  "libseneca_quant.a"
+  "libseneca_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_runtime.dir/des.cpp.o"
+  "CMakeFiles/seneca_runtime.dir/des.cpp.o.d"
+  "CMakeFiles/seneca_runtime.dir/soc_sim.cpp.o"
+  "CMakeFiles/seneca_runtime.dir/soc_sim.cpp.o.d"
+  "CMakeFiles/seneca_runtime.dir/vart.cpp.o"
+  "CMakeFiles/seneca_runtime.dir/vart.cpp.o.d"
+  "libseneca_runtime.a"
+  "libseneca_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

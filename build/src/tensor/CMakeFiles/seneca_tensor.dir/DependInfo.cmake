@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/image_io.cpp" "src/tensor/CMakeFiles/seneca_tensor.dir/image_io.cpp.o" "gcc" "src/tensor/CMakeFiles/seneca_tensor.dir/image_io.cpp.o.d"
+  "/root/repo/src/tensor/npy_io.cpp" "src/tensor/CMakeFiles/seneca_tensor.dir/npy_io.cpp.o" "gcc" "src/tensor/CMakeFiles/seneca_tensor.dir/npy_io.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/tensor/CMakeFiles/seneca_tensor.dir/shape.cpp.o" "gcc" "src/tensor/CMakeFiles/seneca_tensor.dir/shape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/seneca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_tensor.dir/image_io.cpp.o"
+  "CMakeFiles/seneca_tensor.dir/image_io.cpp.o.d"
+  "CMakeFiles/seneca_tensor.dir/npy_io.cpp.o"
+  "CMakeFiles/seneca_tensor.dir/npy_io.cpp.o.d"
+  "CMakeFiles/seneca_tensor.dir/shape.cpp.o"
+  "CMakeFiles/seneca_tensor.dir/shape.cpp.o.d"
+  "libseneca_tensor.a"
+  "libseneca_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seneca_util.dir/cli.cpp.o"
+  "CMakeFiles/seneca_util.dir/cli.cpp.o.d"
+  "CMakeFiles/seneca_util.dir/io.cpp.o"
+  "CMakeFiles/seneca_util.dir/io.cpp.o.d"
+  "CMakeFiles/seneca_util.dir/logging.cpp.o"
+  "CMakeFiles/seneca_util.dir/logging.cpp.o.d"
+  "CMakeFiles/seneca_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/seneca_util.dir/thread_pool.cpp.o.d"
+  "libseneca_util.a"
+  "libseneca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seneca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

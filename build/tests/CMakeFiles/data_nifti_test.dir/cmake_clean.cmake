@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_nifti_test.dir/data_nifti_test.cpp.o"
+  "CMakeFiles/data_nifti_test.dir/data_nifti_test.cpp.o.d"
+  "data_nifti_test"
+  "data_nifti_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_nifti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_phantom_test.dir/data_phantom_test.cpp.o"
+  "CMakeFiles/data_phantom_test.dir/data_phantom_test.cpp.o.d"
+  "data_phantom_test"
+  "data_phantom_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_phantom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

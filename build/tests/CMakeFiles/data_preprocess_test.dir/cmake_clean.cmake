@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_preprocess_test.dir/data_preprocess_test.cpp.o"
+  "CMakeFiles/data_preprocess_test.dir/data_preprocess_test.cpp.o.d"
+  "data_preprocess_test"
+  "data_preprocess_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_preprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

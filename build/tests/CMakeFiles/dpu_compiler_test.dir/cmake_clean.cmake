@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_compiler_test.dir/dpu_compiler_test.cpp.o"
+  "CMakeFiles/dpu_compiler_test.dir/dpu_compiler_test.cpp.o.d"
+  "dpu_compiler_test"
+  "dpu_compiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

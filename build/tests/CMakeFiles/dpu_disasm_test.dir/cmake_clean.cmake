@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_disasm_test.dir/dpu_disasm_test.cpp.o"
+  "CMakeFiles/dpu_disasm_test.dir/dpu_disasm_test.cpp.o.d"
+  "dpu_disasm_test"
+  "dpu_disasm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_disasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpu_sim_test.dir/dpu_sim_test.cpp.o"
+  "CMakeFiles/dpu_sim_test.dir/dpu_sim_test.cpp.o.d"
+  "dpu_sim_test"
+  "dpu_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpu_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

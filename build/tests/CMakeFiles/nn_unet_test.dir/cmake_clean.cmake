@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_unet_test.dir/nn_unet_test.cpp.o"
+  "CMakeFiles/nn_unet_test.dir/nn_unet_test.cpp.o.d"
+  "nn_unet_test"
+  "nn_unet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_unet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

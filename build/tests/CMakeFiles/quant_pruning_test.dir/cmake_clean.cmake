@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quant_pruning_test.dir/quant_pruning_test.cpp.o"
+  "CMakeFiles/quant_pruning_test.dir/quant_pruning_test.cpp.o.d"
+  "quant_pruning_test"
+  "quant_pruning_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quant_pruning_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

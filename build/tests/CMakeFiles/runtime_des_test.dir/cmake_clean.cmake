@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_des_test.dir/runtime_des_test.cpp.o"
+  "CMakeFiles/runtime_des_test.dir/runtime_des_test.cpp.o.d"
+  "runtime_des_test"
+  "runtime_des_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_des_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
