@@ -1,0 +1,99 @@
+// Serving-layer scaling: closed-loop throughput, interactive p99, and
+// drop/degrade rates as a function of offered load (client count) and VART
+// workers per ladder rung. Complements the paper's thread-scaling study
+// (Fig. 3) one layer up: here the host-side dispatch/queue/batching stack
+// is the system under test, not the DPU.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace seneca;
+
+const std::vector<serve::ModelSpec>& ladder(int workers) {
+  static std::vector<serve::ModelSpec> base = [] {
+    std::vector<serve::ModelSpec> l;
+    for (const char* name : {"4M", "2M"}) {
+      l.push_back({name, core::build_timing_xmodel(name, dpu::DpuArch::b4096(), 32), 1});
+    }
+    return l;
+  }();
+  static std::vector<serve::ModelSpec> sized;
+  sized = base;
+  for (auto& spec : sized) spec.workers = workers;
+  return sized;
+}
+
+void BM_ServeClosedLoop(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  constexpr int kRequests = 48;
+
+  serve::ServerConfig cfg;
+  cfg.queue.capacity = 16;
+  cfg.batcher.max_batch_size = 4;
+  cfg.batcher.max_wait_ms = 1.0;
+  cfg.degrade.queue_depth_high = 6;
+  cfg.degrade.queue_depth_low = 1;
+  cfg.degrade.min_dwell_ms = 10.0;
+
+  std::uint64_t served = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t degraded = 0;
+  double p99_int = 0.0;
+  for (auto _ : state) {
+    serve::InferenceServer server(ladder(workers), cfg);
+    std::atomic<int> next{0};
+    std::vector<std::thread> fleet;
+    fleet.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      fleet.emplace_back([&, c] {
+        util::Rng rng(static_cast<std::uint64_t>(c) + 1);
+        tensor::TensorI8 input(tensor::Shape{32, 32, 1});
+        for (auto& v : input) {
+          v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+        }
+        for (;;) {
+          const int i = next.fetch_add(1);
+          if (i >= kRequests) return;
+          const serve::Priority lane = i % 4 == 3 ? serve::Priority::kBatch
+                                                  : serve::Priority::kInteractive;
+          server.submit(lane, input, lane == serve::Priority::kBatch ? 0.0 : 200.0)
+              .get();
+        }
+      });
+    }
+    for (auto& t : fleet) t.join();
+    const auto m = server.metrics();
+    served += m.served;
+    dropped += m.dropped();
+    degraded += m.degraded;
+    p99_int = m.interactive.p99_ms;
+  }
+  const double episodes = static_cast<double>(state.iterations());
+  state.counters["served_per_s"] = benchmark::Counter(
+      static_cast<double>(served), benchmark::Counter::kIsRate);
+  state.counters["drop_rate"] =
+      static_cast<double>(dropped) / (episodes * kRequests);
+  state.counters["degrade_rate"] =
+      static_cast<double>(degraded) / (episodes * kRequests);
+  state.counters["p99_interactive_ms"] = p99_int;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServeClosedLoop)
+    ->ArgsProduct({{1, 4, 16}, {1, 2, 4}})
+    ->ArgNames({"clients", "workers"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(2);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,215 @@
+// SENECA-Serve demo: a closed-loop client fleet drives the InferenceServer
+// through a sweep of offered load and prints the serving story as a table:
+// past saturation the server first degrades (steps down the model ladder
+// 16M -> 8M -> 4M -> 2M for cheaper inferences) and then drops (admission
+// control), while the interactive lane's tail latency stays below the batch
+// lane's at every load point.
+//
+//   ./serve_demo [--input 32] [--requests 144] [--capacity 16]
+//                [--policy reject-newest|drop-expired|evict-deadline]
+//                [--deadline-ms 150]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "eval/table.hpp"
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace seneca;
+
+struct Sample {
+  serve::Priority lane;
+  serve::Status status;
+  bool degraded = false;
+  double total_ms = 0.0;
+};
+
+struct PointResult {
+  int clients = 0;
+  double offered_per_s = 0.0;
+  std::uint64_t served = 0;
+  double drop_pct = 0.0;
+  double degrade_pct = 0.0;
+  double drop_or_degrade_pct = 0.0;
+  double p50_interactive_ms = 0.0;
+  double p99_interactive_ms = 0.0;
+  double p99_batch_ms = 0.0;
+  std::string end_model;
+};
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<std::size_t>(q * static_cast<double>(v.size() - 1))];
+}
+
+serve::OverloadPolicy parse_policy(const std::string& s) {
+  if (s == "drop-expired") return serve::OverloadPolicy::kDropExpired;
+  if (s == "evict-deadline") return serve::OverloadPolicy::kEvictDeadline;
+  return serve::OverloadPolicy::kRejectNewest;
+}
+
+/// One load point: `clients` closed-loop clients share `total` requests
+/// (every 4th goes to the batch lane, the rest are interactive frames with
+/// a deadline), each submitting the next request only after its previous
+/// future resolved.
+PointResult run_point(const std::vector<serve::ModelSpec>& ladder,
+                      const serve::ServerConfig& cfg, int clients, int total,
+                      std::int64_t input_size, double deadline_ms) {
+  serve::InferenceServer server(ladder, cfg);
+
+  std::atomic<int> next_request{0};
+  std::vector<std::vector<Sample>> per_client(static_cast<std::size_t>(clients));
+  util::Timer wall;
+  std::vector<std::thread> fleet;
+  fleet.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    fleet.emplace_back([&, c] {
+      util::Rng rng(static_cast<std::uint64_t>(c) + 1);
+      tensor::TensorI8 input(tensor::Shape{input_size, input_size, 1});
+      for (auto& v : input) {
+        v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+      }
+      for (;;) {
+        const int i = next_request.fetch_add(1);
+        if (i >= total) return;
+        const bool batch_lane = i % 4 == 3;
+        const serve::Priority lane =
+            batch_lane ? serve::Priority::kBatch : serve::Priority::kInteractive;
+        auto future =
+            server.submit(lane, input, batch_lane ? 0.0 : deadline_ms);
+        const serve::Response r = future.get();
+        per_client[static_cast<std::size_t>(c)].push_back(
+            {lane, r.status, r.degraded, r.total_ms});
+        // Closed-loop pacing: a think time long enough that degradation can
+        // actually restore headroom (the server oscillates between ladder
+        // rungs instead of pinning to the cheapest), and a real client's
+        // backoff after a shed request (otherwise rejected clients spin
+        // through their quota at memcpy speed and nothing gets served).
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            r.status == serve::Status::kOk ? 60 : 100));
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+  const double wall_s = wall.seconds();
+
+  PointResult p;
+  p.clients = clients;
+  std::vector<double> interactive_ms;
+  std::vector<double> batch_ms;
+  std::uint64_t dropped = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t submitted = 0;
+  for (const auto& samples : per_client) {
+    for (const auto& s : samples) {
+      ++submitted;
+      if (s.status != serve::Status::kOk) {
+        ++dropped;
+        continue;
+      }
+      if (s.degraded) ++degraded;
+      (s.lane == serve::Priority::kInteractive ? interactive_ms : batch_ms)
+          .push_back(s.total_ms);
+    }
+  }
+  p.offered_per_s = wall_s > 0.0 ? static_cast<double>(submitted) / wall_s : 0.0;
+  p.served = submitted - dropped;
+  const double n = static_cast<double>(submitted);
+  p.drop_pct = 100.0 * static_cast<double>(dropped) / n;
+  p.degrade_pct = 100.0 * static_cast<double>(degraded) / n;
+  p.drop_or_degrade_pct =
+      100.0 * static_cast<double>(dropped + degraded) / n;
+  p.p50_interactive_ms = quantile(interactive_ms, 0.50);
+  p.p99_interactive_ms = quantile(interactive_ms, 0.99);
+  p.p99_batch_ms = quantile(batch_ms, 0.99);
+  p.end_model = server.model_name(server.degrade_level());
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const std::int64_t input_size = cli.get_int("input", 32);
+  const int total = static_cast<int>(cli.get_int("requests", 144));
+  const double deadline_ms = cli.get_double("deadline-ms", 150.0);
+  const std::string policy = cli.get("policy", "reject-newest");
+
+  // The degradation ladder: the paper's model family ordered best-first.
+  // At 32^2 the functional host execution gets monotonically cheaper down
+  // the ladder, which is exactly the lever graceful degradation pulls.
+  const std::vector<std::string> names = {"16M", "8M", "4M", "2M"};
+  std::printf("building ladder:");
+  std::vector<serve::ModelSpec> ladder;
+  for (const auto& name : names) {
+    std::printf(" %s", name.c_str());
+    std::fflush(stdout);
+    ladder.push_back(
+        {name, core::build_timing_xmodel(name, dpu::DpuArch::b4096(), input_size),
+         2});
+  }
+  std::printf(" done\n");
+
+  serve::ServerConfig cfg;
+  cfg.queue.capacity = static_cast<std::size_t>(cli.get_int("capacity", 16));
+  cfg.queue.policy = parse_policy(policy);
+  cfg.batcher.max_batch_size = 4;
+  cfg.batcher.max_wait_ms = 20.0;  // batch lane trades latency for batching
+  cfg.batcher.interactive_max_wait_ms = 0.0;
+  // Batch members execute serially on the simulated core, so dispatch
+  // interactive frames singly: a 4-deep interactive dispatch would
+  // quadruple the tail latency of its own lane for zero throughput gain.
+  cfg.batcher.interactive_max_batch_size = 1;
+  // Thresholds sized against the closed loop: 8 clients can never queue 10
+  // deep, so low/mid load stays at full quality by construction. At 16
+  // clients the degraded ladder clears the backlog below `queue_depth_low`
+  // and the server oscillates between rungs (partial degradation); at 32
+  // the bounded queue pins full and degradation never lets up.
+  cfg.degrade.queue_depth_high = 10;
+  cfg.degrade.queue_depth_low = 6;
+  cfg.degrade.min_dwell_ms = 25.0;
+
+  std::printf(
+      "closed-loop sweep: %d requests per point, 3:1 interactive:batch, "
+      "%.0f ms interactive deadline, queue capacity %zu, policy %s\n",
+      total, deadline_ms, cfg.queue.capacity, to_string(cfg.queue.policy));
+
+  eval::Table table({"Clients", "Offered req/s", "Served", "Drop %", "Degrade %",
+                     "Drop+Degr %", "p50 int [ms]", "p99 int [ms]",
+                     "p99 batch [ms]", "End model"});
+  for (int clients : {1, 2, 4, 8, 16, 32}) {
+    const PointResult p =
+        run_point(ladder, cfg, clients, total, input_size, deadline_ms);
+    table.add_row({std::to_string(p.clients), eval::Table::num(p.offered_per_s, 1),
+                   std::to_string(p.served), eval::Table::num(p.drop_pct, 1),
+                   eval::Table::num(p.degrade_pct, 1),
+                   eval::Table::num(p.drop_or_degrade_pct, 1),
+                   eval::Table::num(p.p50_interactive_ms, 1),
+                   eval::Table::num(p.p99_interactive_ms, 1),
+                   eval::Table::num(p.p99_batch_ms, 1), p.end_model});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: below saturation every request is served by the full-quality\n"
+      "16M model. As offered load grows the scheduler first degrades down the\n"
+      "ladder (cheaper models, served quality drops before requests do), then\n"
+      "sheds load at admission; the drop-or-degrade rate rises monotonically\n"
+      "past saturation. The interactive lane is drained before the batch lane\n"
+      "and skips the batching window, so its p99 stays below the batch\n"
+      "lane's at every load point.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "serve_demo: %s\n", e.what());
+  return 1;
+}

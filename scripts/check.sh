@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Tier-1 verify in one command: configure, build, run the full test suite.
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -eu
+
+ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD=${1:-"$ROOT/build"}
+
+cmake -B "$BUILD" -S "$ROOT"
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -j

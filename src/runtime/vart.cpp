@@ -2,8 +2,9 @@
 
 namespace seneca::runtime {
 
-VartRunner::VartRunner(const dpu::XModel& model, int num_workers)
-    : model_(model), core_(&model_) {
+VartRunner::VartRunner(const dpu::XModel& model, int num_workers,
+                       std::size_t max_pending)
+    : model_(model), core_(&model_), max_pending_(max_pending) {
   if (num_workers < 1) num_workers = 1;
   workers_.reserve(static_cast<std::size_t>(num_workers));
   for (int i = 0; i < num_workers; ++i) {
@@ -17,18 +18,43 @@ VartRunner::~VartRunner() {
     stopping_ = true;
   }
   work_cv_.notify_all();
+  space_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
 std::uint64_t VartRunner::submit(tensor::TensorI8 input) {
   std::uint64_t id;
   {
-    std::lock_guard lock(mutex_);
+    std::unique_lock lock(mutex_);
+    if (max_pending_ > 0) {
+      space_cv_.wait(lock, [this] {
+        return stopping_ || pending_.size() < max_pending_;
+      });
+    }
     id = next_job_++;
     pending_.emplace(id, std::move(input));
   }
   work_cv_.notify_one();
   return id;
+}
+
+std::optional<std::uint64_t> VartRunner::try_submit(tensor::TensorI8 input) {
+  std::uint64_t id;
+  {
+    std::lock_guard lock(mutex_);
+    if (max_pending_ > 0 && pending_.size() >= max_pending_) {
+      return std::nullopt;
+    }
+    id = next_job_++;
+    pending_.emplace(id, std::move(input));
+  }
+  work_cv_.notify_one();
+  return id;
+}
+
+std::size_t VartRunner::pending() const {
+  std::lock_guard lock(mutex_);
+  return pending_.size();
 }
 
 std::pair<std::uint64_t, tensor::TensorI8> VartRunner::collect() {
@@ -67,6 +93,7 @@ void VartRunner::worker_loop() {
       job = std::move(pending_.front());
       pending_.pop();
     }
+    if (max_pending_ > 0) space_cv_.notify_one();
     dpu::RunResult result = core_.run(job.second);
     {
       std::lock_guard lock(mutex_);

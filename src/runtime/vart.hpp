@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -20,15 +21,29 @@ namespace seneca::runtime {
 class VartRunner {
  public:
   /// `num_workers` mirrors the paper's thread count (1/2/4). The xmodel must
-  /// outlive the runner.
-  VartRunner(const dpu::XModel& model, int num_workers);
+  /// outlive the runner. `max_pending` bounds the not-yet-started job queue:
+  /// 0 (the default) keeps the historical unbounded behavior; a positive
+  /// value makes submit() block while the queue is full and try_submit()
+  /// report backpressure instead.
+  explicit VartRunner(const dpu::XModel& model, int num_workers,
+                      std::size_t max_pending = 0);
   ~VartRunner();
 
   VartRunner(const VartRunner&) = delete;
   VartRunner& operator=(const VartRunner&) = delete;
 
-  /// Asynchronously submits a job; returns its id.
+  /// Asynchronously submits a job; returns its id. In bounded mode this
+  /// blocks until the pending queue has room (backpressure).
   std::uint64_t submit(tensor::TensorI8 input);
+
+  /// Non-blocking submit: nullopt when the bounded pending queue is full
+  /// (never fails in unbounded mode).
+  std::optional<std::uint64_t> try_submit(tensor::TensorI8 input);
+
+  /// Jobs admitted but not yet picked up by a worker.
+  std::size_t pending() const;
+
+  std::size_t max_pending() const { return max_pending_; }
 
   /// Blocks until some job finishes; returns {job id, INT8 output}.
   std::pair<std::uint64_t, tensor::TensorI8> collect();
@@ -44,10 +59,12 @@ class VartRunner {
 
   const dpu::XModel& model_;
   dpu::DpuCoreSim core_;
+  std::size_t max_pending_ = 0;  // 0 = unbounded
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
+  std::condition_variable space_cv_;
   std::queue<std::pair<std::uint64_t, tensor::TensorI8>> pending_;
   std::map<std::uint64_t, tensor::TensorI8> finished_;
   std::uint64_t next_job_ = 0;

@@ -1,0 +1,51 @@
+#include "serve/batcher.hpp"
+
+namespace seneca::serve {
+
+MicroBatcher::MicroBatcher(AdmissionQueue& queue, BatcherConfig cfg)
+    : queue_(queue), cfg_(cfg) {}
+
+std::vector<Request> MicroBatcher::next_batch() {
+  std::vector<Request> batch;
+  for (;;) {
+    auto first = queue_.pop();
+    if (!first) return batch;  // closed and drained -> empty batch
+    const Priority lane = first->priority;
+    batch.push_back(std::move(*first));
+
+    const std::size_t limit = cfg_.batch_limit(lane);
+    const auto release_at =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               cfg_.wait_ms(lane)));
+    bool preempted = false;
+    while (batch.size() < limit) {
+      if (auto r = queue_.try_pop(lane)) {
+        batch.push_back(std::move(*r));
+        continue;
+      }
+      // An interactive arrival preempts a batch-lane collection window:
+      // hand the collected batch requests back (front of their lane, FIFO
+      // preserved) and go serve the interactive lane first. Batch work
+      // only dispatches in interactive-free windows.
+      if (lane == Priority::kBatch &&
+          queue_.depth(Priority::kInteractive) > 0) {
+        preempted = true;
+        break;
+      }
+      if (Clock::now() >= release_at) break;
+      if (lane == Priority::kBatch) {
+        if (!queue_.wait_any_nonempty_until(release_at)) break;
+      } else {
+        if (!queue_.wait_nonempty_until(lane, release_at)) break;
+      }
+    }
+    if (!preempted) return batch;
+    while (!batch.empty()) {  // reverse pop order restores FIFO
+      queue_.requeue_front(std::move(batch.back()));
+      batch.pop_back();
+    }
+  }
+}
+
+}  // namespace seneca::serve

@@ -1,0 +1,59 @@
+#pragma once
+// Dynamic micro-batcher: pulls requests out of the admission queue and
+// releases a batch on whichever trigger fires first — `max_batch_size`
+// requests collected, or `max_wait_ms` elapsed since the batch opened.
+//
+// Batches are single-lane. The first popped request (interactive lane
+// preferred, matching AdmissionQueue::pop) selects the lane; only same-lane
+// requests join, so an interactive frame is never held hostage by a batch
+// volume in the same dispatch. The wait window is per-lane: interactive
+// defaults to 0 ms (dispatch immediately with whatever is already queued),
+// batch traffic trades `max_wait_ms` of latency for larger batches. An
+// interactive arrival preempts an open batch-lane window — the collected
+// batch requests go back to the front of their lane and the interactive
+// request is served first, so batch work only dispatches in
+// interactive-free windows (best-effort: the batch lane has no latency
+// guarantee under sustained interactive load).
+
+#include <vector>
+
+#include "serve/queue.hpp"
+
+namespace seneca::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch_size = 8;
+  double max_wait_ms = 2.0;              // batch-lane window
+  double interactive_max_wait_ms = 0.0;  // latency-sensitive lane window
+  /// Interactive-lane size cap; 0 inherits max_batch_size. On hosts where
+  /// batch members execute serially, a large interactive batch inflates the
+  /// tail latency of its first members — cap it independently.
+  std::size_t interactive_max_batch_size = 0;
+
+  double wait_ms(Priority p) const {
+    return p == Priority::kInteractive ? interactive_max_wait_ms : max_wait_ms;
+  }
+  std::size_t batch_limit(Priority p) const {
+    if (p == Priority::kInteractive && interactive_max_batch_size > 0) {
+      return interactive_max_batch_size;
+    }
+    return max_batch_size;
+  }
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(AdmissionQueue& queue, BatcherConfig cfg);
+
+  /// Blocks until a batch is ready. Returns an empty vector once the queue
+  /// is closed and fully drained (the shutdown signal for the scheduler).
+  std::vector<Request> next_batch();
+
+  const BatcherConfig& config() const { return cfg_; }
+
+ private:
+  AdmissionQueue& queue_;
+  const BatcherConfig cfg_;
+};
+
+}  // namespace seneca::serve

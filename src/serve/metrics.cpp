@@ -1,0 +1,126 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace seneca::serve {
+
+int LatencyHistogram::bucket_index(double ms) {
+  if (!(ms > kLoMs)) return 0;
+  const int idx =
+      1 + static_cast<int>(std::floor(std::log(ms / kLoMs) / std::log(kRatio)));
+  return std::clamp(idx, 0, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_upper_ms(int index) {
+  return kLoMs * std::pow(kRatio, static_cast<double>(index));
+}
+
+void LatencyHistogram::record(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  buckets_[static_cast<std::size_t>(bucket_index(ms))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ms_.fetch_add(ms, std::memory_order_relaxed);
+  sum_sq_ms_.fetch_add(ms * ms, std::memory_order_relaxed);
+  double seen = max_ms_.load(std::memory_order_relaxed);
+  while (ms > seen &&
+         !max_ms_.compare_exchange_weak(seen, ms, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  std::array<std::uint64_t, kBuckets> counts;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  const double sum = sum_ms_.load(std::memory_order_relaxed);
+  const double sum_sq = sum_sq_ms_.load(std::memory_order_relaxed);
+  const double n = static_cast<double>(s.count);
+  s.mean_ms = sum / n;
+  s.max_ms = max_ms_.load(std::memory_order_relaxed);
+  s.stats.n = s.count;
+  s.stats.mean = s.mean_ms;
+  const double var =
+      s.count > 1 ? std::max(0.0, (sum_sq - sum * sum / n) / (n - 1.0)) : 0.0;
+  s.stats.stddev = std::sqrt(var);
+
+  const auto quantile = [&](double q) {
+    // Rank of the q-quantile among `count` samples (nearest-rank), then
+    // interpolate linearly across the winning bucket's width.
+    const double rank = q * (n - 1.0) + 1.0;
+    double cum = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const double c = static_cast<double>(counts[static_cast<std::size_t>(i)]);
+      if (cum + c >= rank) {
+        const double lo = i == 0 ? 0.0 : bucket_upper_ms(i - 1);
+        const double hi = std::min(bucket_upper_ms(i), s.max_ms);
+        const double frac = c > 0.0 ? (rank - cum) / c : 1.0;
+        return lo + (std::max(hi, lo) - lo) * frac;
+      }
+      cum += c;
+    }
+    return s.max_ms;
+  };
+  s.p50_ms = quantile(0.50);
+  s.p95_ms = quantile(0.95);
+  s.p99_ms = quantile(0.99);
+  return s;
+}
+
+void ServeMetrics::on_served(Priority lane, double total_ms, bool degraded) {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+  lanes_[static_cast<std::size_t>(lane)].record(total_ms);
+}
+
+void ServeMetrics::set_queue_depth(std::size_t depth) {
+  queue_depth_.store(depth, std::memory_order_relaxed);
+  std::size_t hw = queue_high_water_.load(std::memory_order_relaxed);
+  while (depth > hw && !queue_high_water_.compare_exchange_weak(
+                           hw, depth, std::memory_order_relaxed)) {
+  }
+}
+
+MetricsSnapshot ServeMetrics::snapshot() const {
+  MetricsSnapshot s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.served = served_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.expired = expired_.load(std::memory_order_relaxed);
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  s.interactive = lanes_[0].snapshot();
+  s.batch = lanes_[1].snapshot();
+  return s;
+}
+
+std::string MetricsSnapshot::format() const {
+  std::ostringstream os;
+  os << "submitted=" << submitted << " admitted=" << admitted
+     << " served=" << served << " rejected=" << rejected
+     << " expired=" << expired << " degraded=" << degraded
+     << " queue_depth=" << queue_depth << " high_water=" << queue_high_water
+     << "\n";
+  const auto line = [&](const char* name,
+                        const LatencyHistogram::Snapshot& l) {
+    os << "  " << name << ": n=" << l.count
+       << " latency_ms=" << eval::format_stats(l.stats);
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << " p50=" << l.p50_ms << " p95=" << l.p95_ms << " p99=" << l.p99_ms
+       << " max=" << l.max_ms << "\n";
+  };
+  line("interactive", interactive);
+  line("batch", batch);
+  return os.str();
+}
+
+}  // namespace seneca::serve

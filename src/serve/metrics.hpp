@@ -1,0 +1,91 @@
+#pragma once
+// Lock-cheap serving metrics: relaxed atomic counters plus log-bucketed
+// latency histograms per lane. Recording on the hot path is a handful of
+// relaxed atomic increments; percentile estimation and formatting happen
+// only at snapshot() time. Snapshots reuse eval/stats (RunStats /
+// format_stats) so the serving tables read like the paper-reproduction ones.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "eval/stats.hpp"
+#include "serve/request.hpp"
+
+namespace seneca::serve {
+
+/// Geometric-bucket latency histogram, 1 µs .. ~10^4 s, ~20 % bucket width.
+/// record() is wait-free (relaxed atomics); percentiles interpolate within
+/// the winning bucket, so they carry that bucket-width resolution.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 96;
+  static constexpr double kLoMs = 1e-3;   // first bucket upper edge
+  static constexpr double kRatio = 1.2;
+
+  void record(double ms);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    eval::RunStats stats;  // mean/stddev/n via eval/stats
+  };
+  Snapshot snapshot() const;
+
+ private:
+  static int bucket_index(double ms);
+  static double bucket_upper_ms(int index);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_ms_{0.0};
+  std::atomic<double> sum_sq_ms_{0.0};
+  std::atomic<double> max_ms_{0.0};
+};
+
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t degraded = 0;  // served, but below the top ladder rung
+  std::size_t queue_depth = 0;
+  std::size_t queue_high_water = 0;
+  LatencyHistogram::Snapshot interactive;
+  LatencyHistogram::Snapshot batch;
+
+  std::uint64_t dropped() const { return rejected + expired; }
+  /// Multi-line human-readable summary (uses eval::format_stats).
+  std::string format() const;
+};
+
+class ServeMetrics {
+ public:
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void on_expired() { expired_.fetch_add(1, std::memory_order_relaxed); }
+  void on_served(Priority lane, double total_ms, bool degraded);
+  void set_queue_depth(std::size_t depth);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> queue_high_water_{0};
+  LatencyHistogram lanes_[2];  // [kInteractive, kBatch]
+};
+
+}  // namespace seneca::serve

@@ -1,0 +1,175 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+
+namespace seneca::serve {
+
+const char* to_string(OverloadPolicy p) {
+  switch (p) {
+    case OverloadPolicy::kRejectNewest: return "reject-newest";
+    case OverloadPolicy::kDropExpired: return "drop-expired";
+    case OverloadPolicy::kEvictDeadline: return "evict-deadline";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(QueueConfig cfg) : cfg_(cfg) {}
+
+AdmissionQueue::PushResult AdmissionQueue::push(Request r,
+                                                Clock::time_point now) {
+  PushResult out;
+  {
+    std::lock_guard lock(mutex_);
+    if (closed_) {
+      ++stats_.rejected;
+      out.rejected.push_back(std::move(r));
+      return out;
+    }
+    if (depth_locked() >= cfg_.capacity) {
+      switch (cfg_.policy) {
+        case OverloadPolicy::kRejectNewest:
+          break;  // fall through to the full-queue rejection below
+        case OverloadPolicy::kDropExpired: {
+          for (auto& l : lanes_) {
+            for (auto it = l.begin(); it != l.end();) {
+              if (it->expired(now)) {
+                ++stats_.expired;
+                out.expired.push_back(std::move(*it));
+                it = l.erase(it);
+              } else {
+                ++it;
+              }
+            }
+          }
+          break;
+        }
+        case OverloadPolicy::kEvictDeadline: {
+          // Victim = queued request with the latest deadline (no deadline ==
+          // infinitely late). Scanning the batch lane first makes it the
+          // preferred victim pool on equal deadlines.
+          Request* victim = nullptr;
+          for (auto* l : {&lane(Priority::kBatch), &lane(Priority::kInteractive)}) {
+            for (auto& q : *l) {
+              if (victim == nullptr || q.deadline > victim->deadline) victim = &q;
+            }
+          }
+          if (victim != nullptr && victim->deadline > r.deadline) {
+            ++stats_.evicted;
+            out.rejected.push_back(std::move(*victim));
+            for (auto& l : lanes_) {
+              for (auto it = l.begin(); it != l.end(); ++it) {
+                if (&*it == victim) {
+                  l.erase(it);
+                  victim = nullptr;
+                  break;
+                }
+              }
+              if (victim == nullptr) break;
+            }
+          }
+          break;
+        }
+      }
+      if (depth_locked() >= cfg_.capacity) {
+        ++stats_.rejected;
+        out.rejected.push_back(std::move(r));
+        return out;
+      }
+    }
+    r.admitted_at = now;
+    lane(r.priority).push_back(std::move(r));
+    ++stats_.admitted;
+    stats_.high_water = std::max(stats_.high_water, depth_locked());
+    out.admitted = true;
+  }
+  cv_.notify_all();
+  return out;
+}
+
+std::optional<Request> AdmissionQueue::pop_locked() {
+  for (auto& l : lanes_) {  // interactive lane first
+    if (!l.empty()) {
+      Request r = std::move(l.front());
+      l.pop_front();
+      ++stats_.popped;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Request> AdmissionQueue::pop() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return closed_ || depth_locked() > 0; });
+  return pop_locked();
+}
+
+std::optional<Request> AdmissionQueue::try_pop() {
+  std::lock_guard lock(mutex_);
+  return pop_locked();
+}
+
+std::optional<Request> AdmissionQueue::try_pop(Priority p) {
+  std::lock_guard lock(mutex_);
+  auto& l = lane(p);
+  if (l.empty()) return std::nullopt;
+  Request r = std::move(l.front());
+  l.pop_front();
+  ++stats_.popped;
+  return r;
+}
+
+bool AdmissionQueue::wait_nonempty_until(Priority p, Clock::time_point tp) {
+  std::unique_lock lock(mutex_);
+  cv_.wait_until(lock, tp,
+                 [this, p] { return closed_ || !lane(p).empty(); });
+  return !lane(p).empty();
+}
+
+bool AdmissionQueue::wait_any_nonempty_until(Clock::time_point tp) {
+  std::unique_lock lock(mutex_);
+  cv_.wait_until(lock, tp, [this] { return closed_ || depth_locked() > 0; });
+  return depth_locked() > 0;
+}
+
+void AdmissionQueue::requeue_front(Request r) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.requeued;
+    lane(r.priority).push_front(std::move(r));
+    stats_.high_water = std::max(stats_.high_water, depth_locked());
+  }
+  cv_.notify_all();
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return depth_locked();
+}
+
+std::size_t AdmissionQueue::depth(Priority p) const {
+  std::lock_guard lock(mutex_);
+  return lanes_[static_cast<std::size_t>(p)].size();
+}
+
+QueueStats AdmissionQueue::stats() const {
+  std::lock_guard lock(mutex_);
+  QueueStats s = stats_;
+  s.depth = depth_locked();
+  return s;
+}
+
+}  // namespace seneca::serve

@@ -1,0 +1,115 @@
+#pragma once
+// Bounded, thread-safe, two-lane admission queue with a configurable
+// overload policy and backpressure statistics.
+//
+// The queue is the single admission point of the serving layer: producers
+// push() from any thread; the scheduler's micro-batcher pops. Capacity is
+// bounded so overload surfaces as an explicit policy decision instead of
+// unbounded memory growth:
+//   kRejectNewest   — refuse the incoming request (classic tail drop)
+//   kDropExpired    — first sweep out queued requests whose deadline has
+//                     already passed, then admit if that freed space
+//   kEvictDeadline  — EDF-style: displace the queued request with the most
+//                     deadline slack iff the incoming one is more urgent
+// Displaced requests are handed back to the caller (PushResult) so the
+// server can complete their promises with kRejected/kExpired.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace seneca::serve {
+
+enum class OverloadPolicy : std::uint8_t {
+  kRejectNewest = 0,
+  kDropExpired = 1,
+  kEvictDeadline = 2,
+};
+
+const char* to_string(OverloadPolicy p);
+
+struct QueueConfig {
+  std::size_t capacity = 64;  // total across both lanes
+  OverloadPolicy policy = OverloadPolicy::kRejectNewest;
+};
+
+struct QueueStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;  // incoming requests refused
+  std::uint64_t evicted = 0;   // queued victims displaced (kEvictDeadline)
+  std::uint64_t expired = 0;   // queued victims swept (kDropExpired)
+  std::uint64_t popped = 0;
+  std::uint64_t requeued = 0;  // popped requests handed back (preemption)
+  std::size_t depth = 0;
+  std::size_t high_water = 0;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(QueueConfig cfg);
+
+  struct PushResult {
+    bool admitted = false;
+    /// Requests refused or displaced; complete as Status::kRejected.
+    std::vector<Request> rejected;
+    /// Queued requests swept because their deadline passed; kExpired.
+    std::vector<Request> expired;
+  };
+
+  PushResult push(Request r) { return push(std::move(r), Clock::now()); }
+  PushResult push(Request r, Clock::time_point now);
+
+  /// Blocking pop, interactive lane first. nullopt once closed and drained.
+  std::optional<Request> pop();
+
+  /// Non-blocking pop: any lane (interactive first) / a specific lane.
+  std::optional<Request> try_pop();
+  std::optional<Request> try_pop(Priority lane);
+
+  /// Blocks until `lane` is non-empty, the queue closes, or `tp` passes.
+  /// Returns true iff the lane is non-empty on return.
+  bool wait_nonempty_until(Priority lane, Clock::time_point tp);
+
+  /// Blocks until either lane is non-empty, the queue closes, or `tp`
+  /// passes. Returns true iff any lane is non-empty on return. Lets the
+  /// batcher hold a batch-lane collection window open while still waking
+  /// the instant interactive work arrives.
+  bool wait_any_nonempty_until(Clock::time_point tp);
+
+  /// Hands a popped request back to the FRONT of its lane (FIFO position
+  /// preserved when called in reverse pop order). Used by the batcher when
+  /// an interactive arrival preempts a batch-lane collection window.
+  /// Ignores capacity — the request was already admitted once.
+  void requeue_front(Request r);
+
+  /// Stops admission (pushes are rejected); pops drain what remains.
+  void close();
+  bool closed() const;
+
+  std::size_t depth() const;
+  std::size_t depth(Priority lane) const;
+  QueueStats stats() const;
+
+ private:
+  std::deque<Request>& lane(Priority p) {
+    return lanes_[static_cast<std::size_t>(p)];
+  }
+  std::optional<Request> pop_locked();
+  std::size_t depth_locked() const {
+    return lanes_[0].size() + lanes_[1].size();
+  }
+
+  const QueueConfig cfg_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> lanes_[2];  // [kInteractive, kBatch]
+  QueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace seneca::serve

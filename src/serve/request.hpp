@@ -1,0 +1,71 @@
+#pragma once
+// Typed requests/responses for SENECA-Serve, the inference-serving layer.
+//
+// The paper's motivating deployment (§I) mixes two traffic classes on one
+// edge device: intraoperative CT frames that must come back within a hard
+// latency budget, and offline volumes that only need throughput. A Request
+// therefore carries a priority class and an optional absolute deadline; the
+// Response reports which zoo model actually served it so callers can observe
+// graceful degradation (see server.hpp).
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace seneca::serve {
+
+using Clock = std::chrono::steady_clock;
+
+enum class Priority : std::uint8_t { kInteractive = 0, kBatch = 1 };
+
+constexpr const char* to_string(Priority p) {
+  return p == Priority::kInteractive ? "interactive" : "batch";
+}
+
+struct Request {
+  std::uint64_t id = 0;
+  Priority priority = Priority::kBatch;
+  tensor::TensorI8 input;
+  /// Absolute deadline; Clock::time_point::max() means "no deadline".
+  Clock::time_point deadline = Clock::time_point::max();
+  /// Stamped by the admission queue on successful push.
+  Clock::time_point admitted_at{};
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+  bool expired(Clock::time_point now) const {
+    return has_deadline() && now > deadline;
+  }
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,        // served; `output` is valid
+  kRejected = 1,  // refused at admission or displaced by an eviction
+  kExpired = 2,   // deadline passed before service started
+};
+
+constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kExpired: return "expired";
+  }
+  return "?";
+}
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kRejected;
+  tensor::TensorI8 output;  // valid iff status == kOk
+  std::string model_used;   // zoo label of the model that served it
+  bool degraded = false;    // served below the top rung of the ladder
+  double queue_ms = 0.0;    // admission -> dispatch
+  double service_ms = 0.0;  // dispatch -> inference complete (whole batch)
+  double total_ms = 0.0;    // submit -> completion
+  /// Server-wide completion order (1-based); exposes scheduling decisions
+  /// (interactive-before-batch) to tests without relying on wall clocks.
+  std::uint64_t served_seq = 0;
+};
+
+}  // namespace seneca::serve

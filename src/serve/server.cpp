@@ -1,0 +1,227 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace seneca::serve {
+
+namespace {
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(std::vector<ModelSpec> ladder,
+                                 ServerConfig cfg)
+    : ladder_(std::move(ladder)), cfg_(cfg), queue_(cfg.queue) {
+  if (ladder_.empty()) {
+    throw std::invalid_argument("InferenceServer: empty model ladder");
+  }
+  for (const auto& spec : ladder_) {
+    if (!(spec.model.input_shape == ladder_.front().model.input_shape)) {
+      throw std::invalid_argument(
+          "InferenceServer: ladder models must share one input shape");
+    }
+  }
+  runners_.reserve(ladder_.size());
+  for (const auto& spec : ladder_) {
+    // Bounded pending queue: a runner never holds more than two batches,
+    // so a stuck rung surfaces as submit() backpressure in the scheduler
+    // rather than unbounded growth.
+    runners_.push_back(std::make_unique<runtime::VartRunner>(
+        spec.model, spec.workers, 2 * cfg_.batcher.max_batch_size));
+  }
+  last_level_change_ = Clock::now();
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<Response> InferenceServer::submit(Priority priority,
+                                              tensor::TensorI8 input,
+                                              double deadline_ms) {
+  const auto now = Clock::now();
+  Request r;
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  r.priority = priority;
+  r.input = std::move(input);
+  if (deadline_ms > 0.0) {
+    r.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+
+  std::promise<Response> promise;
+  auto future = promise.get_future();
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_.emplace(r.id, Pending{std::move(promise), now});
+  }
+  metrics_.on_submitted();
+
+  if (stopping_.load(std::memory_order_acquire)) {
+    complete_failed(r, Status::kRejected);
+    return future;
+  }
+
+  auto result = queue_.push(std::move(r), now);
+  if (result.admitted) {
+    metrics_.on_admitted();
+  }
+  for (const auto& victim : result.rejected) {
+    complete_failed(victim, Status::kRejected);
+  }
+  for (const auto& victim : result.expired) {
+    complete_failed(victim, Status::kExpired);
+  }
+  metrics_.set_queue_depth(queue_.depth());
+  return future;
+}
+
+std::optional<InferenceServer::Pending> InferenceServer::take_pending(
+    std::uint64_t id) {
+  std::lock_guard lock(pending_mutex_);
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return std::nullopt;
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  return p;
+}
+
+void InferenceServer::complete_failed(const Request& r, Status status) {
+  auto pending = take_pending(r.id);
+  if (!pending) return;  // already completed elsewhere; nothing to count
+  if (status == Status::kExpired) {
+    metrics_.on_expired();
+  } else {
+    metrics_.on_rejected();
+  }
+  Response resp;
+  resp.id = r.id;
+  resp.status = status;
+  resp.total_ms = ms_between(pending->submitted_at, Clock::now());
+  pending->promise.set_value(std::move(resp));
+}
+
+void InferenceServer::update_level(Clock::time_point now, std::size_t depth) {
+  int level = level_.load(std::memory_order_relaxed);
+  const auto& d = cfg_.degrade;
+  if (ms_between(last_level_change_, now) < d.min_dwell_ms) return;
+
+  double window_p99 = 0.0;
+  if (d.p99_high_ms > 0.0 && !recent_interactive_ms_.empty()) {
+    std::vector<double> sorted(recent_interactive_ms_.begin(),
+                               recent_interactive_ms_.end());
+    std::sort(sorted.begin(), sorted.end());
+    window_p99 = sorted[static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size() - 1))];
+  }
+
+  const bool overloaded =
+      depth >= d.queue_depth_high ||
+      (d.p99_high_ms > 0.0 && window_p99 > d.p99_high_ms);
+  const bool calm = depth <= d.queue_depth_low &&
+                    (d.p99_high_ms <= 0.0 || window_p99 < 0.5 * d.p99_high_ms);
+
+  if (overloaded && level + 1 < static_cast<int>(ladder_.size())) {
+    ++level;
+  } else if (calm && level > 0) {
+    --level;
+  } else {
+    return;
+  }
+  last_level_change_ = now;
+  level_.store(level, std::memory_order_relaxed);
+}
+
+void InferenceServer::scheduler_loop() {
+  MicroBatcher batcher(queue_, cfg_.batcher);
+  for (;;) {
+    std::vector<Request> batch = batcher.next_batch();
+    if (batch.empty()) break;  // queue closed and drained
+
+    const auto dispatch_at = Clock::now();
+    // Backlog as seen by this dispatch cycle: what is still queued plus
+    // what was just popped into the batch. Sampling after the pop alone
+    // would systematically understate pressure by one batch.
+    const std::size_t backlog = queue_.depth() + batch.size();
+    metrics_.set_queue_depth(backlog);
+
+    std::vector<Request> live;
+    live.reserve(batch.size());
+    for (auto& r : batch) {
+      if (r.expired(dispatch_at)) {
+        complete_failed(r, Status::kExpired);
+      } else {
+        live.push_back(std::move(r));
+      }
+    }
+    if (live.empty()) continue;
+
+    update_level(dispatch_at, backlog);
+    const int level = level_.load(std::memory_order_relaxed);
+    auto& runner = *runners_[static_cast<std::size_t>(level)];
+
+    std::vector<tensor::TensorI8> inputs;
+    inputs.reserve(live.size());
+    for (auto& r : live) inputs.push_back(std::move(r.input));
+
+    util::Timer service_timer;
+    std::vector<tensor::TensorI8> outputs = runner.run_batch(inputs);
+    const double service_ms = service_timer.millis();
+    const auto done_at = Clock::now();
+
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      const Request& r = live[i];
+      auto pending = take_pending(r.id);
+      if (!pending) continue;
+      Response resp;
+      resp.id = r.id;
+      resp.status = Status::kOk;
+      resp.output = std::move(outputs[i]);
+      resp.model_used = ladder_[static_cast<std::size_t>(level)].name;
+      resp.degraded = level > 0;
+      resp.queue_ms = ms_between(r.admitted_at, dispatch_at);
+      resp.service_ms = service_ms;
+      resp.total_ms = ms_between(pending->submitted_at, done_at);
+      resp.served_seq = served_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      metrics_.on_served(r.priority, resp.total_ms, resp.degraded);
+      if (r.priority == Priority::kInteractive) {
+        recent_interactive_ms_.push_back(resp.total_ms);
+        while (recent_interactive_ms_.size() > cfg_.degrade.p99_window) {
+          recent_interactive_ms_.pop_front();
+        }
+      }
+      pending->promise.set_value(std::move(resp));
+    }
+  }
+}
+
+void InferenceServer::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  if (scheduler_.joinable()) scheduler_.join();
+
+  // Safety net: fail any promise that somehow never reached the scheduler.
+  std::vector<std::pair<std::uint64_t, Pending>> leftovers;
+  {
+    std::lock_guard lock(pending_mutex_);
+    for (auto& [id, pending] : pending_) {
+      leftovers.emplace_back(id, std::move(pending));
+    }
+    pending_.clear();
+  }
+  for (auto& [id, pending] : leftovers) {
+    Response resp;
+    resp.id = id;
+    resp.status = Status::kRejected;
+    resp.total_ms = ms_between(pending.submitted_at, Clock::now());
+    pending.promise.set_value(std::move(resp));
+    metrics_.on_rejected();
+  }
+}
+
+}  // namespace seneca::serve

@@ -1,0 +1,130 @@
+#pragma once
+// InferenceServer: the serving front-end over the VART-analog runtime.
+//
+//   clients --submit()--> AdmissionQueue --MicroBatcher--> scheduler thread
+//                                                             |
+//                                               degradation ladder pick
+//                                                             |
+//                                            VartRunner pool of ladder[level]
+//
+// One server owns a degradation ladder of compiled models, largest (best
+// quality) first — e.g. the paper's zoo 8M -> 4M -> 2M -> 1M — each with its
+// own VartRunner worker pool. A single scheduler thread drains the
+// interactive lane before the batch lane (AdmissionQueue pop order), forms
+// micro-batches, and dispatches each batch to the ladder rung selected by
+// the overload controller: when queue depth or the sliding-window p99 of
+// interactive latency crosses the high threshold the server steps down to a
+// smaller/faster model (graceful degradation — §IV's quality/latency trade
+// made at serving time); when load subsides it steps back up. Outputs are
+// always bit-exact with the serving model's reference execution: the ladder
+// changes *which* model runs, never how it runs.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dpu/xmodel.hpp"
+#include "runtime/vart.hpp"
+#include "serve/batcher.hpp"
+#include "serve/metrics.hpp"
+#include "serve/queue.hpp"
+
+namespace seneca::serve {
+
+struct ModelSpec {
+  std::string name;   // zoo label, e.g. "4M"
+  dpu::XModel model;  // compiled artifact (owned by the server)
+  int workers = 2;    // VART worker threads for this rung
+};
+
+struct DegradeConfig {
+  /// Step one rung down when queue depth reaches this at dispatch time.
+  std::size_t queue_depth_high = 32;
+  /// Step one rung up (recover) only when depth is back at or below this.
+  std::size_t queue_depth_low = 4;
+  /// Also step down when the sliding-window interactive p99 exceeds this
+  /// (milliseconds); 0 disables the latency trigger.
+  double p99_high_ms = 0.0;
+  /// Sliding window length for the p99 trigger.
+  std::size_t p99_window = 64;
+  /// Minimum time between level changes (hysteresis).
+  double min_dwell_ms = 20.0;
+};
+
+struct ServerConfig {
+  QueueConfig queue;
+  BatcherConfig batcher;
+  DegradeConfig degrade;
+};
+
+class InferenceServer {
+ public:
+  /// `ladder` is ordered best-first; index 0 is the undegraded model.
+  /// All ladder models must share one input shape.
+  InferenceServer(std::vector<ModelSpec> ladder, ServerConfig cfg);
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Thread-safe. `deadline_ms` is relative to now; <= 0 means no deadline.
+  /// The future always resolves: kOk with an output, or kRejected/kExpired.
+  std::future<Response> submit(Priority priority, tensor::TensorI8 input,
+                               double deadline_ms = 0.0);
+
+  /// Stops admission, drains queued work, joins the scheduler. Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  QueueStats queue_stats() const { return queue_.stats(); }
+  /// Current degradation rung (0 = full-quality model).
+  int degrade_level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
+  std::size_t ladder_size() const { return ladder_.size(); }
+  const std::string& model_name(int level) const {
+    return ladder_[static_cast<std::size_t>(level)].name;
+  }
+
+ private:
+  struct Pending {
+    std::promise<Response> promise;
+    Clock::time_point submitted_at;
+  };
+
+  void scheduler_loop();
+  void update_level(Clock::time_point now, std::size_t depth);
+  void complete_failed(const Request& r, Status status);
+  std::optional<Pending> take_pending(std::uint64_t id);
+
+  const std::vector<ModelSpec> ladder_;
+  const ServerConfig cfg_;
+  std::vector<std::unique_ptr<runtime::VartRunner>> runners_;
+
+  AdmissionQueue queue_;
+  ServeMetrics metrics_;
+
+  std::mutex pending_mutex_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> served_seq_{0};
+  std::atomic<int> level_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Scheduler-thread-only state for the latency trigger.
+  std::deque<double> recent_interactive_ms_;
+  Clock::time_point last_level_change_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace seneca::serve

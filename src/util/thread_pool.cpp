@@ -16,6 +16,18 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  // worker_ids_ is written once here, before any external submit/parallel_for
+  // can run, and is read-only afterwards (no lock needed).
+  worker_ids_.reserve(workers_.size());
+  for (const auto& w : workers_) worker_ids_.push_back(w.get_id());
+}
+
+bool ThreadPool::in_worker_thread() const {
+  const auto self = std::this_thread::get_id();
+  for (const auto& id : worker_ids_) {
+    if (id == self) return true;
+  }
+  return false;
 }
 
 ThreadPool::~ThreadPool() {
@@ -58,7 +70,10 @@ void ThreadPool::parallel_for_chunked(
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  if (workers_.empty() || n == 1) {
+  // Inline when trivial, when the pool has no workers, or when the caller
+  // is itself a pool worker: blocking a worker on chunks that only other
+  // (possibly all-busy) workers can run would risk deadlock.
+  if (workers_.empty() || n == 1 || in_worker_thread()) {
     fn(begin, end);
     return;
   }

@@ -5,6 +5,14 @@
 // chunks an index range across the workers and blocks until every chunk is
 // done. On a single-core host the pool degenerates to inline execution with
 // no thread churn, which keeps unit-test runtimes predictable.
+//
+// Reentrancy rule: the pool is shared between compute kernels and the
+// serving scheduler, so calls from inside a pool worker must not block on
+// pool capacity. submit() from a worker only enqueues (safe); parallel_for
+// / parallel_for_chunked detect that the caller *is* a pool worker and run
+// the whole range inline instead of blocking on chunks that no free worker
+// may ever pick up — nested parallelism degrades to sequential execution
+// rather than deadlocking.
 
 #include <condition_variable>
 #include <cstddef>
@@ -27,12 +35,17 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True iff the calling thread is one of this pool's workers.
+  bool in_worker_thread() const;
+
   /// Enqueue a task. Fire-and-forget; use parallel_for for joinable work.
+  /// Safe to call from a pool worker (the task is queued, never run inline).
   void submit(std::function<void()> task);
 
   /// Run fn(i) for i in [begin, end), split into ~3 chunks per worker.
   /// Blocks until all iterations complete. Exceptions from fn propagate as
-  /// std::terminate (kernels are noexcept by convention).
+  /// std::terminate (kernels are noexcept by convention). When called from
+  /// a pool worker the range runs inline on the caller (see header comment).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -45,6 +58,7 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  std::vector<std::thread::id> worker_ids_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;

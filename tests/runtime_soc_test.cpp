@@ -1,0 +1,72 @@
+// soc_sim latency-percentile edge cases: the p99 index math
+// (0.99 * (n - 1)) must behave at the boundaries — zero samples, a single
+// sample, and all-equal latencies.
+#include <gtest/gtest.h>
+
+#include "dpu/compiler.hpp"
+#include "nn/unet.hpp"
+#include "quant/quantizer.hpp"
+#include "runtime/soc_sim.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::runtime {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+
+dpu::XModel build_model() {
+  nn::UNet2DConfig cfg;
+  cfg.input_size = 16;
+  cfg.depth = 2;
+  cfg.base_filters = 4;
+  cfg.seed = 3;
+  auto graph = nn::build_unet2d(cfg);
+  util::Rng rng(4);
+  TensorF x(Shape{16, 16, 1});
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  graph->forward(x, true);
+  quant::FGraph fg = quant::fold(*graph);
+  std::vector<TensorF> calib{x};
+  return dpu::compile(quant::quantize(fg, calib));
+}
+
+TEST(SocSim, ZeroImagesYieldsEmptyReportWithoutCrashing) {
+  const dpu::XModel xm = build_model();
+  const SocConfig soc;
+  const ThroughputReport r = simulate_throughput(xm, soc, 2, 0);
+  EXPECT_EQ(r.images, 0);
+  EXPECT_DOUBLE_EQ(r.fps, 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(r.latency_p99_ms, 0.0);
+}
+
+TEST(SocSim, SingleImageP99EqualsItsOnlyLatency) {
+  const dpu::XModel xm = build_model();
+  const SocConfig soc;
+  const ThroughputReport r = simulate_throughput(xm, soc, 1, 1);
+  EXPECT_GT(r.latency_mean_ms, 0.0);
+  // One sample: index 0.99 * (1 - 1) = 0 -> p99 is that sample == the mean.
+  EXPECT_DOUBLE_EQ(r.latency_p99_ms, r.latency_mean_ms);
+}
+
+TEST(SocSim, AllEqualLatenciesMakeP99EqualTheMean) {
+  const dpu::XModel xm = build_model();
+  const SocConfig soc;
+  // One thread => no pipeline overlap or contention: every image walks the
+  // identical preprocess -> DPU -> postprocess path, so all latencies match.
+  const ThroughputReport r = simulate_throughput(xm, soc, 1, 7);
+  EXPECT_GT(r.latency_p99_ms, 0.0);
+  EXPECT_NEAR(r.latency_p99_ms, r.latency_mean_ms, 1e-9);
+}
+
+TEST(SocSim, P99NeverBelowMeanUnderContention) {
+  const dpu::XModel xm = build_model();
+  const SocConfig soc;
+  const ThroughputReport r = simulate_throughput(xm, soc, 4, 32);
+  EXPECT_GT(r.fps, 0.0);
+  EXPECT_GE(r.latency_p99_ms, r.latency_mean_ms - 1e-9);
+}
+
+}  // namespace
+}  // namespace seneca::runtime

@@ -95,6 +95,53 @@ TEST(VartRunner, WorkerCountClampedToAtLeastOne) {
   EXPECT_EQ(runner.num_workers(), 1);
 }
 
+TEST(VartRunner, BoundedQueueReportsBackpressure) {
+  const dpu::XModel xm = build_model();
+  VartRunner runner(xm, 1, /*max_pending=*/2);
+  EXPECT_EQ(runner.max_pending(), 2u);
+  // A tight submission loop outruns the single worker by orders of
+  // magnitude: once two jobs are queued (plus one executing), try_submit
+  // must report backpressure instead of growing the queue.
+  int accepted = 0;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    if (auto id = runner.try_submit(random_input(static_cast<std::uint64_t>(i)))) {
+      ids.push_back(*id);
+      ++accepted;
+    }
+  }
+  EXPECT_GE(accepted, 2);
+  EXPECT_LT(accepted, 10);
+  EXPECT_LE(runner.pending(), 2u);
+  for (int i = 0; i < accepted; ++i) runner.collect();
+  // Draining frees space again.
+  EXPECT_TRUE(runner.try_submit(random_input(77)).has_value());
+  runner.collect();
+}
+
+TEST(VartRunner, BoundedBlockingSubmitMakesProgress) {
+  const dpu::XModel xm = build_model();
+  VartRunner runner(xm, 2, /*max_pending=*/1);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    // submit() blocks on the full queue and resumes as workers drain it.
+    ids.push_back(runner.submit(random_input(200 + static_cast<std::uint64_t>(i))));
+  }
+  std::set<std::uint64_t> collected;
+  for (int i = 0; i < 6; ++i) collected.insert(runner.collect().first);
+  EXPECT_EQ(collected.size(), 6u);
+}
+
+TEST(VartRunner, UnboundedTrySubmitNeverFails) {
+  const dpu::XModel xm = build_model();
+  VartRunner runner(xm, 1);  // default: unbounded
+  EXPECT_EQ(runner.max_pending(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(runner.try_submit(random_input(static_cast<std::uint64_t>(i))).has_value());
+  }
+  for (int i = 0; i < 20; ++i) runner.collect();
+}
+
 TEST(VartRunner, DrainsOnDestruction) {
   const dpu::XModel xm = build_model();
   {

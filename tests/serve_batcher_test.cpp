@@ -1,0 +1,145 @@
+// Micro-batcher tests: release on the size trigger vs. the wait-window
+// trigger, single-lane batches, and shutdown drain. Timing assertions are
+// deliberately loose (single-core CI hosts).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "serve/batcher.hpp"
+#include "util/timer.hpp"
+
+namespace seneca::serve {
+namespace {
+
+Request make_request(std::uint64_t id, Priority p) {
+  Request r;
+  r.id = id;
+  r.priority = p;
+  return r;
+}
+
+TEST(MicroBatcher, ReleasesOnSizeTriggerWithoutWaitingOutTheWindow) {
+  AdmissionQueue queue({.capacity = 16});
+  // Huge wait window: only the size trigger can release quickly.
+  MicroBatcher batcher(queue, {.max_batch_size = 4, .max_wait_ms = 5000.0});
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    queue.push(make_request(i, Priority::kBatch));
+  }
+  util::Timer timer;
+  const auto batch = batcher.next_batch();
+  EXPECT_LT(timer.millis(), 1000.0);  // far below the 5 s window
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].id, i);
+}
+
+TEST(MicroBatcher, ReleasesOnTimeoutWithPartialBatch) {
+  AdmissionQueue queue({.capacity = 16});
+  MicroBatcher batcher(queue, {.max_batch_size = 8, .max_wait_ms = 40.0});
+  queue.push(make_request(7, Priority::kBatch));
+  util::Timer timer;
+  const auto batch = batcher.next_batch();
+  const double elapsed = timer.millis();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 7u);
+  EXPECT_GE(elapsed, 35.0);  // held the window open for stragglers
+}
+
+TEST(MicroBatcher, InteractiveLaneDispatchesImmediately) {
+  AdmissionQueue queue({.capacity = 16});
+  MicroBatcher batcher(queue, {.max_batch_size = 8,
+                               .max_wait_ms = 5000.0,
+                               .interactive_max_wait_ms = 0.0});
+  queue.push(make_request(1, Priority::kInteractive));
+  util::Timer timer;
+  const auto batch = batcher.next_batch();
+  EXPECT_LT(timer.millis(), 1000.0);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 1u);
+}
+
+TEST(MicroBatcher, BatchesAreSingleLaneInteractiveFirst) {
+  AdmissionQueue queue({.capacity = 16});
+  MicroBatcher batcher(queue, {.max_batch_size = 8, .max_wait_ms = 0.0});
+  queue.push(make_request(0, Priority::kBatch));
+  queue.push(make_request(1, Priority::kInteractive));
+  queue.push(make_request(2, Priority::kInteractive));
+
+  auto first = batcher.next_batch();
+  ASSERT_EQ(first.size(), 2u);  // both interactive, no batch-lane mixing
+  EXPECT_EQ(first[0].priority, Priority::kInteractive);
+  EXPECT_EQ(first[1].priority, Priority::kInteractive);
+
+  auto second = batcher.next_batch();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, 0u);
+}
+
+TEST(MicroBatcher, LateSameLaneArrivalsJoinWithinTheWindow) {
+  AdmissionQueue queue({.capacity = 16});
+  MicroBatcher batcher(queue, {.max_batch_size = 2, .max_wait_ms = 2000.0});
+  queue.push(make_request(0, Priority::kBatch));
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(make_request(1, Priority::kBatch));
+  });
+  const auto batch = batcher.next_batch();  // wakes on the late arrival
+  producer.join();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[1].id, 1u);
+}
+
+TEST(MicroBatcher, InteractiveArrivalPreemptsBatchCollectionWindow) {
+  AdmissionQueue queue({.capacity = 16});
+  // Window far longer than the test budget: only preemption can release.
+  MicroBatcher batcher(queue, {.max_batch_size = 8, .max_wait_ms = 5000.0});
+  queue.push(make_request(0, Priority::kBatch));
+  std::thread producer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    queue.push(make_request(1, Priority::kInteractive));
+  });
+  util::Timer timer;
+  const auto first = batcher.next_batch();
+  EXPECT_LT(timer.millis(), 2000.0);  // released by the interactive arrival
+  producer.join();
+  // The interactive request cuts the line; the batch request was requeued.
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].id, 1u);
+  EXPECT_EQ(first[0].priority, Priority::kInteractive);
+  EXPECT_GE(queue.stats().requeued, 1u);
+
+  // With the interactive lane clear, the batch request dispatches on its
+  // (now short) window.
+  MicroBatcher quick(queue, {.max_batch_size = 8, .max_wait_ms = 1.0});
+  const auto second = quick.next_batch();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].id, 0u);
+}
+
+TEST(MicroBatcher, InteractiveLaneHonorsItsOwnSizeCap) {
+  AdmissionQueue queue({.capacity = 16});
+  MicroBatcher batcher(queue, {.max_batch_size = 4,
+                               .max_wait_ms = 0.0,
+                               .interactive_max_batch_size = 2});
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    queue.push(make_request(i, Priority::kInteractive));
+  }
+  EXPECT_EQ(batcher.next_batch().size(), 2u);  // capped below max_batch_size
+  EXPECT_EQ(batcher.next_batch().size(), 2u);
+
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    queue.push(make_request(10 + i, Priority::kBatch));
+  }
+  EXPECT_EQ(batcher.next_batch().size(), 4u);  // batch lane keeps the full cap
+}
+
+TEST(MicroBatcher, ReturnsEmptyOnceClosedAndDrained) {
+  AdmissionQueue queue({.capacity = 16});
+  MicroBatcher batcher(queue, {.max_batch_size = 4, .max_wait_ms = 1.0});
+  queue.push(make_request(0, Priority::kBatch));
+  queue.close();
+  EXPECT_EQ(batcher.next_batch().size(), 1u);  // drains what was queued
+  EXPECT_TRUE(batcher.next_batch().empty());   // then signals shutdown
+}
+
+}  // namespace
+}  // namespace seneca::serve

@@ -1,0 +1,143 @@
+// Admission-queue tests: lane ordering, every overload policy dropping the
+// intended request, close/drain semantics, and backpressure stats.
+#include <gtest/gtest.h>
+
+#include "serve/queue.hpp"
+
+namespace seneca::serve {
+namespace {
+
+Request make_request(std::uint64_t id, Priority p,
+                     Clock::time_point deadline = Clock::time_point::max()) {
+  Request r;
+  r.id = id;
+  r.priority = p;
+  r.deadline = deadline;
+  return r;
+}
+
+const Clock::time_point t0 = Clock::now();
+Clock::time_point at_ms(double ms) {
+  return t0 + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms));
+}
+
+TEST(AdmissionQueue, PopsInteractiveLaneFirst) {
+  AdmissionQueue q({.capacity = 8, .policy = OverloadPolicy::kRejectNewest});
+  EXPECT_TRUE(q.push(make_request(0, Priority::kBatch), t0).admitted);
+  EXPECT_TRUE(q.push(make_request(1, Priority::kBatch), t0).admitted);
+  EXPECT_TRUE(q.push(make_request(2, Priority::kInteractive), t0).admitted);
+  EXPECT_EQ(q.pop()->id, 2u);  // interactive jumps the batch lane
+  EXPECT_EQ(q.pop()->id, 0u);  // then batch FIFO
+  EXPECT_EQ(q.pop()->id, 1u);
+}
+
+TEST(AdmissionQueue, RejectNewestDropsTheIncomingRequest) {
+  AdmissionQueue q({.capacity = 2, .policy = OverloadPolicy::kRejectNewest});
+  EXPECT_TRUE(q.push(make_request(0, Priority::kBatch), t0).admitted);
+  EXPECT_TRUE(q.push(make_request(1, Priority::kBatch), t0).admitted);
+  const auto result = q.push(make_request(2, Priority::kInteractive), t0);
+  EXPECT_FALSE(result.admitted);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0].id, 2u);  // the newest request is the victim
+  EXPECT_TRUE(result.expired.empty());
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.stats().rejected, 1u);
+}
+
+TEST(AdmissionQueue, DropExpiredSweepsDeadRequestsToAdmit) {
+  AdmissionQueue q({.capacity = 2, .policy = OverloadPolicy::kDropExpired});
+  // id 0 has a deadline already in the past at push-3 time; id 1 lives on.
+  EXPECT_TRUE(q.push(make_request(0, Priority::kBatch, at_ms(5)), t0).admitted);
+  EXPECT_TRUE(q.push(make_request(1, Priority::kBatch), t0).admitted);
+  const auto result = q.push(make_request(2, Priority::kBatch), at_ms(10));
+  EXPECT_TRUE(result.admitted);
+  ASSERT_EQ(result.expired.size(), 1u);
+  EXPECT_EQ(result.expired[0].id, 0u);  // the expired request is the victim
+  EXPECT_EQ(q.stats().expired, 1u);
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.pop()->id, 2u);
+}
+
+TEST(AdmissionQueue, DropExpiredFallsBackToRejectWhenNothingExpired) {
+  AdmissionQueue q({.capacity = 1, .policy = OverloadPolicy::kDropExpired});
+  EXPECT_TRUE(q.push(make_request(0, Priority::kBatch), t0).admitted);
+  const auto result = q.push(make_request(1, Priority::kBatch), t0);
+  EXPECT_FALSE(result.admitted);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0].id, 1u);
+}
+
+TEST(AdmissionQueue, EvictDeadlineDisplacesTheSlackestRequest) {
+  AdmissionQueue q({.capacity = 2, .policy = OverloadPolicy::kEvictDeadline});
+  EXPECT_TRUE(
+      q.push(make_request(0, Priority::kBatch, at_ms(100)), t0).admitted);
+  EXPECT_TRUE(
+      q.push(make_request(1, Priority::kBatch, at_ms(50)), t0).admitted);
+  // More urgent than both: the 100 ms request (most slack) is the victim.
+  const auto result = q.push(make_request(2, Priority::kInteractive, at_ms(10)), t0);
+  EXPECT_TRUE(result.admitted);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0].id, 0u);
+  EXPECT_EQ(q.stats().evicted, 1u);
+  // Less urgent than everything queued: the incoming request is refused.
+  const auto refused = q.push(make_request(3, Priority::kBatch, at_ms(200)), t0);
+  EXPECT_FALSE(refused.admitted);
+  ASSERT_EQ(refused.rejected.size(), 1u);
+  EXPECT_EQ(refused.rejected[0].id, 3u);
+}
+
+TEST(AdmissionQueue, EvictDeadlineTreatsNoDeadlineAsInfinitelySlack) {
+  AdmissionQueue q({.capacity = 2, .policy = OverloadPolicy::kEvictDeadline});
+  EXPECT_TRUE(q.push(make_request(0, Priority::kBatch), t0).admitted);
+  EXPECT_TRUE(
+      q.push(make_request(1, Priority::kInteractive, at_ms(50)), t0).admitted);
+  const auto result =
+      q.push(make_request(2, Priority::kInteractive, at_ms(10)), t0);
+  EXPECT_TRUE(result.admitted);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0].id, 0u);  // the deadline-less batch request
+}
+
+TEST(AdmissionQueue, StatsTrackDepthAndHighWater) {
+  AdmissionQueue q({.capacity = 8, .policy = OverloadPolicy::kRejectNewest});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    q.push(make_request(i, Priority::kBatch), t0);
+  }
+  q.pop();
+  q.pop();
+  const auto s = q.stats();
+  EXPECT_EQ(s.admitted, 5u);
+  EXPECT_EQ(s.popped, 2u);
+  EXPECT_EQ(s.depth, 3u);
+  EXPECT_EQ(s.high_water, 5u);
+  EXPECT_EQ(q.depth(Priority::kBatch), 3u);
+  EXPECT_EQ(q.depth(Priority::kInteractive), 0u);
+}
+
+TEST(AdmissionQueue, CloseRejectsNewPushesAndDrainsTheRest) {
+  AdmissionQueue q({.capacity = 4, .policy = OverloadPolicy::kRejectNewest});
+  EXPECT_TRUE(q.push(make_request(0, Priority::kBatch), t0).admitted);
+  q.close();
+  EXPECT_TRUE(q.closed());
+  const auto result = q.push(make_request(1, Priority::kBatch), t0);
+  EXPECT_FALSE(result.admitted);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  auto drained = q.pop();
+  ASSERT_TRUE(drained.has_value());
+  EXPECT_EQ(drained->id, 0u);
+  EXPECT_FALSE(q.pop().has_value());  // closed + empty: no block, no value
+}
+
+TEST(AdmissionQueue, WaitNonemptyUntilTimesOutOnEmptyLane) {
+  AdmissionQueue q({.capacity = 4, .policy = OverloadPolicy::kRejectNewest});
+  q.push(make_request(0, Priority::kBatch), t0);
+  EXPECT_FALSE(q.wait_nonempty_until(
+      Priority::kInteractive,
+      Clock::now() + std::chrono::milliseconds(5)));
+  EXPECT_TRUE(q.wait_nonempty_until(
+      Priority::kBatch, Clock::now() + std::chrono::milliseconds(5)));
+}
+
+}  // namespace
+}  // namespace seneca::serve

@@ -1,0 +1,267 @@
+// InferenceServer tests: end-to-end bit-exactness against the reference
+// core simulator, interactive-before-batch scheduling under contention,
+// graceful degradation to a smaller ladder model under synthetic overload,
+// overload rejection, deadline expiry, and shutdown semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "dpu/compiler.hpp"
+#include "nn/unet.hpp"
+#include "quant/quantizer.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::serve {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+using tensor::TensorI8;
+
+dpu::XModel build_model(std::int64_t input_size, int depth,
+                        std::int64_t base_filters, std::uint64_t seed) {
+  nn::UNet2DConfig cfg;
+  cfg.input_size = input_size;
+  cfg.depth = depth;
+  cfg.base_filters = base_filters;
+  cfg.seed = seed;
+  auto graph = nn::build_unet2d(cfg);
+  util::Rng rng(seed + 1);
+  TensorF x(Shape{input_size, input_size, 1});
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  graph->forward(x, true);
+  quant::FGraph fg = quant::fold(*graph);
+  std::vector<TensorF> calib{x};
+  return dpu::compile(quant::quantize(fg, calib));
+}
+
+TensorI8 random_input(std::int64_t input_size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TensorI8 x(Shape{input_size, input_size, 1});
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  return x;
+}
+
+ServerConfig fast_config() {
+  ServerConfig cfg;
+  cfg.queue.capacity = 64;
+  cfg.batcher.max_batch_size = 4;
+  cfg.batcher.max_wait_ms = 0.0;  // no batching delay in unit tests
+  cfg.degrade.queue_depth_high = 1000;  // degradation off unless enabled
+  return cfg;
+}
+
+TEST(ServeMetrics, HistogramPercentilesTrackRecordedDistribution) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));  // 1..100 ms
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.mean_ms, 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.max_ms, 100.0);
+  // Geometric buckets are ~20 % wide; allow that resolution.
+  EXPECT_NEAR(s.p50_ms, 50.0, 12.0);
+  EXPECT_NEAR(s.p99_ms, 99.0, 22.0);
+  EXPECT_LE(s.p50_ms, s.p95_ms);
+  EXPECT_LE(s.p95_ms, s.p99_ms);
+  EXPECT_LE(s.p99_ms, s.max_ms + 1e-9);
+  // Snapshot reuses eval/stats: stddev of 1..100 is ~29.0.
+  EXPECT_EQ(s.stats.n, 100u);
+  EXPECT_NEAR(s.stats.stddev, 29.0115, 0.01);
+}
+
+TEST(ServeMetrics, EmptyHistogramSnapshotsToZeros) {
+  LatencyHistogram h;
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 0.0);
+}
+
+TEST(InferenceServer, ServesBitExactAgainstReferenceSim) {
+  const dpu::XModel model = build_model(16, 2, 4, 3);
+  dpu::DpuCoreSim reference(&model);
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"1M", model, 2});
+  InferenceServer server(std::move(ladder), fast_config());
+
+  std::vector<TensorI8> inputs;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    inputs.push_back(random_input(16, 100 + static_cast<std::uint64_t>(i)));
+    const Priority p = i % 2 == 0 ? Priority::kInteractive : Priority::kBatch;
+    futures.push_back(server.submit(p, inputs.back()));
+  }
+  for (int i = 0; i < 6; ++i) {
+    Response r = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.status, Status::kOk) << "request " << i;
+    EXPECT_EQ(r.model_used, "1M");
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(tensor::max_abs_diff(
+                  r.output,
+                  reference.run(inputs[static_cast<std::size_t>(i)]).output),
+              0.0)
+        << "request " << i;
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.served, 6u);
+  EXPECT_EQ(m.dropped(), 0u);
+  EXPECT_EQ(m.degraded, 0u);
+  EXPECT_GT(m.interactive.count, 0u);
+  EXPECT_GT(m.batch.count, 0u);
+  EXPECT_GE(m.interactive.p99_ms, m.interactive.p50_ms);
+}
+
+TEST(InferenceServer, InteractiveServedBeforeBatchUnderContention) {
+  // 32x32 model: one inference takes ~milliseconds, so the plug request
+  // keeps the scheduler busy while the later submissions (microseconds)
+  // land in the queue.
+  const dpu::XModel model = build_model(32, 2, 4, 5);
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"1M", model, 1});
+  InferenceServer server(std::move(ladder), fast_config());
+
+  auto plug = server.submit(Priority::kInteractive, random_input(32, 1));
+  std::vector<std::future<Response>> batch_futures;
+  std::vector<std::future<Response>> interactive_futures;
+  for (int i = 0; i < 4; ++i) {
+    batch_futures.push_back(
+        server.submit(Priority::kBatch, random_input(32, 10 + static_cast<std::uint64_t>(i))));
+  }
+  for (int i = 0; i < 4; ++i) {
+    interactive_futures.push_back(server.submit(
+        Priority::kInteractive, random_input(32, 20 + static_cast<std::uint64_t>(i))));
+  }
+  ASSERT_EQ(plug.get().status, Status::kOk);
+  std::uint64_t max_interactive_seq = 0;
+  for (auto& f : interactive_futures) {
+    Response r = f.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    max_interactive_seq = std::max(max_interactive_seq, r.served_seq);
+  }
+  std::uint64_t min_batch_seq = UINT64_MAX;
+  for (auto& f : batch_futures) {
+    Response r = f.get();
+    ASSERT_EQ(r.status, Status::kOk);
+    min_batch_seq = std::min(min_batch_seq, r.served_seq);
+  }
+  EXPECT_LT(max_interactive_seq, min_batch_seq)
+      << "batch-lane work was dispatched before the interactive lane drained";
+}
+
+TEST(InferenceServer, DegradesToSmallerModelUnderOverloadBitExactly) {
+  const dpu::XModel big = build_model(16, 2, 4, 3);
+  const dpu::XModel small = build_model(16, 1, 2, 7);
+  dpu::DpuCoreSim big_ref(&big);
+  dpu::DpuCoreSim small_ref(&small);
+
+  ServerConfig cfg = fast_config();
+  cfg.batcher.max_batch_size = 2;   // several dispatches -> level updates
+  cfg.degrade.queue_depth_high = 4; // trips early under the flood
+  cfg.degrade.queue_depth_low = 0;
+  cfg.degrade.min_dwell_ms = 0.0;
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"4M", big, 1});
+  ladder.push_back({"1M", small, 1});
+  InferenceServer server(std::move(ladder), cfg);
+
+  constexpr int kRequests = 16;
+  std::vector<TensorI8> inputs;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    inputs.push_back(random_input(16, 300 + static_cast<std::uint64_t>(i)));
+    futures.push_back(server.submit(Priority::kInteractive, inputs.back()));
+  }
+
+  int degraded_count = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    Response r = futures[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(r.status, Status::kOk) << "request " << i;
+    // Response id equals submission order (single submitting thread).
+    const auto& input = inputs[static_cast<std::size_t>(r.id)];
+    if (r.degraded) {
+      ++degraded_count;
+      EXPECT_EQ(r.model_used, "1M");
+      EXPECT_EQ(tensor::max_abs_diff(r.output, small_ref.run(input).output),
+                0.0)
+          << "degraded response not bit-exact with the small model";
+    } else {
+      EXPECT_EQ(r.model_used, "4M");
+      EXPECT_EQ(tensor::max_abs_diff(r.output, big_ref.run(input).output), 0.0);
+    }
+  }
+  EXPECT_GT(degraded_count, 0)
+      << "synthetic overload never tripped the degradation ladder";
+  const auto m = server.metrics();
+  EXPECT_EQ(m.served, static_cast<std::uint64_t>(kRequests));
+  EXPECT_GT(m.degraded, 0u);
+  EXPECT_EQ(m.degraded, static_cast<std::uint64_t>(degraded_count));
+}
+
+TEST(InferenceServer, RejectsBeyondQueueCapacity) {
+  const dpu::XModel model = build_model(16, 2, 4, 3);
+  ServerConfig cfg = fast_config();
+  cfg.queue.capacity = 2;
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"1M", model, 1});
+  InferenceServer server(std::move(ladder), cfg);
+
+  constexpr int kRequests = 50;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(server.submit(Priority::kBatch,
+                                    random_input(16, static_cast<std::uint64_t>(i))));
+  }
+  int ok = 0;
+  int rejected = 0;
+  for (auto& f : futures) {
+    const Response r = f.get();
+    r.status == Status::kOk ? ++ok : ++rejected;
+  }
+  EXPECT_EQ(ok + rejected, kRequests);
+  EXPECT_GT(rejected, 0) << "a 2-deep queue absorbed 50 instant submissions";
+  const auto m = server.metrics();
+  EXPECT_EQ(m.served, static_cast<std::uint64_t>(ok));
+  EXPECT_EQ(m.dropped(), static_cast<std::uint64_t>(rejected));
+  EXPECT_LE(server.queue_stats().high_water, 2u);
+}
+
+TEST(InferenceServer, ExpiredRequestDroppedAtDispatch) {
+  const dpu::XModel model = build_model(16, 2, 4, 3);
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"1M", model, 1});
+  InferenceServer server(std::move(ladder), fast_config());
+
+  auto doomed = server.submit(Priority::kInteractive, random_input(16, 1),
+                              /*deadline_ms=*/1e-4);
+  auto healthy = server.submit(Priority::kInteractive, random_input(16, 2));
+  EXPECT_EQ(doomed.get().status, Status::kExpired);
+  EXPECT_EQ(healthy.get().status, Status::kOk);
+  EXPECT_GE(server.metrics().expired, 1u);
+}
+
+TEST(InferenceServer, ShutdownDrainsThenRejectsNewWork) {
+  const dpu::XModel model = build_model(16, 2, 4, 3);
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"1M", model, 2});
+  InferenceServer server(std::move(ladder), fast_config());
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    futures.push_back(server.submit(Priority::kBatch,
+                                    random_input(16, static_cast<std::uint64_t>(i))));
+  }
+  server.shutdown();
+  for (auto& f : futures) {
+    const Response r = f.get();
+    // Every future resolves: either served before close or rejected by it.
+    EXPECT_TRUE(r.status == Status::kOk || r.status == Status::kRejected);
+  }
+  auto late = server.submit(Priority::kInteractive, random_input(16, 99));
+  EXPECT_EQ(late.get().status, Status::kRejected);
+}
+
+}  // namespace
+}  // namespace seneca::serve

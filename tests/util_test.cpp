@@ -169,6 +169,53 @@ TEST(ThreadPool, SubmitRuns) {
   EXPECT_EQ(count.load(), 1);
 }
 
+TEST(ThreadPool, DetectsWorkerThreads) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.in_worker_thread());
+  std::atomic<int> inside{-1};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    inside.store(pool.in_worker_thread() ? 1 : 0);
+    done.store(true);
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(inside.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerRunsInlineWithoutDeadlock) {
+  // The serving scheduler shares global_pool() with compute kernels, so a
+  // kernel's parallel_for may be reached from a pool worker. The rule: such
+  // nested calls run inline on the calling worker instead of blocking on
+  // chunks no free worker may ever pick up.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  // Saturate every worker with a task that itself calls parallel_for.
+  std::atomic<int> done{0};
+  for (int t = 0; t < 4; ++t) {
+    pool.submit([&] {
+      pool.parallel_for(0, 64, [&](std::size_t) { total.fetch_add(1); });
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < 4) std::this_thread::yield();
+  EXPECT_EQ(total.load(), 4 * 64);
+}
+
+TEST(ThreadPool, SubmitFromWorkerIsQueuedNotDropped) {
+  ThreadPool pool(2);
+  std::atomic<int> stage{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    stage.fetch_add(1);
+    pool.submit([&] {  // reentrant submit: enqueue only, never inline
+      stage.fetch_add(1);
+      done.store(true);
+    });
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(stage.load(), 2);
+}
+
 TEST(Cli, ParsesFlagsAndValues) {
   const char* argv[] = {"prog", "--alpha", "0.5", "--flag", "--name=net", "pos1"};
   Cli cli(6, argv);
