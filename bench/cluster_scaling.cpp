@@ -1,0 +1,170 @@
+// Cluster-tier scaling: aggregate simulated FPS, FPS/W, and per-lane tail
+// latency as a function of board count and routing policy. The functional
+// serving stack (router, per-board queues, batching, degradation) runs for
+// real; timing and energy are the boards' DES-priced rung costs — the
+// simulated ZCU104s are the hardware under test, not the dev host's clock.
+//
+// Two studies:
+//   BM_ClusterReplicatedScaling — every board hosts the full ladder,
+//     degradation disabled so each frame costs the same rung everywhere:
+//     aggregate simulated FPS must scale with board count (boards run in
+//     parallel, cluster busy time is the max over boards).
+//   BM_ClusterPartitionPolicy — the ladder is split across boards (8M on
+//     board0, 2M on board1); at equal offered load the energy-aware policy
+//     routes deadline-feasible traffic to the cheap rung and must beat
+//     round-robin on FPS/W.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "serve/cluster/router.hpp"
+#include "serve/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace seneca;
+using serve::cluster::ClusterConfig;
+using serve::cluster::ClusterRouter;
+using serve::cluster::PolicyKind;
+
+const std::vector<serve::ModelSpec>& ladder() {
+  static const std::vector<serve::ModelSpec> l = [] {
+    std::vector<serve::ModelSpec> out;
+    for (const char* name : {"8M", "2M"}) {
+      out.push_back(
+          {name, core::build_timing_xmodel(name, dpu::DpuArch::b4096(), 32), 1});
+    }
+    return out;
+  }();
+  return l;
+}
+
+serve::ServerConfig server_config(bool degrade) {
+  serve::ServerConfig cfg;
+  cfg.queue.capacity = 32;
+  cfg.batcher.max_batch_size = 4;
+  cfg.batcher.max_wait_ms = 25.0;  // batch lane trades latency for batching
+  cfg.batcher.interactive_max_wait_ms = 0.0;
+  cfg.batcher.interactive_max_batch_size = 1;
+  if (degrade) {
+    cfg.degrade.queue_depth_high = 6;
+    cfg.degrade.queue_depth_low = 2;
+    cfg.degrade.min_dwell_ms = 10.0;
+  } else {
+    cfg.degrade.queue_depth_high = 1000000;  // pin every board to its rung
+  }
+  return cfg;
+}
+
+struct EpisodeResult {
+  serve::cluster::ClusterSnapshot cluster;
+  double p99_interactive_ms = 0.0;
+  double p99_batch_ms = 0.0;
+};
+
+/// Closed loop: `clients` threads share `requests` submissions (3:1
+/// interactive:batch, 200 ms interactive deadline), each pacing on its own
+/// previous future.
+EpisodeResult run_episode(ClusterRouter& router, int clients, int requests) {
+  std::atomic<int> next{0};
+  std::mutex samples_mutex;
+  std::vector<double> interactive_ms;
+  std::vector<double> batch_ms;
+  std::vector<std::thread> fleet;
+  fleet.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    fleet.emplace_back([&, c] {
+      util::Rng rng(static_cast<std::uint64_t>(c) + 1);
+      tensor::TensorI8 input(tensor::Shape{32, 32, 1});
+      for (auto& v : input) {
+        v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+      }
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= requests) return;
+        const bool batch_lane = i % 4 == 3;
+        const serve::Priority lane = batch_lane ? serve::Priority::kBatch
+                                                : serve::Priority::kInteractive;
+        const serve::Response r =
+            router.submit(lane, input, batch_lane ? 0.0 : 200.0).get();
+        if (r.status != serve::Status::kOk) continue;
+        std::lock_guard lock(samples_mutex);
+        (batch_lane ? batch_ms : interactive_ms).push_back(r.total_ms);
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+
+  EpisodeResult out;
+  out.cluster = router.snapshot();
+  out.p99_interactive_ms = serve::nearest_rank_quantile(interactive_ms, 0.99);
+  out.p99_batch_ms = serve::nearest_rank_quantile(batch_ms, 0.99);
+  return out;
+}
+
+void set_counters(benchmark::State& state, const EpisodeResult& r) {
+  state.counters["sim_fps"] = r.cluster.simulated_fps;
+  state.counters["fps_per_w"] = r.cluster.fps_per_watt;
+  state.counters["served"] = static_cast<double>(r.cluster.served);
+  state.counters["degraded"] = static_cast<double>(r.cluster.degraded);
+  state.counters["p99_int_ms"] = r.p99_interactive_ms;
+  state.counters["p99_batch_ms"] = r.p99_batch_ms;
+}
+
+void BM_ClusterReplicatedScaling(benchmark::State& state) {
+  const int boards = static_cast<int>(state.range(0));
+  const auto policy = static_cast<PolicyKind>(state.range(1));
+  constexpr int kRequests = 64;
+  constexpr int kClients = 6;
+
+  EpisodeResult last;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.policy = policy;
+    ClusterRouter router(serve::cluster::replicate_ladder(
+                             ladder(), boards, server_config(/*degrade=*/false)),
+                         cfg);
+    last = run_episode(router, kClients, kRequests);
+  }
+  set_counters(state, last);
+}
+
+void BM_ClusterPartitionPolicy(benchmark::State& state) {
+  const auto policy = static_cast<PolicyKind>(state.range(0));
+  constexpr int kRequests = 64;
+  constexpr int kClients = 6;
+
+  EpisodeResult last;
+  for (auto _ : state) {
+    ClusterConfig cfg;
+    cfg.policy = policy;
+    ClusterRouter router(serve::cluster::partition_ladder(
+                             ladder(), 2, server_config(/*degrade=*/false)),
+                         cfg);
+    last = run_episode(router, kClients, kRequests);
+  }
+  set_counters(state, last);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClusterReplicatedScaling)
+    ->ArgsProduct({{1, 2, 4}, {0, 1, 2}})
+    ->ArgNames({"boards", "policy"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(2);
+
+BENCHMARK(BM_ClusterPartitionPolicy)
+    ->ArgsProduct({{0, 2}})
+    ->ArgNames({"policy"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(2);
+
+BENCHMARK_MAIN();

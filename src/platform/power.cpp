@@ -4,6 +4,23 @@
 
 namespace seneca::platform {
 
+InferenceEnergyEstimate estimate_inference_energy(const ZcuPowerModel& pm,
+                                                  const dpu::XModel& model,
+                                                  int threads, int images,
+                                                  const runtime::SocConfig& soc) {
+  const runtime::ThroughputReport report =
+      runtime::simulate_throughput(model, soc, threads, images);
+  InferenceEnergyEstimate e;
+  e.fps = report.fps;
+  if (e.fps <= 0.0) return e;
+  e.seconds_per_frame = 1.0 / e.fps;
+  const double ddr_gbs =
+      static_cast<double>(model.total_ddr_bytes()) * e.fps / 1e9;
+  e.watts = pm.watts(report, model.compute_utilization(), ddr_gbs);
+  e.joules_per_frame = e.watts / e.fps;
+  return e;
+}
+
 void EnergyLogger::log_phase(double watts, double seconds) {
   // The meter integrates discrete samples; each sample reads the true power
   // plus a small relative jitter.

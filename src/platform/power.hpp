@@ -38,6 +38,27 @@ struct ZcuPowerModel {
   }
 };
 
+/// Per-inference energy at a steady-state operating point. The contract the
+/// serving tier relies on: J/frame = watts / fps, where both terms come from
+/// the same SoC DES run, so the estimate responds to the same mechanisms as
+/// throughput (thread count, DDR contention, lane starvation). Smaller zoo
+/// models therefore cost fewer joules per frame — the lever energy-aware
+/// routing pulls (the paper's FPS/W headline, Table IV).
+struct InferenceEnergyEstimate {
+  double seconds_per_frame = 0.0;  // steady-state inverse throughput
+  double fps = 0.0;
+  double watts = 0.0;              // mean wall power at this operating point
+  double joules_per_frame = 0.0;   // watts / fps
+};
+
+/// Runs the SoC discrete-event simulation for `images` frames with
+/// `threads` VART workers and prices the resulting utilization through the
+/// power model. Deterministic for a given (model, soc, threads): callers
+/// cache it per ladder rung.
+InferenceEnergyEstimate estimate_inference_energy(
+    const ZcuPowerModel& pm, const dpu::XModel& model, int threads = 2,
+    int images = 48, const runtime::SocConfig& soc = {});
+
 /// Energy logger in the spirit of the Voltcraft 4000: integrates sampled
 /// power over time and reports mean W / total J. Sampling jitter models the
 /// meter's quantization so repeated runs show realistic spread.

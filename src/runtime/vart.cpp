@@ -1,5 +1,7 @@
 #include "runtime/vart.hpp"
 
+#include <stdexcept>
+
 namespace seneca::runtime {
 
 VartRunner::VartRunner(const dpu::XModel& model, int num_workers,
@@ -12,14 +14,24 @@ VartRunner::VartRunner(const dpu::XModel& model, int num_workers,
   }
 }
 
-VartRunner::~VartRunner() {
-  {
-    std::lock_guard lock(mutex_);
-    stopping_ = true;
-  }
-  work_cv_.notify_all();
-  space_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+VartRunner::~VartRunner() { stop(); }
+
+void VartRunner::stop() {
+  std::call_once(stop_once_, [this] {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+    done_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  });
+}
+
+bool VartRunner::stopped() const {
+  std::lock_guard lock(mutex_);
+  return stopping_;
 }
 
 std::uint64_t VartRunner::submit(tensor::TensorI8 input) {
@@ -30,6 +42,12 @@ std::uint64_t VartRunner::submit(tensor::TensorI8 input) {
       space_cv_.wait(lock, [this] {
         return stopping_ || pending_.size() < max_pending_;
       });
+    }
+    // Re-checked after the wait: the bounded-mode predicate also returns on
+    // stop, and a job enqueued past that point would never run — a racing
+    // collect() would then hang forever on it.
+    if (stopping_) {
+      throw std::runtime_error("VartRunner::submit: runner is stopped");
     }
     id = next_job_++;
     pending_.emplace(id, std::move(input));
@@ -42,6 +60,7 @@ std::optional<std::uint64_t> VartRunner::try_submit(tensor::TensorI8 input) {
   std::uint64_t id;
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) return std::nullopt;
     if (max_pending_ > 0 && pending_.size() >= max_pending_) {
       return std::nullopt;
     }
@@ -59,15 +78,34 @@ std::size_t VartRunner::pending() const {
 
 std::pair<std::uint64_t, tensor::TensorI8> VartRunner::collect() {
   std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] { return !finished_.empty(); });
+  done_cv_.wait(lock, [this] {
+    return !finished_.empty() ||
+           (stopping_ && pending_.empty() && inflight_ == 0);
+  });
+  if (finished_.empty()) {
+    throw std::runtime_error(
+        "VartRunner::collect: runner is stopped with no outstanding job");
+  }
   auto it = finished_.begin();
   auto result = std::make_pair(it->first, std::move(it->second));
   finished_.erase(it);
   return result;
 }
 
+void VartRunner::set_run_fault_hook(std::function<void(std::size_t)> hook) {
+  std::lock_guard lock(mutex_);
+  run_fault_hook_ = std::move(hook);
+}
+
 std::vector<tensor::TensorI8> VartRunner::run_batch(
     const std::vector<tensor::TensorI8>& inputs) {
+  std::function<void(std::size_t)> hook;
+  {
+    std::lock_guard lock(mutex_);
+    hook = run_fault_hook_;
+  }
+  if (hook) hook(inputs.size());
+
   std::vector<std::uint64_t> ids;
   ids.reserve(inputs.size());
   for (const auto& in : inputs) ids.push_back(submit(in));
@@ -92,12 +130,14 @@ void VartRunner::worker_loop() {
       if (stopping_ && pending_.empty()) return;
       job = std::move(pending_.front());
       pending_.pop();
+      ++inflight_;
     }
     if (max_pending_ > 0) space_cv_.notify_one();
     dpu::RunResult result = core_.run(job.second);
     {
       std::lock_guard lock(mutex_);
       finished_.emplace(job.first, std::move(result.output));
+      --inflight_;
     }
     done_cv_.notify_all();
   }

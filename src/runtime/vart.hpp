@@ -7,6 +7,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -33,24 +34,39 @@ class VartRunner {
   VartRunner& operator=(const VartRunner&) = delete;
 
   /// Asynchronously submits a job; returns its id. In bounded mode this
-  /// blocks until the pending queue has room (backpressure).
+  /// blocks until the pending queue has room (backpressure). Throws
+  /// std::runtime_error once stop() has run: a post-stop job would never be
+  /// executed and a racing collect() would hang on it forever.
   std::uint64_t submit(tensor::TensorI8 input);
 
   /// Non-blocking submit: nullopt when the bounded pending queue is full
-  /// (never fails in unbounded mode).
+  /// (never fails in unbounded mode) or after stop().
   std::optional<std::uint64_t> try_submit(tensor::TensorI8 input);
+
+  /// Stops the runner: drains already-submitted jobs, joins the workers,
+  /// and rejects every later submit. Idempotent; the destructor calls it.
+  void stop();
+
+  bool stopped() const;
 
   /// Jobs admitted but not yet picked up by a worker.
   std::size_t pending() const;
 
   std::size_t max_pending() const { return max_pending_; }
 
-  /// Blocks until some job finishes; returns {job id, INT8 output}.
+  /// Blocks until some job finishes; returns {job id, INT8 output}. Throws
+  /// std::runtime_error when the runner is stopped and no submitted job is
+  /// pending, in flight, or finished (the caller over-collected).
   std::pair<std::uint64_t, tensor::TensorI8> collect();
 
   /// Convenience: submit all, collect all, return outputs in input order.
   std::vector<tensor::TensorI8> run_batch(
       const std::vector<tensor::TensorI8>& inputs);
+
+  /// Test/fault-injection hook: invoked at the top of run_batch with the
+  /// batch size; a throwing hook makes the dispatch fail like a runtime
+  /// fault (device error, OOM) without touching the workers.
+  void set_run_fault_hook(std::function<void(std::size_t)> hook);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
@@ -67,8 +83,11 @@ class VartRunner {
   std::condition_variable space_cv_;
   std::queue<std::pair<std::uint64_t, tensor::TensorI8>> pending_;
   std::map<std::uint64_t, tensor::TensorI8> finished_;
+  std::function<void(std::size_t)> run_fault_hook_;
   std::uint64_t next_job_ = 0;
+  std::size_t inflight_ = 0;  // popped by a worker, not yet finished
   bool stopping_ = false;
+  std::once_flag stop_once_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,83 @@
+#include "serve/cluster/board.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace seneca::serve::cluster {
+
+BoardSim::BoardSim(int id, BoardConfig cfg)
+    : id_(id), name_(std::move(cfg.name)), rung_offset_(cfg.rung_offset) {
+  if (cfg.ladder.empty()) {
+    throw std::invalid_argument("BoardSim: empty rung set");
+  }
+  costs_.reserve(cfg.ladder.size());
+  for (std::size_t i = 0; i < cfg.ladder.size(); ++i) {
+    const ModelSpec& spec = cfg.ladder[i];
+    const auto e = platform::estimate_inference_energy(
+        cfg.power, spec.model, spec.workers, cfg.sim_images);
+    costs_.push_back(
+        {spec.name, e.seconds_per_frame, e.watts, e.joules_per_frame});
+    cost_by_model_.emplace(spec.name, i);
+  }
+  queue_capacity_ = cfg.server.queue.capacity;
+  // Chain the board's accounting in front of any caller-provided observer.
+  ServerConfig server_cfg = cfg.server;
+  auto outer = std::move(server_cfg.on_complete);
+  server_cfg.on_complete = [this, outer](const Response& r) {
+    on_complete(r);
+    if (outer) outer(r);
+  };
+  server_ = std::make_unique<InferenceServer>(std::move(cfg.ladder),
+                                              std::move(server_cfg));
+}
+
+std::future<Response> BoardSim::submit(Priority priority,
+                                       tensor::TensorI8 input,
+                                       double deadline_ms) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return server_->submit(priority, std::move(input), deadline_ms);
+}
+
+std::uint64_t BoardSim::inflight() const {
+  const std::uint64_t submitted = submitted_.load(std::memory_order_relaxed);
+  const std::uint64_t completed = completed_.load(std::memory_order_relaxed);
+  return submitted > completed ? submitted - completed : 0;
+}
+
+double BoardSim::ewma_latency_ms() const {
+  std::lock_guard lock(accounting_mutex_);
+  return ewma_latency_ms_;
+}
+
+bool BoardSim::runner_saturated() const {
+  const auto& runner = server_->runner(server_->degrade_level());
+  return runner.max_pending() > 0 && runner.pending() >= runner.max_pending();
+}
+
+double BoardSim::energy_joules() const {
+  std::lock_guard lock(accounting_mutex_);
+  return energy_joules_;
+}
+
+double BoardSim::busy_seconds() const {
+  std::lock_guard lock(accounting_mutex_);
+  return busy_seconds_;
+}
+
+void BoardSim::on_complete(const Response& r) {
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (r.status != Status::kOk) return;
+  frames_served_.fetch_add(1, std::memory_order_relaxed);
+  const auto it = cost_by_model_.find(r.model_used);
+  if (it == cost_by_model_.end()) return;  // foreign model label; unbilled
+  const RungCost& cost = costs_[it->second];
+  std::lock_guard lock(accounting_mutex_);
+  constexpr double kAlpha = 0.2;
+  ewma_latency_ms_ = ewma_latency_ms_ == 0.0
+                         ? r.total_ms
+                         : kAlpha * r.total_ms + (1.0 - kAlpha) * ewma_latency_ms_;
+  energy_joules_ += cost.joules_per_frame;
+  busy_seconds_ += cost.seconds_per_frame;
+}
+
+}  // namespace seneca::serve::cluster

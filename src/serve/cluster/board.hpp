@@ -1,0 +1,123 @@
+#pragma once
+// BoardSim: one simulated ZCU104 board in the sharded serving tier. Wraps a
+// per-board InferenceServer (its rung set, admission queue, and hysteretic
+// degradation) and adds what the routing tier needs on top:
+//   - a per-rung cost table (seconds/frame, watts, J/frame) priced once at
+//     construction through platform::estimate_inference_energy, so the
+//     router can compare boards by estimated J/frame (the paper's FPS/W
+//     framing, Table IV) instead of queue depth alone;
+//   - cheap load signals: queue depth, inflight (submitted minus completed,
+//     fed by the server's on_complete hook), and an EWMA of served latency;
+//   - health inputs: operator fault injection and saturation of the current
+//     rung's bounded VartRunner queue;
+//   - simulated energy/time accounting: every served frame is billed the
+//     J/frame and seconds/frame of the rung that actually served it, which
+//     is what cluster-level FPS/W and simulated-FPS aggregate from.
+//
+// A board hosting the full ladder is a replica; a board hosting a slice of
+// it is a rung partition (BoardConfig::rung_offset records where the slice
+// starts in the global ladder).
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "platform/power.hpp"
+#include "serve/server.hpp"
+
+namespace seneca::serve::cluster {
+
+struct BoardConfig {
+  std::string name = "zcu104";
+  std::vector<ModelSpec> ladder;  // rungs hosted; the full ladder = replica
+  ServerConfig server;
+  int rung_offset = 0;  // global ladder index of ladder[0] (partition mode)
+  platform::ZcuPowerModel power;
+  int sim_images = 48;  // DES frames per rung when pricing the cost table
+};
+
+/// Steady-state cost of serving one frame on a given rung of this board.
+struct RungCost {
+  std::string model;               // zoo label of the rung
+  double seconds_per_frame = 0.0;  // simulated inverse throughput
+  double watts = 0.0;              // mean wall power at that operating point
+  double joules_per_frame = 0.0;   // watts / fps — the routing currency
+};
+
+class BoardSim {
+ public:
+  BoardSim(int id, BoardConfig cfg);
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Thread-safe; same contract as InferenceServer::submit.
+  std::future<Response> submit(Priority priority, tensor::TensorI8 input,
+                               double deadline_ms = 0.0);
+
+  // ---- load signals for the router ----
+  std::size_t queue_depth() const { return server_->queue_stats().depth; }
+  /// Requests admitted to this board whose future has not resolved yet.
+  std::uint64_t inflight() const;
+  /// Current degradation rung (index into this board's own ladder).
+  int level() const { return server_->degrade_level(); }
+  double ewma_latency_ms() const;
+  const RungCost& rung_cost(int level) const {
+    return costs_[static_cast<std::size_t>(level)];
+  }
+  const std::vector<RungCost>& rung_costs() const { return costs_; }
+  std::size_t num_rungs() const { return costs_.size(); }
+  int rung_offset() const { return rung_offset_; }
+
+  // ---- health inputs ----
+  void inject_fault(bool on) { fault_.store(on, std::memory_order_relaxed); }
+  bool fault_injected() const {
+    return fault_.load(std::memory_order_relaxed);
+  }
+  /// True when the current rung's bounded VartRunner pending queue is full:
+  /// the scheduler would block on submit backpressure, so routing more work
+  /// here only deepens the board's backlog.
+  bool runner_saturated() const;
+  std::size_t queue_capacity() const { return queue_capacity_; }
+
+  // ---- simulated accounting over served frames ----
+  double energy_joules() const;
+  double busy_seconds() const;
+  std::uint64_t frames_served() const {
+    return frames_served_.load(std::memory_order_relaxed);
+  }
+
+  MetricsSnapshot metrics() const { return server_->metrics(); }
+  QueueStats queue_stats() const { return server_->queue_stats(); }
+  InferenceServer& server() { return *server_; }
+  void shutdown() { server_->shutdown(); }
+
+ private:
+  void on_complete(const Response& r);
+
+  const int id_;
+  const std::string name_;
+  const int rung_offset_;
+  std::vector<RungCost> costs_;
+  std::unordered_map<std::string, std::size_t> cost_by_model_;
+  std::size_t queue_capacity_ = 0;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> frames_served_{0};
+  std::atomic<bool> fault_{false};
+
+  mutable std::mutex accounting_mutex_;
+  double ewma_latency_ms_ = 0.0;  // alpha = 0.2 over served total_ms
+  double energy_joules_ = 0.0;
+  double busy_seconds_ = 0.0;
+
+  std::unique_ptr<InferenceServer> server_;  // constructed last
+};
+
+}  // namespace seneca::serve::cluster

@@ -1,0 +1,24 @@
+#include "serve/cluster/health.hpp"
+
+#include <cmath>
+
+#include "serve/cluster/board.hpp"
+
+namespace seneca::serve::cluster {
+
+BoardHealth assess(const BoardSim& board, const HealthPolicy& policy) {
+  BoardHealth h;
+  h.fault = board.fault_injected();
+  const double capacity = static_cast<double>(board.queue_capacity());
+  if (capacity > 0.0) {
+    const double threshold = policy.queue_saturation * capacity;
+    h.queue_saturated =
+        static_cast<double>(board.queue_depth()) >= threshold;
+  }
+  if (policy.check_runner) {
+    h.runner_saturated = board.runner_saturated();
+  }
+  return h;
+}
+
+}  // namespace seneca::serve::cluster

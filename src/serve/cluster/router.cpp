@@ -1,0 +1,160 @@
+#include "serve/cluster/router.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace seneca::serve::cluster {
+
+ClusterRouter::ClusterRouter(std::vector<BoardConfig> boards,
+                             ClusterConfig cfg)
+    : cfg_(cfg), policy_(make_policy(cfg.policy)) {
+  if (boards.empty()) {
+    throw std::invalid_argument("ClusterRouter: no boards");
+  }
+  boards_.reserve(boards.size());
+  for (std::size_t i = 0; i < boards.size(); ++i) {
+    boards_.push_back(
+        std::make_unique<BoardSim>(static_cast<int>(i), std::move(boards[i])));
+  }
+}
+
+ClusterRouter::~ClusterRouter() { shutdown(); }
+
+void ClusterRouter::shutdown() {
+  for (auto& b : boards_) b->shutdown();
+}
+
+std::vector<BoardState> ClusterRouter::states() const {
+  std::vector<BoardState> states;
+  states.reserve(boards_.size());
+  for (const auto& b : boards_) {
+    BoardState s;
+    s.board = b->id();
+    s.healthy = assess(*b, cfg_.health).healthy();
+    s.queue_depth = b->queue_depth();
+    s.inflight = b->inflight();
+    s.level = b->level();
+    const RungCost& cost = b->rung_cost(s.level);
+    s.seconds_per_frame = cost.seconds_per_frame;
+    s.joules_per_frame = cost.joules_per_frame;
+    s.ewma_latency_ms = b->ewma_latency_ms();
+    states.push_back(s);
+  }
+  return states;
+}
+
+std::future<Response> ClusterRouter::submit(Priority priority,
+                                            tensor::TensorI8 input,
+                                            double deadline_ms) {
+  const int picked = policy_->pick(states(), {priority, deadline_ms});
+  // pick() returns -1 only for an empty board list, which the constructor
+  // rejects; guard anyway so a policy bug rejects instead of crashing.
+  if (picked < 0) {
+    std::promise<Response> promise;
+    Response resp;
+    resp.status = Status::kRejected;
+    promise.set_value(std::move(resp));
+    return promise.get_future();
+  }
+  return boards_[static_cast<std::size_t>(picked)]->submit(
+      priority, std::move(input), deadline_ms);
+}
+
+ClusterSnapshot ClusterRouter::snapshot() const {
+  ClusterSnapshot s;
+  std::uint64_t frames = 0;
+  for (const auto& b : boards_) {
+    const MetricsSnapshot m = b->metrics();
+    s.submitted += m.submitted;
+    s.served += m.served;
+    s.rejected += m.rejected;
+    s.expired += m.expired;
+    s.errors += m.errors;
+    s.degraded += m.degraded;
+    s.energy_joules += b->energy_joules();
+    s.busy_seconds_max = std::max(s.busy_seconds_max, b->busy_seconds());
+    frames += b->frames_served();
+    s.boards.push_back(m);
+  }
+  if (s.busy_seconds_max > 0.0) {
+    s.simulated_fps = static_cast<double>(frames) / s.busy_seconds_max;
+  }
+  if (s.energy_joules > 0.0) {
+    s.fps_per_watt = static_cast<double>(frames) / s.energy_joules;
+  }
+  return s;
+}
+
+std::string ClusterSnapshot::format() const {
+  std::ostringstream os;
+  os << "cluster: boards=" << boards.size() << " submitted=" << submitted
+     << " served=" << served << " rejected=" << rejected
+     << " expired=" << expired << " errors=" << errors
+     << " degraded=" << degraded << "\n";
+  os.setf(std::ios::fixed);
+  os.precision(2);
+  os << "  simulated_fps=" << simulated_fps << " fps_per_watt=" << fps_per_watt
+     << " energy_j=" << energy_joules << " busy_s_max=" << busy_seconds_max
+     << "\n";
+  return os.str();
+}
+
+namespace {
+
+std::vector<BoardConfig> make_boards(int boards, const std::string& prefix) {
+  if (boards < 1) {
+    throw std::invalid_argument("cluster topology: need at least one board");
+  }
+  std::vector<BoardConfig> cfgs(static_cast<std::size_t>(boards));
+  for (int i = 0; i < boards; ++i) {
+    cfgs[static_cast<std::size_t>(i)].name = prefix + std::to_string(i);
+  }
+  return cfgs;
+}
+
+}  // namespace
+
+std::vector<BoardConfig> replicate_ladder(const std::vector<ModelSpec>& ladder,
+                                          int boards,
+                                          const ServerConfig& server,
+                                          const platform::ZcuPowerModel& power,
+                                          const std::string& prefix) {
+  auto cfgs = make_boards(boards, prefix);
+  for (auto& cfg : cfgs) {
+    cfg.ladder = ladder;
+    cfg.server = server;
+    cfg.power = power;
+  }
+  return cfgs;
+}
+
+std::vector<BoardConfig> partition_ladder(const std::vector<ModelSpec>& ladder,
+                                          int boards,
+                                          const ServerConfig& server,
+                                          const platform::ZcuPowerModel& power,
+                                          const std::string& prefix) {
+  if (static_cast<std::size_t>(boards) > ladder.size()) {
+    throw std::invalid_argument(
+        "partition_ladder: more boards than ladder rungs");
+  }
+  auto cfgs = make_boards(boards, prefix);
+  // Contiguous slices, earlier boards get the earlier (better) rungs; the
+  // first `remainder` slices absorb the extra rungs.
+  const std::size_t n = ladder.size();
+  const std::size_t base = n / static_cast<std::size_t>(boards);
+  const std::size_t remainder = n % static_cast<std::size_t>(boards);
+  std::size_t start = 0;
+  for (std::size_t b = 0; b < cfgs.size(); ++b) {
+    const std::size_t len = base + (b < remainder ? 1 : 0);
+    cfgs[b].ladder.assign(ladder.begin() + static_cast<std::ptrdiff_t>(start),
+                          ladder.begin() + static_cast<std::ptrdiff_t>(start + len));
+    cfgs[b].rung_offset = static_cast<int>(start);
+    cfgs[b].server = server;
+    cfgs[b].power = power;
+    start += len;
+  }
+  return cfgs;
+}
+
+}  // namespace seneca::serve::cluster

@@ -1,0 +1,106 @@
+#pragma once
+// ClusterRouter: the sharded serving tier in front of N simulated boards.
+//
+//   clients --submit()--> Router --policy.pick(BoardState[])--> BoardSim[i]
+//                                                                  |
+//                                                       per-board server
+//                                               (queue / batcher / ladder)
+//
+// Two topologies, built with the helpers below:
+//   replicate_ladder  — every board hosts the full degradation ladder; the
+//                       policy only picks the board, each board's own
+//                       hysteretic controller picks the rung.
+//   partition_ladder  — the ladder is split into contiguous rung slices,
+//                       one slice per board; picking a board then *is*
+//                       picking a rung band (energy-aware routing sends
+//                       deadline-feasible traffic to the cheapest band).
+//
+// Health-driven drain: before every pick the router assesses each board
+// (fault injection, queue saturation, bounded-runner saturation — see
+// health.hpp) and policies route around unhealthy boards, so a sick board
+// drains to its peers while its queued work finishes locally.
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/cluster/board.hpp"
+#include "serve/cluster/health.hpp"
+#include "serve/cluster/policy.hpp"
+
+namespace seneca::serve::cluster {
+
+struct ClusterConfig {
+  PolicyKind policy = PolicyKind::kRoundRobin;
+  HealthPolicy health;
+};
+
+/// Cluster-wide roll-up. Timing and energy are *simulated* quantities from
+/// the boards' rung cost tables (the DES is the timing authority, not the
+/// dev host's wall clock): boards run in parallel, so cluster busy time is
+/// the max over boards and simulated FPS = frames / max busy seconds, while
+/// energy adds up and FPS/W = frames / total joules.
+struct ClusterSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t served = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t degraded = 0;
+  double energy_joules = 0.0;
+  double busy_seconds_max = 0.0;
+  double simulated_fps = 0.0;
+  double fps_per_watt = 0.0;
+  std::vector<MetricsSnapshot> boards;
+
+  std::string format() const;
+};
+
+class ClusterRouter {
+ public:
+  ClusterRouter(std::vector<BoardConfig> boards, ClusterConfig cfg);
+  ~ClusterRouter();
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  /// Thread-safe. Routes per the configured policy; the future always
+  /// resolves (same contract as InferenceServer::submit).
+  std::future<Response> submit(Priority priority, tensor::TensorI8 input,
+                               double deadline_ms = 0.0);
+
+  std::size_t num_boards() const { return boards_.size(); }
+  BoardSim& board(std::size_t i) { return *boards_[i]; }
+  const BoardSim& board(std::size_t i) const { return *boards_[i]; }
+  const RoutingPolicy& policy() const { return *policy_; }
+
+  /// Per-board states as the policy would see them right now.
+  std::vector<BoardState> states() const;
+  ClusterSnapshot snapshot() const;
+
+  /// Stops every board; idempotent, called by the destructor.
+  void shutdown();
+
+ private:
+  ClusterConfig cfg_;
+  std::vector<std::unique_ptr<BoardSim>> boards_;
+  std::unique_ptr<RoutingPolicy> policy_;
+};
+
+/// Every board hosts the full ladder (replication). Board i is named
+/// "<prefix>i".
+std::vector<BoardConfig> replicate_ladder(
+    const std::vector<ModelSpec>& ladder, int boards,
+    const ServerConfig& server, const platform::ZcuPowerModel& power = {},
+    const std::string& prefix = "board");
+
+/// Contiguous rung slices, one per board (partitioning): board 0 gets the
+/// best rungs, the last board the cheapest. Requires boards <= ladder size.
+std::vector<BoardConfig> partition_ladder(
+    const std::vector<ModelSpec>& ladder, int boards,
+    const ServerConfig& server, const platform::ZcuPowerModel& power = {},
+    const std::string& prefix = "board");
+
+}  // namespace seneca::serve::cluster

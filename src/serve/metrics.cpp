@@ -73,6 +73,15 @@ LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
   return s;
 }
 
+double nearest_rank_quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  const std::size_t idx = std::clamp<std::size_t>(rank, 1, values.size()) - 1;
+  return values[idx];
+}
+
 void ServeMetrics::on_served(Priority lane, double total_ms, bool degraded) {
   served_.fetch_add(1, std::memory_order_relaxed);
   if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
@@ -94,6 +103,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   s.served = served_.load(std::memory_order_relaxed);
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.expired = expired_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
@@ -106,7 +116,8 @@ std::string MetricsSnapshot::format() const {
   std::ostringstream os;
   os << "submitted=" << submitted << " admitted=" << admitted
      << " served=" << served << " rejected=" << rejected
-     << " expired=" << expired << " degraded=" << degraded
+     << " expired=" << expired << " errors=" << errors
+     << " degraded=" << degraded
      << " queue_depth=" << queue_depth << " high_water=" << queue_high_water
      << "\n";
   const auto line = [&](const char* name,

@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "eval/stats.hpp"
 #include "serve/request.hpp"
@@ -41,6 +42,8 @@ class LatencyHistogram {
   static int bucket_index(double ms);
   static double bucket_upper_ms(int index);
 
+  friend class LatencyHistogramTestPeer;
+
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_ms_{0.0};
@@ -54,6 +57,7 @@ struct MetricsSnapshot {
   std::uint64_t served = 0;
   std::uint64_t rejected = 0;
   std::uint64_t expired = 0;
+  std::uint64_t errors = 0;    // failed in dispatch (Status::kError)
   std::uint64_t degraded = 0;  // served, but below the top ladder rung
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
@@ -61,6 +65,10 @@ struct MetricsSnapshot {
   LatencyHistogram::Snapshot batch;
 
   std::uint64_t dropped() const { return rejected + expired; }
+  /// Requests whose future has resolved, with any status.
+  std::uint64_t completed() const {
+    return served + rejected + expired + errors;
+  }
   /// Multi-line human-readable summary (uses eval::format_stats).
   std::string format() const;
 };
@@ -71,6 +79,7 @@ class ServeMetrics {
   void on_admitted() { admitted_.fetch_add(1, std::memory_order_relaxed); }
   void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void on_expired() { expired_.fetch_add(1, std::memory_order_relaxed); }
+  void on_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
   void on_served(Priority lane, double total_ms, bool degraded);
   void set_queue_depth(std::size_t depth);
 
@@ -82,10 +91,19 @@ class ServeMetrics {
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::size_t> queue_depth_{0};
   std::atomic<std::size_t> queue_high_water_{0};
   LatencyHistogram lanes_[2];  // [kInteractive, kBatch]
 };
+
+/// Exact nearest-rank quantile of a small sample: the ceil(q*n)-th smallest
+/// value (1-based), so the estimate never falls below the true quantile.
+/// A floor-based index — sorted[size_t(q*(n-1))] — truncates toward zero
+/// and for small n returns values far below the tail (with n = 2 it returns
+/// the *minimum*), which made the serving layer's p99 degradation trigger
+/// fire late or never. Returns 0 for an empty sample.
+double nearest_rank_quantile(std::vector<double> values, double q);
 
 }  // namespace seneca::serve

@@ -43,6 +43,7 @@ enum class Status : std::uint8_t {
   kOk = 0,        // served; `output` is valid
   kRejected = 1,  // refused at admission or displaced by an eviction
   kExpired = 2,   // deadline passed before service started
+  kError = 3,     // dispatch failed (runtime fault); the batch was lost
 };
 
 constexpr const char* to_string(Status s) {
@@ -50,6 +51,7 @@ constexpr const char* to_string(Status s) {
     case Status::kOk: return "ok";
     case Status::kRejected: return "rejected";
     case Status::kExpired: return "expired";
+    case Status::kError: return "error";
   }
   return "?";
 }

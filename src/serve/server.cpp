@@ -96,6 +96,8 @@ void InferenceServer::complete_failed(const Request& r, Status status) {
   if (!pending) return;  // already completed elsewhere; nothing to count
   if (status == Status::kExpired) {
     metrics_.on_expired();
+  } else if (status == Status::kError) {
+    metrics_.on_error();
   } else {
     metrics_.on_rejected();
   }
@@ -103,6 +105,7 @@ void InferenceServer::complete_failed(const Request& r, Status status) {
   resp.id = r.id;
   resp.status = status;
   resp.total_ms = ms_between(pending->submitted_at, Clock::now());
+  if (cfg_.on_complete) cfg_.on_complete(resp);
   pending->promise.set_value(std::move(resp));
 }
 
@@ -113,11 +116,11 @@ void InferenceServer::update_level(Clock::time_point now, std::size_t depth) {
 
   double window_p99 = 0.0;
   if (d.p99_high_ms > 0.0 && !recent_interactive_ms_.empty()) {
-    std::vector<double> sorted(recent_interactive_ms_.begin(),
-                               recent_interactive_ms_.end());
-    std::sort(sorted.begin(), sorted.end());
-    window_p99 = sorted[static_cast<std::size_t>(
-        0.99 * static_cast<double>(sorted.size() - 1))];
+    // Ceil-based nearest rank: a floor-based index under-reads the tail so
+    // badly at small window sizes (n = 2 yields the minimum) that the
+    // latency trigger fired late or never.
+    window_p99 = nearest_rank_quantile(
+        {recent_interactive_ms_.begin(), recent_interactive_ms_.end()}, 0.99);
   }
 
   const bool overloaded =
@@ -170,7 +173,16 @@ void InferenceServer::scheduler_loop() {
     for (auto& r : live) inputs.push_back(std::move(r.input));
 
     util::Timer service_timer;
-    std::vector<tensor::TensorI8> outputs = runner.run_batch(inputs);
+    std::vector<tensor::TensorI8> outputs;
+    try {
+      outputs = runner.run_batch(inputs);
+    } catch (...) {
+      // A dispatch fault (injected or real) must not escape the scheduler
+      // thread: that terminates the process and strands every pending
+      // promise. Fail only this batch and keep serving.
+      for (const Request& r : live) complete_failed(r, Status::kError);
+      continue;
+    }
     const double service_ms = service_timer.millis();
     const auto done_at = Clock::now();
 
@@ -195,6 +207,7 @@ void InferenceServer::scheduler_loop() {
           recent_interactive_ms_.pop_front();
         }
       }
+      if (cfg_.on_complete) cfg_.on_complete(resp);
       pending->promise.set_value(std::move(resp));
     }
   }
@@ -219,8 +232,9 @@ void InferenceServer::shutdown() {
     resp.id = id;
     resp.status = Status::kRejected;
     resp.total_ms = ms_between(pending.submitted_at, Clock::now());
-    pending.promise.set_value(std::move(resp));
     metrics_.on_rejected();
+    if (cfg_.on_complete) cfg_.on_complete(resp);
+    pending.promise.set_value(std::move(resp));
   }
 }
 

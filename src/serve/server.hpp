@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -63,6 +64,11 @@ struct ServerConfig {
   QueueConfig queue;
   BatcherConfig batcher;
   DegradeConfig degrade;
+  /// Optional observer invoked (from the completing thread) just before a
+  /// response's promise is fulfilled, whatever its status. Must be cheap
+  /// and must not throw; used by the cluster tier for per-board inflight,
+  /// latency, and energy accounting.
+  std::function<void(const Response&)> on_complete;
 };
 
 class InferenceServer {
@@ -93,6 +99,19 @@ class InferenceServer {
   std::size_t ladder_size() const { return ladder_.size(); }
   const std::string& model_name(int level) const {
     return ladder_[static_cast<std::size_t>(level)].name;
+  }
+  const dpu::XModel& model(int level) const {
+    return ladder_[static_cast<std::size_t>(level)].model;
+  }
+  int workers(int level) const {
+    return ladder_[static_cast<std::size_t>(level)].workers;
+  }
+  /// Direct access to a rung's runner (health probes, fault injection).
+  runtime::VartRunner& runner(int level) {
+    return *runners_[static_cast<std::size_t>(level)];
+  }
+  const runtime::VartRunner& runner(int level) const {
+    return *runners_[static_cast<std::size_t>(level)];
   }
 
  private:

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/model_zoo.hpp"
+#include "core/workflow.hpp"
 #include "nn/unet.hpp"
 #include "platform/gpu_model.hpp"
 #include "platform/power.hpp"
@@ -139,6 +140,43 @@ TEST(MeasurementModel, Deterministic) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_DOUBLE_EQ(a.observe(50.0), b.observe(50.0));
   }
+}
+
+TEST(InferenceEnergy, EstimateIsConsistentAndPositive) {
+  ZcuPowerModel pm;
+  const dpu::XModel model =
+      core::build_timing_xmodel("1M", dpu::DpuArch::b4096(), 32);
+  const auto e = estimate_inference_energy(pm, model, /*threads=*/2);
+  EXPECT_GT(e.fps, 0.0);
+  EXPECT_GT(e.watts, pm.static_watts);  // busy board draws above idle
+  EXPECT_GT(e.joules_per_frame, 0.0);
+  // The serving tier's contract: J/frame = watts / fps, spf = 1 / fps.
+  EXPECT_NEAR(e.joules_per_frame * e.fps, e.watts, 1e-9);
+  EXPECT_NEAR(e.seconds_per_frame * e.fps, 1.0, 1e-9);
+}
+
+TEST(InferenceEnergy, BiggerModelCostsMoreJoulesPerFrame) {
+  ZcuPowerModel pm;
+  const dpu::XModel small =
+      core::build_timing_xmodel("1M", dpu::DpuArch::b4096(), 32);
+  const dpu::XModel big =
+      core::build_timing_xmodel("16M", dpu::DpuArch::b4096(), 32);
+  const auto e_small = estimate_inference_energy(pm, small, 2);
+  const auto e_big = estimate_inference_energy(pm, big, 2);
+  // Energy-aware routing relies on the zoo being monotone in J/frame:
+  // smaller models finish sooner at comparable power.
+  EXPECT_GT(e_big.joules_per_frame, e_small.joules_per_frame);
+  EXPECT_LT(e_big.fps, e_small.fps);
+}
+
+TEST(InferenceEnergy, DeterministicForFixedOperatingPoint) {
+  ZcuPowerModel pm;
+  const dpu::XModel model =
+      core::build_timing_xmodel("1M", dpu::DpuArch::b4096(), 32);
+  const auto a = estimate_inference_energy(pm, model, 2);
+  const auto b = estimate_inference_energy(pm, model, 2);
+  EXPECT_DOUBLE_EQ(a.joules_per_frame, b.joules_per_frame);
+  EXPECT_DOUBLE_EQ(a.watts, b.watts);
 }
 
 /// Calibration pin: the GPU model constants were fitted once against Table

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "dpu/compiler.hpp"
 #include "nn/unet.hpp"
@@ -150,6 +153,55 @@ TEST(VartRunner, DrainsOnDestruction) {
     runner.collect();
   }  // destructor must join cleanly with no pending work
   SUCCEED();
+}
+
+TEST(VartRunner, SubmitAfterStopIsRejected) {
+  // Regression: the bounded-mode submit wait also returns on stop, so a
+  // racing submit could enqueue a job after the workers were joined — a
+  // later collect() on that job hung forever. Post-stop submits must be
+  // rejected instead of silently enqueued.
+  const dpu::XModel xm = build_model();
+  VartRunner runner(xm, 2, /*max_pending=*/2);
+  runner.submit(random_input(1));
+  runner.collect();
+  runner.stop();
+  EXPECT_TRUE(runner.stopped());
+  EXPECT_FALSE(runner.try_submit(random_input(2)).has_value());
+  EXPECT_THROW(runner.submit(random_input(3)), std::runtime_error);
+  // Nothing outstanding: collect() reports the misuse instead of hanging.
+  EXPECT_THROW(runner.collect(), std::runtime_error);
+  runner.stop();  // idempotent
+}
+
+TEST(VartRunner, StopDrainsSubmittedJobsBeforeRejecting) {
+  const dpu::XModel xm = build_model();
+  VartRunner runner(xm, 2);
+  std::set<std::uint64_t> submitted;
+  for (int i = 0; i < 4; ++i) {
+    submitted.insert(runner.submit(random_input(300 + static_cast<std::uint64_t>(i))));
+  }
+  runner.stop();  // joins only after the workers drained the queue
+  std::set<std::uint64_t> collected;
+  for (int i = 0; i < 4; ++i) collected.insert(runner.collect().first);
+  EXPECT_EQ(collected, submitted);
+  EXPECT_THROW(runner.collect(), std::runtime_error);
+}
+
+TEST(VartRunner, RunFaultHookFailsTheBatchInTheCallersThread) {
+  const dpu::XModel xm = build_model();
+  VartRunner runner(xm, 1);
+  int calls = 0;
+  runner.set_run_fault_hook([&calls](std::size_t batch) {
+    ++calls;
+    if (calls == 1) throw std::runtime_error("injected fault, batch=" +
+                                             std::to_string(batch));
+  });
+  std::vector<tensor::TensorI8> inputs{random_input(1), random_input(2)};
+  EXPECT_THROW(runner.run_batch(inputs), std::runtime_error);
+  // The fault hit before any submit: the runner is still fully usable.
+  const auto outputs = runner.run_batch(inputs);
+  EXPECT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(calls, 2);
 }
 
 }  // namespace

@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <future>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "dpu/compiler.hpp"
@@ -15,6 +18,24 @@
 #include "util/rng.hpp"
 
 namespace seneca::serve {
+
+/// White-box access to LatencyHistogram internals: the max_ms-below-bucket
+/// clamp branch in snapshot() cannot be reached through record() (the max
+/// is by construction at least any sample's bucket lower bound), so the
+/// test forges the state directly.
+class LatencyHistogramTestPeer {
+ public:
+  static void set_state(LatencyHistogram& h, int bucket, std::uint64_t count,
+                        double max_ms) {
+    h.buckets_[static_cast<std::size_t>(bucket)].store(count);
+    h.count_.store(count);
+    h.max_ms_.store(max_ms);
+  }
+  static double bucket_lower_ms(int bucket) {
+    return bucket == 0 ? 0.0 : LatencyHistogram::bucket_upper_ms(bucket - 1);
+  }
+};
+
 namespace {
 
 using tensor::Shape;
@@ -76,8 +97,78 @@ TEST(ServeMetrics, EmptyHistogramSnapshotsToZeros) {
   LatencyHistogram h;
   const auto s = h.snapshot();
   EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.p95_ms, 0.0);
   EXPECT_DOUBLE_EQ(s.p99_ms, 0.0);
   EXPECT_DOUBLE_EQ(s.mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 0.0);
+  EXPECT_EQ(s.stats.n, 0u);
+}
+
+TEST(ServeMetrics, SingleSampleQuantilesAllEqualTheSample) {
+  LatencyHistogram h;
+  h.record(5.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  // One sample: every quantile interpolates to min(bucket upper, max) = 5.
+  EXPECT_DOUBLE_EQ(s.p50_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.stats.stddev, 0.0);
+}
+
+TEST(ServeMetrics, AllSamplesInBucketZeroStayWithinItsRange) {
+  LatencyHistogram h;
+  for (int i = 0; i < 5; ++i) h.record(1e-4);  // below kLoMs: bucket 0
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  // Bucket 0 spans [0, min(kLoMs, max)]; all quantiles interpolate inside.
+  EXPECT_GE(s.p50_ms, 0.0);
+  EXPECT_LE(s.p50_ms, 1e-4 + 1e-12);
+  EXPECT_LE(s.p50_ms, s.p95_ms);
+  EXPECT_LE(s.p95_ms, s.p99_ms);
+  EXPECT_LE(s.p99_ms, s.max_ms + 1e-12);
+  EXPECT_DOUBLE_EQ(s.max_ms, 1e-4);
+}
+
+TEST(ServeMetrics, MaxBelowWinningBucketLowerBoundClampsToLowerBound) {
+  // Forged state: all mass in bucket 50 but max_ms far below that bucket's
+  // lower bound. Without the std::max(hi, lo) clamp the interpolation span
+  // (hi - lo) would be negative and the quantile would undershoot lo.
+  LatencyHistogram h;
+  const double lo = LatencyHistogramTestPeer::bucket_lower_ms(50);
+  LatencyHistogramTestPeer::set_state(h, 50, 4, /*max_ms=*/lo * 0.01);
+  const auto s = h.snapshot();
+  EXPECT_DOUBLE_EQ(s.p50_ms, lo);
+  EXPECT_DOUBLE_EQ(s.p99_ms, lo);
+  EXPECT_GE(s.p50_ms, 0.0);
+}
+
+TEST(ServeMetrics, NearestRankQuantileSmallWindowRegression) {
+  // The old trigger indexed sorted[size_t(0.99 * (n - 1))], truncating
+  // toward zero: for n = 2 that is index 0 — the *minimum* — so a window
+  // of {2 ms, 100 ms} reported a "p99" of 2 ms and a 50 ms threshold never
+  // fired. Nearest rank (ceil) reports the tail.
+  const std::vector<double> two{2.0, 100.0};
+  const auto old_index =
+      static_cast<std::size_t>(0.99 * static_cast<double>(two.size() - 1));
+  ASSERT_EQ(old_index, 0u);  // the bug: picks the minimum
+  EXPECT_DOUBLE_EQ(nearest_rank_quantile(two, 0.99), 100.0);
+
+  // n = 1: the single sample is every quantile.
+  EXPECT_DOUBLE_EQ(nearest_rank_quantile({7.5}, 0.99), 7.5);
+
+  // n = 10: old index floor(0.99 * 9) = 8 reported the 9th-smallest value;
+  // nearest rank ceil(9.9) = 10 reports the maximum.
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) ten.push_back(static_cast<double>(i));
+  ASSERT_EQ(static_cast<std::size_t>(0.99 * 9.0), 8u);
+  EXPECT_DOUBLE_EQ(nearest_rank_quantile(ten, 0.99), 10.0);
+
+  EXPECT_DOUBLE_EQ(nearest_rank_quantile(ten, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_quantile(std::vector<double>{}, 0.99), 0.0);
 }
 
 TEST(InferenceServer, ServesBitExactAgainstReferenceSim) {
@@ -240,6 +331,69 @@ TEST(InferenceServer, ExpiredRequestDroppedAtDispatch) {
   EXPECT_EQ(doomed.get().status, Status::kExpired);
   EXPECT_EQ(healthy.get().status, Status::kOk);
   EXPECT_GE(server.metrics().expired, 1u);
+}
+
+TEST(InferenceServer, LatencyP99TriggerFiresAtConfiguredThreshold) {
+  // Latency-only degradation with a tiny window: every served interactive
+  // frame takes far longer than the 0.01 ms threshold, so the very next
+  // dispatch after the first completion must step down the ladder. (The old
+  // floor-based index read the window *minimum* at n = 2; see
+  // NearestRankQuantileSmallWindowRegression for the index-level proof.)
+  const dpu::XModel big = build_model(16, 2, 4, 3);
+  const dpu::XModel small = build_model(16, 1, 2, 7);
+  ServerConfig cfg = fast_config();
+  cfg.degrade.queue_depth_high = 1000000;  // isolate the latency trigger
+  cfg.degrade.queue_depth_low = 0;
+  cfg.degrade.p99_high_ms = 0.01;
+  cfg.degrade.p99_window = 2;
+  cfg.degrade.min_dwell_ms = 0.0;
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"4M", big, 1});
+  ladder.push_back({"1M", small, 1});
+  InferenceServer server(std::move(ladder), cfg);
+
+  const Response first =
+      server.submit(Priority::kInteractive, random_input(16, 1)).get();
+  ASSERT_EQ(first.status, Status::kOk);
+  EXPECT_FALSE(first.degraded) << "window was empty at the first dispatch";
+
+  const Response second =
+      server.submit(Priority::kInteractive, random_input(16, 2)).get();
+  ASSERT_EQ(second.status, Status::kOk);
+  EXPECT_TRUE(second.degraded)
+      << "one over-threshold sample in the window must trip the trigger";
+  EXPECT_EQ(second.model_used, "1M");
+  EXPECT_EQ(server.degrade_level(), 1);
+}
+
+TEST(InferenceServer, DispatchFaultFailsOnlyItsBatchAndServerKeepsServing) {
+  const dpu::XModel model = build_model(16, 2, 4, 3);
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"1M", model, 1});
+  InferenceServer server(std::move(ladder), fast_config());
+
+  auto armed = std::make_shared<std::atomic<bool>>(true);
+  server.runner(0).set_run_fault_hook([armed](std::size_t) {
+    if (armed->exchange(false)) {
+      throw std::runtime_error("injected DPU fault");
+    }
+  });
+
+  auto doomed = server.submit(Priority::kInteractive, random_input(16, 1));
+  const Response failed = doomed.get();
+  EXPECT_EQ(failed.status, Status::kError);
+
+  // The scheduler survived: later requests are served normally.
+  for (int i = 0; i < 3; ++i) {
+    const Response r =
+        server.submit(Priority::kInteractive, random_input(16, 10 + static_cast<std::uint64_t>(i)))
+            .get();
+    ASSERT_EQ(r.status, Status::kOk) << "request " << i;
+  }
+  const auto m = server.metrics();
+  EXPECT_EQ(m.errors, 1u);
+  EXPECT_EQ(m.served, 3u);
+  EXPECT_EQ(m.completed(), 4u);
 }
 
 TEST(InferenceServer, ShutdownDrainsThenRejectsNewWork) {
