@@ -1,11 +1,35 @@
 #!/usr/bin/env sh
 # Tier-1 verify in one command: configure, build, run the full test suite.
-# Usage: scripts/check.sh [build-dir]   (default: build)
+#
+# Usage: scripts/check.sh [build-dir] [cmake-args...]
+#   build-dir   first argument, unless it starts with '-' (default: <repo>/build)
+#   cmake-args  every remaining argument goes to the configure step, e.g.
+#               scripts/check.sh build-tsan -DSENECA_SANITIZE=thread
+#               scripts/check.sh -DSENECA_WERROR=ON
+#
+# Environment:
+#   SENECA_CHECK_DRY_RUN=1  print the composed commands instead of running
+#   CTEST_ARGS              extra ctest arguments, e.g. "-L stress"
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
-BUILD=${1:-"$ROOT/build"}
 
-cmake -B "$BUILD" -S "$ROOT"
-cmake --build "$BUILD" -j
-ctest --test-dir "$BUILD" --output-on-failure -j
+BUILD="$ROOT/build"
+case "${1:-}" in
+  "") ;;
+  -*) ;;  # first argument is already a cmake flag; keep the default dir
+  *) BUILD=$1; shift ;;
+esac
+
+run() {
+  if [ "${SENECA_CHECK_DRY_RUN:-0}" = "1" ]; then
+    echo "+ $*"
+  else
+    "$@"
+  fi
+}
+
+run cmake -B "$BUILD" -S "$ROOT" "$@"
+run cmake --build "$BUILD" -j
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+run ctest --test-dir "$BUILD" --output-on-failure -j ${CTEST_ARGS:-}

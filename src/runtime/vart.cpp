@@ -4,6 +4,8 @@
 
 namespace seneca::runtime {
 
+using util::LockGuard;
+
 VartRunner::VartRunner(const dpu::XModel& model, int num_workers,
                        std::size_t max_pending)
     : model_(model), core_(&model_), max_pending_(max_pending) {
@@ -19,7 +21,7 @@ VartRunner::~VartRunner() { stop(); }
 void VartRunner::stop() {
   std::call_once(stop_once_, [this] {
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       stopping_ = true;
     }
     work_cv_.notify_all();
@@ -30,16 +32,16 @@ void VartRunner::stop() {
 }
 
 bool VartRunner::stopped() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return stopping_;
 }
 
 std::uint64_t VartRunner::submit(tensor::TensorI8 input) {
   std::uint64_t id;
   {
-    std::unique_lock lock(mutex_);
+    LockGuard lock(mutex_);
     if (max_pending_ > 0) {
-      space_cv_.wait(lock, [this] {
+      space_cv_.wait(lock, [this]() REQUIRES(mutex_) {
         return stopping_ || pending_.size() < max_pending_;
       });
     }
@@ -59,7 +61,7 @@ std::uint64_t VartRunner::submit(tensor::TensorI8 input) {
 std::optional<std::uint64_t> VartRunner::try_submit(tensor::TensorI8 input) {
   std::uint64_t id;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (stopping_) return std::nullopt;
     if (max_pending_ > 0 && pending_.size() >= max_pending_) {
       return std::nullopt;
@@ -72,13 +74,13 @@ std::optional<std::uint64_t> VartRunner::try_submit(tensor::TensorI8 input) {
 }
 
 std::size_t VartRunner::pending() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return pending_.size();
 }
 
 std::pair<std::uint64_t, tensor::TensorI8> VartRunner::collect() {
-  std::unique_lock lock(mutex_);
-  done_cv_.wait(lock, [this] {
+  LockGuard lock(mutex_);
+  done_cv_.wait(lock, [this]() REQUIRES(mutex_) {
     return !finished_.empty() ||
            (stopping_ && pending_.empty() && inflight_ == 0);
   });
@@ -92,8 +94,24 @@ std::pair<std::uint64_t, tensor::TensorI8> VartRunner::collect() {
   return result;
 }
 
+tensor::TensorI8 VartRunner::collect(std::uint64_t id) {
+  LockGuard lock(mutex_);
+  done_cv_.wait(lock, [this, id]() REQUIRES(mutex_) {
+    return finished_.count(id) != 0 ||
+           (stopping_ && pending_.empty() && inflight_ == 0);
+  });
+  auto it = finished_.find(id);
+  if (it == finished_.end()) {
+    throw std::runtime_error(
+        "VartRunner::collect(id): runner stopped before the job finished");
+  }
+  tensor::TensorI8 out = std::move(it->second);
+  finished_.erase(it);
+  return out;
+}
+
 void VartRunner::set_run_fault_hook(std::function<void(std::size_t)> hook) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   run_fault_hook_ = std::move(hook);
 }
 
@@ -101,7 +119,7 @@ std::vector<tensor::TensorI8> VartRunner::run_batch(
     const std::vector<tensor::TensorI8>& inputs) {
   std::function<void(std::size_t)> hook;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     hook = run_fault_hook_;
   }
   if (hook) hook(inputs.size());
@@ -110,14 +128,12 @@ std::vector<tensor::TensorI8> VartRunner::run_batch(
   ids.reserve(inputs.size());
   for (const auto& in : inputs) ids.push_back(submit(in));
 
-  std::map<std::uint64_t, tensor::TensorI8> by_id;
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    auto [id, out] = collect();
-    by_id.emplace(id, std::move(out));
-  }
+  // Collect strictly by id: with an any-job collect(), two threads running
+  // batches on one runner would steal each other's finished jobs and blow
+  // up on the missing ids afterwards.
   std::vector<tensor::TensorI8> outputs;
   outputs.reserve(inputs.size());
-  for (std::uint64_t id : ids) outputs.push_back(std::move(by_id.at(id)));
+  for (std::uint64_t id : ids) outputs.push_back(collect(id));
   return outputs;
 }
 
@@ -125,8 +141,10 @@ void VartRunner::worker_loop() {
   for (;;) {
     std::pair<std::uint64_t, tensor::TensorI8> job;
     {
-      std::unique_lock lock(mutex_);
-      work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      LockGuard lock(mutex_);
+      work_cv_.wait(lock, [this]() REQUIRES(mutex_) {
+        return stopping_ || !pending_.empty();
+      });
       if (stopping_ && pending_.empty()) return;
       job = std::move(pending_.front());
       pending_.pop();
@@ -135,7 +153,7 @@ void VartRunner::worker_loop() {
     if (max_pending_ > 0) space_cv_.notify_one();
     dpu::RunResult result = core_.run(job.second);
     {
-      std::lock_guard lock(mutex_);
+      LockGuard lock(mutex_);
       finished_.emplace(job.first, std::move(result.output));
       --inflight_;
     }

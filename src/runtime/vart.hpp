@@ -5,17 +5,17 @@
 // timing story of a deployment is asked of soc_sim (the DES), keeping
 // functional correctness and temporal modelling decoupled.
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
 
 #include "dpu/core_sim.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace seneca::runtime {
 
@@ -56,10 +56,19 @@ class VartRunner {
 
   /// Blocks until some job finishes; returns {job id, INT8 output}. Throws
   /// std::runtime_error when the runner is stopped and no submitted job is
-  /// pending, in flight, or finished (the caller over-collected).
+  /// pending, in flight, or finished (the caller over-collected). With
+  /// concurrent collectors prefer the by-id overload: any-job collects
+  /// steal whatever finishes first, including jobs other threads wait on.
   std::pair<std::uint64_t, tensor::TensorI8> collect();
 
+  /// Blocks until job `id` finishes and returns its output. Throws
+  /// std::runtime_error when the runner stops without that job ever
+  /// finishing (never submitted, or stolen by an any-job collect()).
+  tensor::TensorI8 collect(std::uint64_t id);
+
   /// Convenience: submit all, collect all, return outputs in input order.
+  /// Collects strictly by id, so concurrent run_batch calls on one runner
+  /// cannot steal each other's results.
   std::vector<tensor::TensorI8> run_batch(
       const std::vector<tensor::TensorI8>& inputs);
 
@@ -77,16 +86,17 @@ class VartRunner {
   dpu::DpuCoreSim core_;
   std::size_t max_pending_ = 0;  // 0 = unbounded
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::condition_variable space_cv_;
-  std::queue<std::pair<std::uint64_t, tensor::TensorI8>> pending_;
-  std::map<std::uint64_t, tensor::TensorI8> finished_;
-  std::function<void(std::size_t)> run_fault_hook_;
-  std::uint64_t next_job_ = 0;
-  std::size_t inflight_ = 0;  // popped by a worker, not yet finished
-  bool stopping_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar work_cv_;
+  util::CondVar done_cv_;
+  util::CondVar space_cv_;
+  std::queue<std::pair<std::uint64_t, tensor::TensorI8>> pending_
+      GUARDED_BY(mutex_);
+  std::map<std::uint64_t, tensor::TensorI8> finished_ GUARDED_BY(mutex_);
+  std::function<void(std::size_t)> run_fault_hook_ GUARDED_BY(mutex_);
+  std::uint64_t next_job_ GUARDED_BY(mutex_) = 0;
+  std::size_t inflight_ GUARDED_BY(mutex_) = 0;  // popped, not yet finished
+  bool stopping_ GUARDED_BY(mutex_) = false;
   std::once_flag stop_once_;
   std::vector<std::thread> workers_;
 };

@@ -45,7 +45,7 @@ std::uint64_t BoardSim::inflight() const {
 }
 
 double BoardSim::ewma_latency_ms() const {
-  std::lock_guard lock(accounting_mutex_);
+  util::LockGuard lock(accounting_mutex_);
   return ewma_latency_ms_;
 }
 
@@ -55,12 +55,12 @@ bool BoardSim::runner_saturated() const {
 }
 
 double BoardSim::energy_joules() const {
-  std::lock_guard lock(accounting_mutex_);
+  util::LockGuard lock(accounting_mutex_);
   return energy_joules_;
 }
 
 double BoardSim::busy_seconds() const {
-  std::lock_guard lock(accounting_mutex_);
+  util::LockGuard lock(accounting_mutex_);
   return busy_seconds_;
 }
 
@@ -71,7 +71,7 @@ void BoardSim::on_complete(const Response& r) {
   const auto it = cost_by_model_.find(r.model_used);
   if (it == cost_by_model_.end()) return;  // foreign model label; unbilled
   const RungCost& cost = costs_[it->second];
-  std::lock_guard lock(accounting_mutex_);
+  util::LockGuard lock(accounting_mutex_);
   constexpr double kAlpha = 0.2;
   ewma_latency_ms_ = ewma_latency_ms_ == 0.0
                          ? r.total_ms

@@ -22,13 +22,14 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "platform/power.hpp"
 #include "serve/server.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace seneca::serve::cluster {
 
@@ -112,10 +113,14 @@ class BoardSim {
   std::atomic<std::uint64_t> frames_served_{0};
   std::atomic<bool> fault_{false};
 
-  mutable std::mutex accounting_mutex_;
-  double ewma_latency_ms_ = 0.0;  // alpha = 0.2 over served total_ms
-  double energy_joules_ = 0.0;
-  double busy_seconds_ = 0.0;
+  // DebugMutex: taken from the server's completion callback, so it sits
+  // under whatever locks the completing thread already holds — the kind of
+  // cross-component nesting the lock-order checker exists for.
+  mutable util::DebugMutex accounting_mutex_{"board.accounting"};
+  // EWMA alpha = 0.2 over served total_ms.
+  double ewma_latency_ms_ GUARDED_BY(accounting_mutex_) = 0.0;
+  double energy_joules_ GUARDED_BY(accounting_mutex_) = 0.0;
+  double busy_seconds_ GUARDED_BY(accounting_mutex_) = 0.0;
 
   std::unique_ptr<InferenceServer> server_;  // constructed last
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+using seneca::util::LockGuard;
+
 namespace seneca::serve {
 
 const char* to_string(OverloadPolicy p) {
@@ -19,7 +21,7 @@ AdmissionQueue::PushResult AdmissionQueue::push(Request r,
                                                 Clock::time_point now) {
   PushResult out;
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     if (closed_) {
       ++stats_.rejected;
       out.rejected.push_back(std::move(r));
@@ -99,18 +101,20 @@ std::optional<Request> AdmissionQueue::pop_locked() {
 }
 
 std::optional<Request> AdmissionQueue::pop() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return closed_ || depth_locked() > 0; });
+  LockGuard lock(mutex_);
+  cv_.wait(lock, [this]() REQUIRES(mutex_) {
+    return closed_ || depth_locked() > 0;
+  });
   return pop_locked();
 }
 
 std::optional<Request> AdmissionQueue::try_pop() {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return pop_locked();
 }
 
 std::optional<Request> AdmissionQueue::try_pop(Priority p) {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   auto& l = lane(p);
   if (l.empty()) return std::nullopt;
   Request r = std::move(l.front());
@@ -120,21 +124,24 @@ std::optional<Request> AdmissionQueue::try_pop(Priority p) {
 }
 
 bool AdmissionQueue::wait_nonempty_until(Priority p, Clock::time_point tp) {
-  std::unique_lock lock(mutex_);
-  cv_.wait_until(lock, tp,
-                 [this, p] { return closed_ || !lane(p).empty(); });
+  LockGuard lock(mutex_);
+  cv_.wait_until(lock, tp, [this, p]() REQUIRES(mutex_) {
+    return closed_ || !lane(p).empty();
+  });
   return !lane(p).empty();
 }
 
 bool AdmissionQueue::wait_any_nonempty_until(Clock::time_point tp) {
-  std::unique_lock lock(mutex_);
-  cv_.wait_until(lock, tp, [this] { return closed_ || depth_locked() > 0; });
+  LockGuard lock(mutex_);
+  cv_.wait_until(lock, tp, [this]() REQUIRES(mutex_) {
+    return closed_ || depth_locked() > 0;
+  });
   return depth_locked() > 0;
 }
 
 void AdmissionQueue::requeue_front(Request r) {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     ++stats_.requeued;
     lane(r.priority).push_front(std::move(r));
     stats_.high_water = std::max(stats_.high_water, depth_locked());
@@ -144,29 +151,29 @@ void AdmissionQueue::requeue_front(Request r) {
 
 void AdmissionQueue::close() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     closed_ = true;
   }
   cv_.notify_all();
 }
 
 bool AdmissionQueue::closed() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return closed_;
 }
 
 std::size_t AdmissionQueue::depth() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return depth_locked();
 }
 
 std::size_t AdmissionQueue::depth(Priority p) const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   return lanes_[static_cast<std::size_t>(p)].size();
 }
 
 QueueStats AdmissionQueue::stats() const {
-  std::lock_guard lock(mutex_);
+  LockGuard lock(mutex_);
   QueueStats s = stats_;
   s.depth = depth_locked();
   return s;

@@ -14,14 +14,14 @@
 // Displaced requests are handed back to the caller (PushResult) so the
 // server can complete their promises with kRejected/kExpired.
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "serve/request.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace seneca::serve {
 
@@ -96,20 +96,20 @@ class AdmissionQueue {
   QueueStats stats() const;
 
  private:
-  std::deque<Request>& lane(Priority p) {
+  std::deque<Request>& lane(Priority p) REQUIRES(mutex_) {
     return lanes_[static_cast<std::size_t>(p)];
   }
-  std::optional<Request> pop_locked();
-  std::size_t depth_locked() const {
+  std::optional<Request> pop_locked() REQUIRES(mutex_);
+  std::size_t depth_locked() const REQUIRES(mutex_) {
     return lanes_[0].size() + lanes_[1].size();
   }
 
   const QueueConfig cfg_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Request> lanes_[2];  // [kInteractive, kBatch]
-  QueueStats stats_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<Request> lanes_[2] GUARDED_BY(mutex_);  // [interactive, batch]
+  QueueStats stats_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace seneca::serve

@@ -57,7 +57,7 @@ std::future<Response> InferenceServer::submit(Priority priority,
   std::promise<Response> promise;
   auto future = promise.get_future();
   {
-    std::lock_guard lock(pending_mutex_);
+    util::LockGuard lock(pending_mutex_);
     pending_.emplace(r.id, Pending{std::move(promise), now});
   }
   metrics_.on_submitted();
@@ -83,7 +83,7 @@ std::future<Response> InferenceServer::submit(Priority priority,
 
 std::optional<InferenceServer::Pending> InferenceServer::take_pending(
     std::uint64_t id) {
-  std::lock_guard lock(pending_mutex_);
+  util::LockGuard lock(pending_mutex_);
   auto it = pending_.find(id);
   if (it == pending_.end()) return std::nullopt;
   Pending p = std::move(it->second);
@@ -221,7 +221,7 @@ void InferenceServer::shutdown() {
   // Safety net: fail any promise that somehow never reached the scheduler.
   std::vector<std::pair<std::uint64_t, Pending>> leftovers;
   {
-    std::lock_guard lock(pending_mutex_);
+    util::LockGuard lock(pending_mutex_);
     for (auto& [id, pending] : pending_) {
       leftovers.emplace_back(id, std::move(pending));
     }

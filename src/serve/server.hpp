@@ -25,7 +25,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -37,6 +36,8 @@
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace seneca::serve {
 
@@ -132,8 +133,12 @@ class InferenceServer {
   AdmissionQueue queue_;
   ServeMetrics metrics_;
 
-  std::mutex pending_mutex_;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  // DebugMutex: OrderedMutex in checked builds — completion paths cross
+  // component boundaries (queue -> server -> cluster callbacks), exactly
+  // where a lock-order mistake would creep in.
+  util::DebugMutex pending_mutex_{"server.pending"};
+  std::unordered_map<std::uint64_t, Pending> pending_
+      GUARDED_BY(pending_mutex_);
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> served_seq_{0};
   std::atomic<int> level_{0};

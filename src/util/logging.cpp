@@ -2,13 +2,20 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+#include <utility>
+
+#include "util/mutex.hpp"
 
 namespace seneca::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_log_mutex;
+
+// Serializes both the writes themselves (no interleaved lines) and the
+// sink swap: set_log_sink racing log_message would otherwise read a
+// std::function mid-assignment.
+Mutex g_log_mutex;
+LogSink g_sink GUARDED_BY(g_log_mutex);
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -24,9 +31,18 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  LockGuard lock(g_log_mutex);
+  g_sink = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard lock(g_log_mutex);
+  LockGuard lock(g_log_mutex);
+  if (g_sink) {
+    g_sink(level, msg);
+    return;
+  }
   std::fprintf(level >= LogLevel::kWarn ? stderr : stdout, "[seneca %s] %s\n",
                level_tag(level), msg.c_str());
 }

@@ -2,6 +2,7 @@
 // Minimal levelled logger. All SENECA libraries log through this so that
 // examples and benches can silence or redirect output uniformly.
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -15,6 +16,13 @@ LogLevel log_level();
 
 /// Emit a message (appends '\n'). Thread-safe.
 void log_message(LogLevel level, const std::string& msg);
+
+/// Redirects log output; nullptr restores the default stdout/stderr
+/// writer. The swap is serialized against concurrent log_message calls
+/// (the sink is guarded by the logger's mutex), so a sink installed from
+/// one thread is never invoked torn from another.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 class LogLine {

@@ -1,0 +1,141 @@
+#include "util/mutex.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace seneca::util {
+
+namespace {
+
+// Process-wide acquisition graph: edge A -> B means "some thread acquired
+// B while holding A". A cycle means two call paths disagree about the
+// order of a mutex pair — the classic deadlock precondition — and is
+// flagged on the acquisition that would close it, not on the (much rarer)
+// interleaving that actually deadlocks. Nodes are keyed by address; an
+// OrderedMutex erases itself on destruction so a recycled allocation
+// cannot inherit stale edges.
+struct OrderGraph {
+  std::mutex mu;
+  std::unordered_map<const void*, std::unordered_set<const void*>> edges;
+  std::unordered_map<const void*, const char*> names;
+
+  bool reachable(const void* from, const void* to) const {
+    std::vector<const void*> stack{from};
+    std::unordered_set<const void*> seen;
+    while (!stack.empty()) {
+      const void* node = stack.back();
+      stack.pop_back();
+      if (node == to) return true;
+      if (!seen.insert(node).second) continue;
+      const auto it = edges.find(node);
+      if (it == edges.end()) continue;
+      for (const void* next : it->second) stack.push_back(next);
+    }
+    return false;
+  }
+
+  const char* name_of(const void* node) const {
+    const auto it = names.find(node);
+    return it == names.end() ? "<destroyed>" : it->second;
+  }
+};
+
+OrderGraph& graph() {
+  static OrderGraph* g = new OrderGraph;  // leaked: outlives static dtors
+  return *g;
+}
+
+#if defined(NDEBUG)
+std::atomic<bool> g_checking{false};
+#else
+std::atomic<bool> g_checking{true};
+#endif
+
+// Mutexes this thread currently holds, in acquisition order.
+thread_local std::vector<const OrderedMutex*> t_held;
+
+void record_and_check(const OrderedMutex* acquiring) {
+  if (t_held.empty()) return;
+  OrderGraph& g = graph();
+  std::lock_guard lock(g.mu);
+  g.names[acquiring] = acquiring->name();
+  for (const OrderedMutex* held : t_held) {
+    g.names[held] = held->name();
+    auto& out = g.edges[held];
+    if (out.count(acquiring) != 0) continue;  // edge already proven safe
+    if (g.reachable(acquiring, held)) {
+      std::ostringstream os;
+      os << "lock-order inversion: acquiring \"" << acquiring->name() << "\" ("
+         << acquiring << ") while holding \"" << g.name_of(held) << "\" ("
+         << held << "), but the acquisition graph already orders \""
+         << acquiring->name() << "\" before \"" << g.name_of(held)
+         << "\" — potential deadlock";
+      const std::string msg = os.str();
+      log_error() << msg;
+      throw LockOrderViolation(msg);
+    }
+    out.insert(acquiring);
+  }
+}
+
+void note_held(const OrderedMutex* m) { t_held.push_back(m); }
+
+void note_released(const OrderedMutex* m) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (*it == m) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+OrderedMutex::OrderedMutex(const char* name) : name_(name) {}
+
+OrderedMutex::~OrderedMutex() {
+  OrderGraph& g = graph();
+  std::lock_guard lock(g.mu);
+  g.edges.erase(this);
+  for (auto& [node, out] : g.edges) out.erase(this);
+  g.names.erase(this);
+}
+
+void OrderedMutex::lock() {
+  if (checking_enabled()) record_and_check(this);
+  mu_.lock();
+  note_held(this);
+}
+
+void OrderedMutex::unlock() {
+  note_released(this);
+  mu_.unlock();
+}
+
+bool OrderedMutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  note_held(this);
+  return true;
+}
+
+void OrderedMutex::set_checking_enabled(bool on) {
+  g_checking.store(on, std::memory_order_relaxed);
+}
+
+bool OrderedMutex::checking_enabled() {
+  return g_checking.load(std::memory_order_relaxed);
+}
+
+void OrderedMutex::reset_order_graph() {
+  OrderGraph& g = graph();
+  std::lock_guard lock(g.mu);
+  g.edges.clear();
+  g.names.clear();
+}
+
+}  // namespace seneca::util

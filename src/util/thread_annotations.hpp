@@ -1,0 +1,69 @@
+#pragma once
+// Clang thread-safety-analysis macros (SENECA-Check). When compiled with
+// clang -Wthread-safety these expand to the attributes the analysis keys
+// on; on GCC (and any compiler without the capability attributes) they
+// expand to nothing, so annotated code stays portable.
+//
+// Usage pattern (see util/mutex.hpp for the annotated primitives):
+//
+//   util::Mutex mutex_;
+//   int value_ GUARDED_BY(mutex_);
+//   void touch() { util::LockGuard lock(mutex_); ++value_; }
+//
+// Predicates passed to util::CondVar run with the lock held but through
+// unannotated std:: internals; annotate the lambda itself:
+//
+//   cv_.wait(lock, [this]() REQUIRES(mutex_) { return ready_; });
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SENECA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SENECA_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define CAPABILITY(x) SENECA_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY SENECA_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) SENECA_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) SENECA_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  SENECA_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  SENECA_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  SENECA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  SENECA_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  SENECA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  SENECA_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  SENECA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  SENECA_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  SENECA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  SENECA_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) SENECA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) SENECA_THREAD_ANNOTATION(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) SENECA_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  SENECA_THREAD_ANNOTATION(no_thread_safety_analysis)

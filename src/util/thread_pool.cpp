@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 
 namespace seneca::util {
 
@@ -17,7 +19,9 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     workers_.emplace_back([this] { worker_loop(); });
   }
   // worker_ids_ is written once here, before any external submit/parallel_for
-  // can run, and is read-only afterwards (no lock needed).
+  // can run, and is read-only afterwards (no lock needed). Workers never
+  // read it: in_worker_thread is only reachable through callers that hold a
+  // pool reference, which the constructor has not returned yet.
   worker_ids_.reserve(workers_.size());
   for (const auto& w : workers_) worker_ids_.push_back(w.get_id());
 }
@@ -32,7 +36,7 @@ bool ThreadPool::in_worker_thread() const {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -45,8 +49,18 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard lock(mutex_);
-    tasks_.push(std::move(task));
+    LockGuard lock(mutex_);
+    if (!stopping_) {
+      tasks_.push(std::move(task));
+      task = nullptr;
+    }
+    // else: fall through and run inline below — the workers are draining
+    // (or gone) and an enqueued task would never execute, hanging any
+    // parallel_for that waits on it.
+  }
+  if (task) {
+    task();
+    return;
   }
   cv_.notify_one();
 }
@@ -55,8 +69,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      LockGuard lock(mutex_);
+      cv_.wait(lock, [this]() REQUIRES(mutex_) {
+        return stopping_ || !tasks_.empty();
+      });
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();

@@ -13,14 +13,20 @@
 // the whole range inline instead of blocking on chunks that no free worker
 // may ever pick up — nested parallelism degrades to sequential execution
 // rather than deadlocking.
+//
+// Shutdown rule: once the destructor has started (stopping_ set), a
+// concurrent submit() runs the task inline on the caller instead of
+// enqueuing it — a task enqueued after the workers drain would never run,
+// and a parallel_for waiting on it would hang forever.
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace seneca::util {
 
@@ -39,7 +45,9 @@ class ThreadPool {
   bool in_worker_thread() const;
 
   /// Enqueue a task. Fire-and-forget; use parallel_for for joinable work.
-  /// Safe to call from a pool worker (the task is queued, never run inline).
+  /// Safe to call from a pool worker (the task is queued, never run inline
+  /// while the pool is live). During/after shutdown the task runs inline
+  /// on the caller (see header comment).
   void submit(std::function<void()> task);
 
   /// Run fn(i) for i in [begin, end), split into ~3 chunks per worker.
@@ -59,10 +67,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::vector<std::thread::id> worker_ids_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  bool stopping_ GUARDED_BY(mutex_) = false;
 };
 
 /// Process-wide shared pool, sized to the hardware.

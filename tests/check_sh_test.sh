@@ -1,0 +1,62 @@
+#!/bin/sh
+# Argument-handling tests for scripts/check.sh, run in dry-run mode so the
+# composed cmake/ctest command lines can be asserted without building
+# anything. Registered with ctest as `check_sh_args`.
+set -eu
+
+CHECK=${1:?usage: check_sh_test.sh /path/to/check.sh}
+ROOT=$(cd "$(dirname "$CHECK")/.." && pwd)
+
+fail() {
+  echo "FAIL: $1" >&2
+  echo "---- output ----" >&2
+  echo "$2" >&2
+  exit 1
+}
+
+expect_line() {
+  # expect_line <label> <output> <needle>
+  case "$2" in
+    *"$3"*) ;;
+    *) fail "$1: missing \`$3\`" "$2" ;;
+  esac
+}
+
+reject_line() {
+  case "$2" in
+    *"$3"*) fail "$1: unexpected \`$3\`" "$2" ;;
+    *) ;;
+  esac
+}
+
+# 1. No arguments: default build dir, plain configure/build/test.
+out=$(SENECA_CHECK_DRY_RUN=1 sh "$CHECK")
+expect_line "default" "$out" "+ cmake -B $ROOT/build -S $ROOT"
+expect_line "default" "$out" "+ cmake --build $ROOT/build -j"
+expect_line "default" "$out" "+ ctest --test-dir $ROOT/build --output-on-failure -j"
+
+# 2. Custom build dir as the first argument.
+out=$(SENECA_CHECK_DRY_RUN=1 sh "$CHECK" /tmp/seneca-custom)
+expect_line "custom dir" "$out" "+ cmake -B /tmp/seneca-custom -S $ROOT"
+expect_line "custom dir" "$out" "+ ctest --test-dir /tmp/seneca-custom"
+
+# 3. CMake flags without a build dir: default dir, flags reach configure
+#    (and only configure).
+out=$(SENECA_CHECK_DRY_RUN=1 sh "$CHECK" -DSENECA_SANITIZE=thread -DSENECA_WERROR=ON)
+expect_line "flags only" "$out" \
+  "+ cmake -B $ROOT/build -S $ROOT -DSENECA_SANITIZE=thread -DSENECA_WERROR=ON"
+reject_line "flags only" "$out" "--build $ROOT/build -j -DSENECA_SANITIZE"
+
+# 4. Build dir and flags together.
+out=$(SENECA_CHECK_DRY_RUN=1 sh "$CHECK" /tmp/seneca-tsan -DSENECA_SANITIZE=thread)
+expect_line "dir+flags" "$out" \
+  "+ cmake -B /tmp/seneca-tsan -S $ROOT -DSENECA_SANITIZE=thread"
+expect_line "dir+flags" "$out" "+ cmake --build /tmp/seneca-tsan -j"
+
+# 5. CTEST_ARGS pass-through to the test step only.
+out=$(SENECA_CHECK_DRY_RUN=1 CTEST_ARGS="-L stress" sh "$CHECK")
+expect_line "ctest args" "$out" \
+  "+ ctest --test-dir $ROOT/build --output-on-failure -j -L stress"
+reject_line "ctest args" "$out" "-S $ROOT -L stress"
+
+echo "check_sh_test: all assertions passed"

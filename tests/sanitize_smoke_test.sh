@@ -1,0 +1,31 @@
+#!/bin/sh
+# Smoke test: -DSENECA_SANITIZE=thread must configure cleanly and build one
+# real target with -fsanitize=thread actually reaching the compiler.
+# Registered with ctest as `sanitize_smoke` (label: tooling).
+set -eu
+
+SRC=${1:?usage: sanitize_smoke_test.sh <source-root> <build-dir>}
+BUILD=${2:?usage: sanitize_smoke_test.sh <source-root> <build-dir>}
+
+cmake -B "$BUILD" -S "$SRC" \
+  -DSENECA_SANITIZE=thread \
+  -DSENECA_BUILD_TESTS=OFF \
+  -DSENECA_BUILD_BENCH=OFF \
+  -DSENECA_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD" --target seneca_util -j >/dev/null
+
+# The flag must be on the compile lines (Makefile or Ninja generator).
+if ! grep -q -- "-fsanitize=thread" \
+    "$BUILD/src/util/CMakeFiles/seneca_util.dir/flags.make" 2>/dev/null \
+  && ! grep -q -- "-fsanitize=thread" "$BUILD/build.ninja" 2>/dev/null; then
+  echo "FAIL: -fsanitize=thread not found in generated compile flags" >&2
+  exit 1
+fi
+
+# And the archive must exist.
+if [ ! -f "$BUILD/src/util/libseneca_util.a" ]; then
+  echo "FAIL: libseneca_util.a was not built" >&2
+  exit 1
+fi
+
+echo "sanitize_smoke_test: TSan configure+build OK"

@@ -1,0 +1,280 @@
+// SENECA-Check primitives: annotated Mutex/LockGuard/CondVar semantics and
+// the OrderedMutex runtime lock-order checker — the seeded A->B / B->A
+// inversion must be flagged at the first inversion, consistent orders and
+// try_lock must not flag, and destruction must retire a mutex's edges.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_pool.hpp"
+
+// This suite deliberately acquires locks in inverted order (that is the
+// scenario under test). TSan's own deadlock detector would abort on those
+// seeded inversions, so suppress deadlock reports whose stack goes through
+// this file — real code elsewhere stays fully checked.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SENECA_TSAN_ACTIVE 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define SENECA_TSAN_ACTIVE 1
+#endif
+#if defined(SENECA_TSAN_ACTIVE)
+extern "C" const char* __tsan_default_suppressions() {
+  return "deadlock:util_mutex_test.cpp\n";
+}
+#endif
+
+namespace seneca::util {
+namespace {
+
+// Every scenario starts from an empty acquisition graph with checking on,
+// and leaves checking in its build-type default so unrelated tests (and
+// DebugMutex users inside the server) are unaffected.
+class OrderedMutexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    OrderedMutex::reset_order_graph();
+    OrderedMutex::set_checking_enabled(true);
+  }
+  void TearDown() override {
+    OrderedMutex::reset_order_graph();
+#if defined(NDEBUG)
+    OrderedMutex::set_checking_enabled(false);
+#else
+    OrderedMutex::set_checking_enabled(true);
+#endif
+  }
+};
+
+TEST_F(OrderedMutexTest, DetectsSeededTwoLockInversion) {
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  {
+    LockGuard la(a);  // establish A -> B
+    LockGuard lb(b);
+  }
+  bool flagged = false;
+  std::string message;
+  try {
+    LockGuard lb(b);
+    LockGuard la(a);  // B -> A closes the cycle
+  } catch (const LockOrderViolation& e) {
+    flagged = true;
+    message = e.what();
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_NE(message.find("\"A\""), std::string::npos) << message;
+  EXPECT_NE(message.find("\"B\""), std::string::npos) << message;
+}
+
+TEST_F(OrderedMutexTest, DetectsTransitiveCycle) {
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  OrderedMutex c("C");
+  {
+    LockGuard la(a);
+    LockGuard lb(b);  // A -> B
+  }
+  {
+    LockGuard lb(b);
+    LockGuard lc(c);  // B -> C
+  }
+  EXPECT_THROW(
+      {
+        LockGuard lc(c);
+        LockGuard la(a);  // C -> A closes A -> B -> C -> A
+      },
+      LockOrderViolation);
+}
+
+TEST_F(OrderedMutexTest, ConsistentOrderNeverFlags) {
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  OrderedMutex c("C");
+  for (int i = 0; i < 100; ++i) {
+    LockGuard la(a);
+    LockGuard lb(b);
+    LockGuard lc(c);
+  }
+  // Fan-out from one root is a DAG, not a cycle.
+  {
+    LockGuard la(a);
+    LockGuard lc(c);
+  }
+}
+
+TEST_F(OrderedMutexTest, FlaggedAcquisitionLeavesLocksConsistent) {
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  {
+    LockGuard la(a);
+    LockGuard lb(b);
+  }
+  try {
+    LockGuard lb(b);
+    LockGuard la(a);
+  } catch (const LockOrderViolation&) {
+  }
+  // The throwing acquisition must not leave either mutex held.
+  EXPECT_TRUE(a.try_lock());
+  a.unlock();
+  EXPECT_TRUE(b.try_lock());
+  b.unlock();
+}
+
+TEST_F(OrderedMutexTest, TryLockNeverFlags) {
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  {
+    LockGuard la(a);
+    LockGuard lb(b);
+  }
+  // try_lock cannot block, so acquiring A under B this way is deadlock-free.
+  LockGuard lb(b);
+  ASSERT_TRUE(a.try_lock());
+  a.unlock();
+}
+
+TEST_F(OrderedMutexTest, DisabledCheckingNeverThrows) {
+  OrderedMutex::set_checking_enabled(false);
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  {
+    LockGuard la(a);
+    LockGuard lb(b);
+  }
+  LockGuard lb(b);
+  LockGuard la(a);  // inverted, but unchecked
+}
+
+TEST_F(OrderedMutexTest, DestructionRetiresEdges) {
+  OrderedMutex a("A");
+  auto b = std::make_unique<OrderedMutex>("B");
+  {
+    LockGuard la(a);
+    LockGuard lb(*b);  // A -> B
+  }
+  b = std::make_unique<OrderedMutex>("B2");  // may reuse the allocation
+  // The old B's edges died with it: B2 -> A must not flag.
+  LockGuard lb(*b);
+  LockGuard la(a);
+}
+
+TEST_F(OrderedMutexTest, ConcurrentConsistentLockersNeverFlag) {
+  OrderedMutex a("A");
+  OrderedMutex b("B");
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        LockGuard la(a);
+        LockGuard lb(b);
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(count.load(), 800);
+}
+
+// ------------------------------------------------------------ Mutex/CondVar
+
+TEST(MutexCondVar, ProducerConsumerHandshake) {
+  Mutex mu;
+  CondVar cv;
+  int value = 0;  // guarded by mu (annotation omitted: local to the test)
+  bool ready = false;
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    {
+      LockGuard lock(mu);
+      value = 42;
+      ready = true;
+    }
+    cv.notify_one();
+  });
+
+  {
+    LockGuard lock(mu);
+    cv.wait(lock, [&] { return ready; });
+    EXPECT_EQ(value, 42);
+  }
+  producer.join();
+}
+
+TEST(MutexCondVar, WaitUntilTimesOutWithPredicateFalse) {
+  Mutex mu;
+  CondVar cv;
+  LockGuard lock(mu);
+  const bool satisfied = cv.wait_until(
+      lock, std::chrono::steady_clock::now() + std::chrono::milliseconds(5),
+      [] { return false; });
+  EXPECT_FALSE(satisfied);
+}
+
+// ------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolShutdown, SubmitDuringShutdownRunsInline) {
+  // Raw pointer: the destructor blocks joining the occupied workers, and
+  // the racing submit below must still reach the (alive, mid-destruction)
+  // object — unique_ptr::reset() would null the handle before destroying.
+  ThreadPool* pool = new ThreadPool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> occupied{0};
+  for (int i = 0; i < 2; ++i) {
+    pool->submit([&] {
+      occupied.fetch_add(1);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  while (occupied.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Destructor blocks joining the occupied workers; a submit racing it must
+  // not be lost — it either runs inline (stopping_ already observed) or is
+  // drained by a worker on its way out. Before the fix this task could be
+  // enqueued after the workers' final drain and vanish, hanging any
+  // parallel_for that waited on it.
+  std::thread destroyer([&] { delete pool; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::atomic<bool> ran{false};
+  pool->submit([&] { ran.store(true); });
+
+  release.store(true);
+  destroyer.join();
+  EXPECT_TRUE(ran.load());
+}
+
+// ---------------------------------------------------------------- LogSink
+
+TEST(LogSink, CapturesAndRestores) {
+  std::vector<std::string> captured;
+  Mutex mu;
+  set_log_sink([&](LogLevel, const std::string& msg) {
+    LockGuard lock(mu);
+    captured.push_back(msg);
+  });
+  log_info() << "sink test " << 7;
+  set_log_sink(nullptr);
+  log_debug() << "below threshold, dropped either way";
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "sink test 7");
+}
+
+}  // namespace
+}  // namespace seneca::util
