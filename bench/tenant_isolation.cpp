@@ -1,0 +1,237 @@
+// Tenant-isolation bench: demonstrates that the SENECA-Tenants admission
+// layer (token buckets + DRR weighted-fair dequeue) protects a
+// well-behaved tenant's SLO when a neighbour tenant storms at 10x its
+// normal rate. Open-loop traffic only (Poisson for the well-behaved
+// "clinic" tenant, flash-crowd for the "research" storm), so offered load
+// does not self-throttle at saturation the way the old closed-loop sweeps
+// did.
+//
+// Three acts, all on one InferenceServer with a 2-rung ladder:
+//   solo       — clinic alone at its contracted Poisson rate (baseline)
+//   storm      — clinic + research storming 10x, WITH tenant isolation
+//   unisolated — same storm, but both tenants ride the default tenant
+//                (no buckets, one FIFO): the contrast row
+// The isolation claim printed (and written as JSON with --json) is that
+// the clinic's p99 and goodput in `storm` stay within --tolerance (default
+// 20%) of `solo`.
+//
+//   ./tenant_isolation [--seed 42] [--input 32] [--duration-s 6]
+//                      [--clinic-rate 60] [--research-rate 4]
+//                      [--storm-mult 10] [--deadline-ms 250]
+//                      [--json tenant_isolation.json] [--strict]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "eval/table.hpp"
+#include "loadgen/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/tenant/tenant.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace seneca;
+using serve::tenant::TenantConfig;
+using serve::tenant::TenantRegistry;
+
+constexpr serve::TenantId kClinic = 1;
+constexpr serve::TenantId kResearch = 2;
+
+struct Scenario {
+  std::string label;
+  std::vector<loadgen::TenantReport> reports;
+};
+
+serve::ServerConfig server_config(std::shared_ptr<TenantRegistry> registry) {
+  serve::ServerConfig cfg;
+  cfg.queue.capacity = 32;
+  cfg.queue.policy = serve::OverloadPolicy::kDropExpired;
+  cfg.batcher.max_batch_size = 2;
+  cfg.batcher.max_wait_ms = 2.0;
+  cfg.batcher.interactive_max_wait_ms = 0.0;
+  cfg.batcher.interactive_max_batch_size = 1;
+  cfg.degrade.queue_depth_high = 16;
+  cfg.degrade.queue_depth_low = 4;
+  cfg.degrade.min_dwell_ms = 25.0;
+  cfg.tenants = std::move(registry);
+  return cfg;
+}
+
+Scenario run_scenario(const std::string& label,
+                      const std::vector<serve::ModelSpec>& ladder,
+                      std::shared_ptr<TenantRegistry> registry,
+                      const std::vector<loadgen::TenantWorkload>& workloads,
+                      const loadgen::RunConfig& run_cfg) {
+  serve::InferenceServer server(ladder, server_config(std::move(registry)));
+  auto submit = [&server](serve::Priority p, tensor::TensorI8 input,
+                          double deadline_ms, serve::TenantId tenant) {
+    return server.submit(p, std::move(input), deadline_ms, tenant);
+  };
+  Scenario s;
+  s.label = label;
+  s.reports = loadgen::run_open_loop(submit, workloads, run_cfg);
+  return s;
+}
+
+const loadgen::TenantReport* find_report(const Scenario& s,
+                                         const std::string& name) {
+  for (const auto& r : s.reports) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  loadgen::RunConfig run_cfg;
+  run_cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  run_cfg.input_size = cli.get_int("input", 32);
+  // Defaults put the clinic at a meaningful operating point (~40% of the
+  // single simulated accelerator) with enough samples (~360) that p99 is a
+  // real percentile rather than the max, and give research a small batch
+  // contract the bucket can visibly clamp.
+  const double duration_s = cli.get_double("duration-s", 6.0);
+  const double clinic_rate = cli.get_double("clinic-rate", 60.0);
+  const double research_rate = cli.get_double("research-rate", 4.0);
+  const double storm_mult = cli.get_double("storm-mult", 10.0);
+  const double deadline_ms = cli.get_double("deadline-ms", 250.0);
+  const double tolerance = cli.get_double("tolerance", 0.20);
+  const std::string json_path = cli.get("json", "");
+  const bool strict = cli.get_bool("strict", false);
+
+  std::printf("building ladder:");
+  std::vector<serve::ModelSpec> ladder;
+  for (const char* name : {"4M", "2M"}) {
+    std::printf(" %s", name);
+    std::fflush(stdout);
+    ladder.push_back({name,
+                      core::build_timing_xmodel(name, dpu::DpuArch::b4096(),
+                                                run_cfg.input_size),
+                      4});
+  }
+  std::printf(" done\n");
+
+  // The tenant contract: the clinic bought interactive capacity with slack
+  // for jitter; research bought exactly its contracted batch rate. The
+  // storm pushes research to 10x that contract — the bucket, not the
+  // clinic, absorbs the difference (everything beyond rate+burst is
+  // throttled at the door and never queues).
+  const auto make_registry = [&] {
+    auto registry = std::make_shared<TenantRegistry>();
+    registry->add({kClinic, "clinic", /*rate=*/clinic_rate * 1.5,
+                   /*burst=*/clinic_rate / 2.0 + 8.0, /*weight=*/3});
+    registry->add({kResearch, "research", /*rate=*/research_rate,
+                   /*burst=*/8.0, /*weight=*/1});
+    return registry;
+  };
+
+  loadgen::TenantWorkload clinic;
+  clinic.tenant = kClinic;
+  clinic.name = "clinic";
+  clinic.arrivals.kind = loadgen::ArrivalKind::kPoisson;
+  clinic.arrivals.rate_per_s = clinic_rate;
+  clinic.arrivals.duration_s = duration_s;
+  clinic.interactive_fraction = 1.0;
+  clinic.deadline_ms = deadline_ms;
+
+  loadgen::TenantWorkload research;
+  research.tenant = kResearch;
+  research.name = "research";
+  research.arrivals.kind = loadgen::ArrivalKind::kFlashCrowd;
+  research.arrivals.rate_per_s = research_rate;
+  research.arrivals.duration_s = duration_s;
+  research.arrivals.burst_multiplier = storm_mult;
+  research.arrivals.burst_start_s = duration_s * 0.25;
+  research.arrivals.burst_len_s = duration_s * 0.5;
+  research.interactive_fraction = 0.0;  // batch volumes, no deadline
+  research.deadline_ms = 0.0;
+
+  std::printf(
+      "open-loop traffic: clinic poisson %.0f req/s (interactive, %.0f ms "
+      "deadline), research flash-crowd %.0fx for the middle half of a %.1f s "
+      "trace\n",
+      clinic_rate, deadline_ms, storm_mult, duration_s);
+
+  // Act 1: clinic alone — its solo SLO baseline.
+  const Scenario solo =
+      run_scenario("solo", ladder, make_registry(), {clinic}, run_cfg);
+  // Act 2: storm with isolation (per-tenant buckets + DRR weights).
+  const Scenario storm = run_scenario("storm", ladder, make_registry(),
+                                      {clinic, research}, run_cfg);
+  // Act 3: the contrast — same storm, no tenancy: both ride the default
+  // tenant through one unthrottled FIFO.
+  auto flat_clinic = clinic;
+  auto flat_research = research;
+  flat_clinic.tenant = serve::kDefaultTenant;
+  flat_research.tenant = serve::kDefaultTenant;
+  flat_clinic.name = "clinic";
+  flat_research.name = "research";
+  const Scenario unisolated =
+      run_scenario("unisolated", ladder, std::make_shared<TenantRegistry>(),
+                   {flat_clinic, flat_research}, run_cfg);
+
+  eval::Table table({"Scenario", "Tenant", "Offered", "OK", "Throttled+Drop",
+                     "p50 [ms]", "p99 [ms]", "Goodput/s"});
+  std::vector<loadgen::TenantReport> all_reports;
+  for (const Scenario* s : {&solo, &storm, &unisolated}) {
+    for (const auto& r : s->reports) {
+      table.add_row({s->label, r.name, std::to_string(r.offered),
+                     std::to_string(r.ok), std::to_string(r.dropped()),
+                     eval::Table::num(r.p50_ms, 1),
+                     eval::Table::num(r.p99_ms, 1),
+                     eval::Table::num(r.goodput_per_s, 1)});
+      auto tagged = r;
+      tagged.name = s->label + "/" + r.name;
+      all_reports.push_back(std::move(tagged));
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto* solo_clinic = find_report(solo, "clinic");
+  const auto* storm_clinic = find_report(storm, "clinic");
+  bool pass = solo_clinic != nullptr && storm_clinic != nullptr;
+  if (pass) {
+    const double p99_ratio =
+        solo_clinic->p99_ms > 0.0 ? storm_clinic->p99_ms / solo_clinic->p99_ms
+                                  : 1.0;
+    const double goodput_ratio =
+        solo_clinic->goodput_per_s > 0.0
+            ? storm_clinic->goodput_per_s / solo_clinic->goodput_per_s
+            : 1.0;
+    const bool p99_ok = p99_ratio <= 1.0 + tolerance;
+    const bool goodput_ok = goodput_ratio >= 1.0 - tolerance;
+    pass = p99_ok && goodput_ok;
+    std::printf(
+        "isolation: clinic p99 %.1f ms solo -> %.1f ms under storm "
+        "(%.2fx, %s %.0f%%), goodput %.1f/s -> %.1f/s (%.2fx, %s %.0f%%)\n",
+        solo_clinic->p99_ms, storm_clinic->p99_ms, p99_ratio,
+        p99_ok ? "within" : "OUTSIDE", tolerance * 100.0,
+        solo_clinic->goodput_per_s, storm_clinic->goodput_per_s,
+        goodput_ratio, goodput_ok ? "within" : "OUTSIDE", tolerance * 100.0);
+    std::printf("isolation check: %s\n", pass ? "PASS" : "FAIL");
+  } else {
+    std::printf("isolation check: FAIL (missing clinic report)\n");
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << loadgen::to_json(all_reports);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::printf(
+      "Reading: with isolation the research storm is absorbed by its own\n"
+      "token bucket (throttled at the door) and DRR keeps the clinic's\n"
+      "dequeue share, so clinic p99/goodput hold near solo. Without tenancy\n"
+      "the same storm shares one FIFO and the clinic's tail inflates with\n"
+      "the backlog.\n");
+  return strict && !pass ? 1 : 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "tenant_isolation: %s\n", e.what());
+  return 1;
+}

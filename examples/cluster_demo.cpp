@@ -8,7 +8,7 @@
 //
 //   ./cluster_demo [--input 32] [--requests 96] [--boards 0 (sweep 1,2,4)]
 //                  [--mode replicate|partition] [--policy rr|jsq|energy|all]
-//                  [--deadline-ms 200] [--capacity 16]
+//                  [--deadline-ms 200] [--capacity 16] [--seed 42]
 
 #include <atomic>
 #include <cstdio>
@@ -42,7 +42,8 @@ struct PointResult {
 /// the batch lane, the rest carry an interactive deadline), each submitting
 /// the next request only after its previous future resolved.
 PointResult run_point(ClusterRouter& router, int clients, int total,
-                      std::int64_t input_size, double deadline_ms) {
+                      std::int64_t input_size, double deadline_ms,
+                      std::uint64_t seed) {
   std::atomic<int> next{0};
   std::mutex samples_mutex;
   std::vector<double> interactive_ms;
@@ -51,7 +52,8 @@ PointResult run_point(ClusterRouter& router, int clients, int total,
   fleet.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     fleet.emplace_back([&, c] {
-      util::Rng rng(static_cast<std::uint64_t>(c) + 1);
+      // Client c draws from its own deterministic stream of the run seed.
+      util::Rng rng = util::Rng(seed).split(static_cast<std::uint64_t>(c) + 1);
       tensor::TensorI8 input(tensor::Shape{input_size, input_size, 1});
       for (auto& v : input) {
         v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
@@ -95,6 +97,7 @@ int main(int argc, char** argv) try {
   const std::string mode = cli.get("mode", "replicate");
   const std::string policy_arg = cli.get("policy", "all");
   const int boards_arg = static_cast<int>(cli.get_int("boards", 0));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
   const bool partition = mode == "partition";
   if (!partition && mode != "replicate") {
     throw std::invalid_argument("unknown --mode: " + mode);
@@ -157,8 +160,8 @@ int main(int argc, char** argv) try {
                       : serve::cluster::replicate_ladder(ladder, boards,
                                                          server_cfg);
       ClusterRouter router(std::move(topo), cluster_cfg);
-      const PointResult p =
-          run_point(router, /*clients=*/6, total, input_size, deadline_ms);
+      const PointResult p = run_point(router, /*clients=*/6, total, input_size,
+                                      deadline_ms, seed);
       const auto& c = p.cluster;
       table.add_row({std::to_string(boards), std::string(to_string(kind)),
                      std::to_string(c.served),
@@ -195,7 +198,7 @@ int main(int argc, char** argv) try {
     return out;
   };
   const auto drive = [&](int frames) {
-    run_point(router, /*clients=*/2, frames, input_size, deadline_ms);
+    run_point(router, /*clients=*/2, frames, input_size, deadline_ms, seed);
   };
 
   router.board(0).inject_fault(true);

@@ -7,7 +7,7 @@
 //
 //   ./serve_demo [--input 32] [--requests 144] [--capacity 16]
 //                [--policy reject-newest|drop-expired|evict-deadline]
-//                [--deadline-ms 150]
+//                [--deadline-ms 150] [--seed 42]
 
 #include <algorithm>
 #include <atomic>
@@ -65,7 +65,8 @@ serve::OverloadPolicy parse_policy(const std::string& s) {
 /// future resolved.
 PointResult run_point(const std::vector<serve::ModelSpec>& ladder,
                       const serve::ServerConfig& cfg, int clients, int total,
-                      std::int64_t input_size, double deadline_ms) {
+                      std::int64_t input_size, double deadline_ms,
+                      std::uint64_t seed) {
   serve::InferenceServer server(ladder, cfg);
 
   std::atomic<int> next_request{0};
@@ -75,7 +76,8 @@ PointResult run_point(const std::vector<serve::ModelSpec>& ladder,
   fleet.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     fleet.emplace_back([&, c] {
-      util::Rng rng(static_cast<std::uint64_t>(c) + 1);
+      // Client c draws from its own deterministic stream of the run seed.
+      util::Rng rng = util::Rng(seed).split(static_cast<std::uint64_t>(c) + 1);
       tensor::TensorI8 input(tensor::Shape{input_size, input_size, 1});
       for (auto& v : input) {
         v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
@@ -145,6 +147,7 @@ int main(int argc, char** argv) try {
   const int total = static_cast<int>(cli.get_int("requests", 144));
   const double deadline_ms = cli.get_double("deadline-ms", 150.0);
   const std::string policy = cli.get("policy", "reject-newest");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
 
   // The degradation ladder: the paper's model family ordered best-first.
   // At 32^2 the functional host execution gets monotonically cheaper down
@@ -190,7 +193,7 @@ int main(int argc, char** argv) try {
                      "p99 batch [ms]", "End model"});
   for (int clients : {1, 2, 4, 8, 16, 32}) {
     const PointResult p =
-        run_point(ladder, cfg, clients, total, input_size, deadline_ms);
+        run_point(ladder, cfg, clients, total, input_size, deadline_ms, seed);
     table.add_row({std::to_string(p.clients), eval::Table::num(p.offered_per_s, 1),
                    std::to_string(p.served), eval::Table::num(p.drop_pct, 1),
                    eval::Table::num(p.degrade_pct, 1),

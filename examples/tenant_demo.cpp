@@ -1,0 +1,157 @@
+// SENECA-Tenants demo: three hospital tenants share one serving stack under
+// open-loop traffic shaped like a real day. The population framing is the
+// point: offered load is `users x per-user rate` (a million casual users at
+// 0.0001 req/s each is 100 req/s), generated open-loop so the server's
+// behaviour cannot throttle what the world offers.
+//
+//   metro    — a metro hospital network: large population, diurnal rhythm
+//   icu      — a small ICU fleet: steady Poisson, strict deadlines, weight 4
+//   batch    — an overnight research batch: flash-crowd, weight 1
+//
+// Per-tenant token buckets clamp each tenant to its contract at the door
+// and DRR weighted-fair dequeue splits capacity inside each lane, so the
+// ICU's tail survives both the metro peak and the research flood. The
+// server's own per-tenant metrics (MetricsSnapshot.tenants) are printed
+// next to the loadgen's report: two independent measurements of the same
+// story.
+//
+//   ./tenant_demo [--users 1000000] [--per-user-rate 0.00006] [--duration-s 6]
+//                 [--input 32] [--seed 42] [--time-scale 1.0] [--json out.json]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "eval/table.hpp"
+#include "loadgen/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/tenant/tenant.hpp"
+#include "util/cli.hpp"
+
+namespace {
+using namespace seneca;
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  loadgen::RunConfig run_cfg;
+  run_cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  run_cfg.input_size = cli.get_int("input", 32);
+  run_cfg.time_scale = cli.get_double("time-scale", 1.0);
+  const double duration_s = cli.get_double("duration-s", 6.0);
+  const std::int64_t users = cli.get_int("users", 1000000);
+  const double per_user = cli.get_double("per-user-rate", 0.00006);
+  const std::string json_path = cli.get("json", "");
+
+  std::printf("building ladder:");
+  std::vector<serve::ModelSpec> ladder;
+  for (const char* name : {"4M", "2M"}) {
+    std::printf(" %s", name);
+    std::fflush(stdout);
+    ladder.push_back({name,
+                      core::build_timing_xmodel(name, dpu::DpuArch::b4096(),
+                                                run_cfg.input_size),
+                      2});
+  }
+  std::printf(" done\n");
+
+  // Tenant contracts. Rates are what each tenant *bought*; the buckets
+  // enforce them, DRR weights split the queue beyond them.
+  auto registry = std::make_shared<serve::tenant::TenantRegistry>();
+  const double metro_rate = static_cast<double>(users) * per_user;
+  registry->add({1, "metro", /*rate=*/metro_rate * 1.2,
+                 /*burst=*/metro_rate / 2.0 + 8.0, /*weight=*/2});
+  registry->add({2, "icu", /*rate=*/30.0, /*burst=*/16.0, /*weight=*/4});
+  registry->add({3, "batch", /*rate=*/5.0, /*burst=*/8.0, /*weight=*/1});
+
+  serve::ServerConfig cfg;
+  cfg.queue.capacity = 32;
+  cfg.queue.policy = serve::OverloadPolicy::kDropExpired;
+  cfg.batcher.max_batch_size = 2;
+  cfg.batcher.max_wait_ms = 2.0;
+  cfg.batcher.interactive_max_wait_ms = 0.0;
+  cfg.batcher.interactive_max_batch_size = 1;
+  cfg.degrade.queue_depth_high = 16;
+  cfg.degrade.queue_depth_low = 4;
+  cfg.degrade.min_dwell_ms = 25.0;
+  cfg.tenants = registry;
+  serve::InferenceServer server(ladder, cfg);
+
+  // metro: the million-user population with a compressed diurnal day.
+  loadgen::TenantWorkload metro;
+  metro.tenant = 1;
+  metro.name = "metro";
+  metro.arrivals.kind = loadgen::ArrivalKind::kDiurnal;
+  metro.arrivals.users = users;
+  metro.arrivals.per_user_rate_per_s = per_user;
+  metro.arrivals.duration_s = duration_s;
+  metro.arrivals.amplitude = 0.6;
+  metro.interactive_fraction = 0.8;
+  metro.deadline_ms = 250.0;
+
+  // icu: few devices, steady, strict.
+  loadgen::TenantWorkload icu;
+  icu.tenant = 2;
+  icu.name = "icu";
+  icu.arrivals.kind = loadgen::ArrivalKind::kPoisson;
+  icu.arrivals.rate_per_s = 20.0;
+  icu.arrivals.duration_s = duration_s;
+  icu.interactive_fraction = 1.0;
+  icu.deadline_ms = 150.0;
+
+  // batch: an overnight job that floods for the middle of the window.
+  loadgen::TenantWorkload batch;
+  batch.tenant = 3;
+  batch.name = "batch";
+  batch.arrivals.kind = loadgen::ArrivalKind::kFlashCrowd;
+  batch.arrivals.rate_per_s = 5.0;
+  batch.arrivals.duration_s = duration_s;
+  batch.arrivals.burst_multiplier = 10.0;
+  batch.interactive_fraction = 0.0;
+  batch.deadline_ms = 0.0;
+
+  std::printf(
+      "population: %lld users x %.2g req/s each = %.1f req/s offered by "
+      "metro at peak-of-day; icu poisson 20 req/s; batch flash-crowd 10x\n",
+      static_cast<long long>(users), per_user, metro.arrivals.peak_rate());
+
+  auto submit = [&server](serve::Priority p, tensor::TensorI8 input,
+                          double deadline_ms, serve::TenantId tenant) {
+    return server.submit(p, std::move(input), deadline_ms, tenant);
+  };
+  const auto reports =
+      loadgen::run_open_loop(submit, {metro, icu, batch}, run_cfg);
+
+  eval::Table table({"Tenant", "Offered", "OK", "Throttled+Drop", "p50 [ms]",
+                     "p99 [ms]", "Goodput/s"});
+  for (const auto& r : reports) {
+    table.add_row({r.name, std::to_string(r.offered), std::to_string(r.ok),
+                   std::to_string(r.dropped()), eval::Table::num(r.p50_ms, 1),
+                   eval::Table::num(r.p99_ms, 1),
+                   eval::Table::num(r.goodput_per_s, 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The server kept its own books: per-tenant counters and histograms
+  // surfaced through MetricsSnapshot.
+  std::printf("server-side per-tenant metrics:\n%s\n",
+              server.metrics().format().c_str());
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << loadgen::to_json(reports);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  std::printf(
+      "Reading: each tenant is clamped to its contracted rate at the door\n"
+      "(throttled column) and DRR splits dequeue capacity 2:4:1 inside each\n"
+      "lane, so the ICU's strict tail survives both the metro diurnal peak\n"
+      "and the batch flood. The loadgen table (exact samples) and the\n"
+      "server's own histograms tell the same story independently.\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "tenant_demo: %s\n", e.what());
+  return 1;
+}

@@ -33,9 +33,9 @@ BoardSim::BoardSim(int id, BoardConfig cfg)
 
 std::future<Response> BoardSim::submit(Priority priority,
                                        tensor::TensorI8 input,
-                                       double deadline_ms) {
+                                       double deadline_ms, TenantId tenant) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  return server_->submit(priority, std::move(input), deadline_ms);
+  return server_->submit(priority, std::move(input), deadline_ms, tenant);
 }
 
 std::uint64_t BoardSim::inflight() const {

@@ -59,7 +59,8 @@ class BoardSim {
 
   /// Thread-safe; same contract as InferenceServer::submit.
   std::future<Response> submit(Priority priority, tensor::TensorI8 input,
-                               double deadline_ms = 0.0);
+                               double deadline_ms = 0.0,
+                               TenantId tenant = kDefaultTenant);
 
   // ---- load signals for the router ----
   std::size_t queue_depth() const { return server_->queue_stats().depth; }

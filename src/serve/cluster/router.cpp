@@ -8,12 +8,19 @@ namespace seneca::serve::cluster {
 
 ClusterRouter::ClusterRouter(std::vector<BoardConfig> boards,
                              ClusterConfig cfg)
-    : cfg_(cfg), policy_(make_policy(cfg.policy)) {
+    : cfg_(std::move(cfg)), policy_(make_policy(cfg_.policy)) {
   if (boards.empty()) {
     throw std::invalid_argument("ClusterRouter: no boards");
   }
   boards_.reserve(boards.size());
   for (std::size_t i = 0; i < boards.size(); ++i) {
+    if (cfg_.tenants != nullptr) {
+      // Self-wire the tenant model: boards share the router's registry for
+      // DRR weights and per-tenant latency, but never charge the buckets —
+      // the router already did at its front door.
+      boards[i].server.tenants = cfg_.tenants;
+      boards[i].server.tenant_throttle = false;
+    }
     boards_.push_back(
         std::make_unique<BoardSim>(static_cast<int>(i), std::move(boards[i])));
   }
@@ -46,19 +53,39 @@ std::vector<BoardState> ClusterRouter::states() const {
 
 std::future<Response> ClusterRouter::submit(Priority priority,
                                             tensor::TensorI8 input,
-                                            double deadline_ms) {
+                                            double deadline_ms,
+                                            TenantId tenant) {
+  const auto reject = [&](bool throttled) {
+    std::promise<Response> promise;
+    Response resp;
+    resp.tenant = tenant;
+    resp.status = Status::kRejected;
+    promise.set_value(std::move(resp));
+    if (cfg_.tenants != nullptr) {
+      if (throttled) {
+        cfg_.tenants->on_throttled(tenant);
+      } else {
+        cfg_.tenants->on_rejected(tenant);
+      }
+    }
+    return promise.get_future();
+  };
+  if (cfg_.tenants != nullptr) {
+    cfg_.tenants->on_submitted(tenant);
+    // Charge the bucket at the cluster front door, before routing: an
+    // out-of-budget tenant must not consume any board's queue capacity.
+    if (!cfg_.tenants->try_admit(tenant, Clock::now())) {
+      return reject(/*throttled=*/true);
+    }
+  }
   const int picked = policy_->pick(states(), {priority, deadline_ms});
   // pick() returns -1 only for an empty board list, which the constructor
   // rejects; guard anyway so a policy bug rejects instead of crashing.
   if (picked < 0) {
-    std::promise<Response> promise;
-    Response resp;
-    resp.status = Status::kRejected;
-    promise.set_value(std::move(resp));
-    return promise.get_future();
+    return reject(/*throttled=*/false);
   }
   return boards_[static_cast<std::size_t>(picked)]->submit(
-      priority, std::move(input), deadline_ms);
+      priority, std::move(input), deadline_ms, tenant);
 }
 
 ClusterSnapshot ClusterRouter::snapshot() const {
@@ -83,6 +110,9 @@ ClusterSnapshot ClusterRouter::snapshot() const {
   if (s.energy_joules > 0.0) {
     s.fps_per_watt = static_cast<double>(frames) / s.energy_joules;
   }
+  if (cfg_.tenants != nullptr) {
+    s.tenants = cfg_.tenants->snapshot();
+  }
   return s;
 }
 
@@ -97,6 +127,12 @@ std::string ClusterSnapshot::format() const {
   os << "  simulated_fps=" << simulated_fps << " fps_per_watt=" << fps_per_watt
      << " energy_j=" << energy_joules << " busy_s_max=" << busy_seconds_max
      << "\n";
+  for (const auto& t : tenants) {
+    os << "  tenant " << t.name << ": submitted=" << t.submitted
+       << " throttled=" << t.throttled << " served=" << t.served
+       << " rejected=" << t.rejected << " expired=" << t.expired
+       << " p99_ms=" << t.latency.p99_ms << "\n";
+  }
   return os.str();
 }
 

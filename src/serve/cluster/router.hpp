@@ -35,6 +35,12 @@ namespace seneca::serve::cluster {
 struct ClusterConfig {
   PolicyKind policy = PolicyKind::kRoundRobin;
   HealthPolicy health;
+  /// Optional shared tenant registry: the router becomes the tenant front
+  /// door (token buckets charged once, here) and every board's server is
+  /// wired to the same registry with throttling off, so DRR fair dequeue
+  /// and per-tenant latency attribution still happen per board while the
+  /// cluster-wide roll-up stays single-counted.
+  std::shared_ptr<tenant::TenantRegistry> tenants;
 };
 
 /// Cluster-wide roll-up. Timing and energy are *simulated* quantities from
@@ -54,6 +60,9 @@ struct ClusterSnapshot {
   double simulated_fps = 0.0;
   double fps_per_watt = 0.0;
   std::vector<MetricsSnapshot> boards;
+  /// Cluster-wide per-tenant accounting (present when the router runs with
+  /// a TenantRegistry).
+  std::vector<TenantSnapshot> tenants;
 
   std::string format() const;
 };
@@ -69,7 +78,15 @@ class ClusterRouter {
   /// Thread-safe. Routes per the configured policy; the future always
   /// resolves (same contract as InferenceServer::submit).
   std::future<Response> submit(Priority priority, tensor::TensorI8 input,
-                               double deadline_ms = 0.0);
+                               double deadline_ms = 0.0) {
+    return submit(priority, std::move(input), deadline_ms, kDefaultTenant);
+  }
+
+  /// Tenant-attributed submit: charges `tenant`'s token bucket at the
+  /// router (the front door), then routes to a board, which dequeues under
+  /// the tenant's DRR weight.
+  std::future<Response> submit(Priority priority, tensor::TensorI8 input,
+                               double deadline_ms, TenantId tenant);
 
   std::size_t num_boards() const { return boards_.size(); }
   BoardSim& board(std::size_t i) { return *boards_[i]; }

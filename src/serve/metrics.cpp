@@ -96,6 +96,18 @@ void ServeMetrics::set_queue_depth(std::size_t depth) {
   }
 }
 
+void ServeMetrics::set_lane_depths(std::size_t interactive, std::size_t batch) {
+  const std::size_t depths[2] = {interactive, batch};
+  for (int lane = 0; lane < 2; ++lane) {
+    lane_depth_[lane].store(depths[lane], std::memory_order_relaxed);
+    std::size_t hw = lane_high_water_[lane].load(std::memory_order_relaxed);
+    while (depths[lane] > hw &&
+           !lane_high_water_[lane].compare_exchange_weak(
+               hw, depths[lane], std::memory_order_relaxed)) {
+    }
+  }
+}
+
 MetricsSnapshot ServeMetrics::snapshot() const {
   MetricsSnapshot s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -107,6 +119,12 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
+  s.queue_depth_interactive = lane_depth_[0].load(std::memory_order_relaxed);
+  s.queue_depth_batch = lane_depth_[1].load(std::memory_order_relaxed);
+  s.queue_high_water_interactive =
+      lane_high_water_[0].load(std::memory_order_relaxed);
+  s.queue_high_water_batch =
+      lane_high_water_[1].load(std::memory_order_relaxed);
   s.interactive = lanes_[0].snapshot();
   s.batch = lanes_[1].snapshot();
   return s;
@@ -119,8 +137,12 @@ std::string MetricsSnapshot::format() const {
      << " expired=" << expired << " errors=" << errors
      << " degraded=" << degraded
      << " queue_depth=" << queue_depth << " high_water=" << queue_high_water
+     << " depth_int=" << queue_depth_interactive
+     << " depth_batch=" << queue_depth_batch
+     << " hw_int=" << queue_high_water_interactive
+     << " hw_batch=" << queue_high_water_batch
      << "\n";
-  const auto line = [&](const char* name,
+  const auto line = [&](const std::string& name,
                         const LatencyHistogram::Snapshot& l) {
     os << "  " << name << ": n=" << l.count
        << " latency_ms=" << eval::format_stats(l.stats);
@@ -131,6 +153,14 @@ std::string MetricsSnapshot::format() const {
   };
   line("interactive", interactive);
   line("batch", batch);
+  for (const auto& t : tenants) {
+    os << "  tenant " << t.name << " (id=" << t.id << " w=" << t.weight
+       << "): submitted=" << t.submitted << " throttled=" << t.throttled
+       << " served=" << t.served << " rejected=" << t.rejected
+       << " expired=" << t.expired << " errors=" << t.errors
+       << " degraded=" << t.degraded << "\n";
+    line("  latency", t.latency);
+  }
   return os.str();
 }
 

@@ -51,6 +51,27 @@ class LatencyHistogram {
   std::atomic<double> max_ms_{0.0};
 };
 
+/// Point-in-time accounting for one tenant (filled from a TenantRegistry;
+/// see serve/tenant/tenant.hpp). Lives here so MetricsSnapshot can embed it
+/// without depending on the tenant subsystem's headers.
+struct TenantSnapshot {
+  std::uint32_t id = 0;
+  std::string name;
+  std::uint32_t weight = 1;
+  std::uint64_t submitted = 0;
+  std::uint64_t throttled = 0;  // refused by the tenant's token bucket
+  std::uint64_t rejected = 0;   // refused/displaced past the bucket
+  std::uint64_t expired = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t served = 0;
+  std::uint64_t degraded = 0;
+  LatencyHistogram::Snapshot latency;  // served requests, both lanes
+
+  std::uint64_t completed() const {
+    return served + throttled + rejected + expired + errors;
+  }
+};
+
 struct MetricsSnapshot {
   std::uint64_t submitted = 0;
   std::uint64_t admitted = 0;
@@ -61,8 +82,17 @@ struct MetricsSnapshot {
   std::uint64_t degraded = 0;  // served, but below the top ladder rung
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
+  /// Per-lane queue gauges (totals above hide interactive-lane starvation
+  /// behind a deep batch backlog).
+  std::size_t queue_depth_interactive = 0;
+  std::size_t queue_depth_batch = 0;
+  std::size_t queue_high_water_interactive = 0;
+  std::size_t queue_high_water_batch = 0;
   LatencyHistogram::Snapshot interactive;
   LatencyHistogram::Snapshot batch;
+  /// One entry per registered tenant when the server runs with a
+  /// TenantRegistry; empty in single-tenant operation.
+  std::vector<TenantSnapshot> tenants;
 
   std::uint64_t dropped() const { return rejected + expired; }
   /// Requests whose future has resolved, with any status.
@@ -82,6 +112,8 @@ class ServeMetrics {
   void on_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
   void on_served(Priority lane, double total_ms, bool degraded);
   void set_queue_depth(std::size_t depth);
+  /// Per-lane depth gauges; each lane keeps its own high-water mark.
+  void set_lane_depths(std::size_t interactive, std::size_t batch);
 
   MetricsSnapshot snapshot() const;
 
@@ -95,6 +127,8 @@ class ServeMetrics {
   std::atomic<std::uint64_t> degraded_{0};
   std::atomic<std::size_t> queue_depth_{0};
   std::atomic<std::size_t> queue_high_water_{0};
+  std::atomic<std::size_t> lane_depth_[2]{};       // [interactive, batch]
+  std::atomic<std::size_t> lane_high_water_[2]{};  // [interactive, batch]
   LatencyHistogram lanes_[2];  // [kInteractive, kBatch]
 };
 

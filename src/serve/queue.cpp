@@ -17,6 +17,13 @@ const char* to_string(OverloadPolicy p) {
 
 AdmissionQueue::AdmissionQueue(QueueConfig cfg) : cfg_(cfg) {}
 
+void AdmissionQueue::note_high_water_locked() {
+  stats_.high_water = std::max(stats_.high_water, depth_locked());
+  stats_.high_water_interactive =
+      std::max(stats_.high_water_interactive, lanes_[0].size());
+  stats_.high_water_batch = std::max(stats_.high_water_batch, lanes_[1].size());
+}
+
 AdmissionQueue::PushResult AdmissionQueue::push(Request r,
                                                 Clock::time_point now) {
   PushResult out;
@@ -33,15 +40,7 @@ AdmissionQueue::PushResult AdmissionQueue::push(Request r,
           break;  // fall through to the full-queue rejection below
         case OverloadPolicy::kDropExpired: {
           for (auto& l : lanes_) {
-            for (auto it = l.begin(); it != l.end();) {
-              if (it->expired(now)) {
-                ++stats_.expired;
-                out.expired.push_back(std::move(*it));
-                it = l.erase(it);
-              } else {
-                ++it;
-              }
-            }
+            stats_.expired += l.sweep_expired(now, out.expired);
           }
           break;
         }
@@ -49,25 +48,19 @@ AdmissionQueue::PushResult AdmissionQueue::push(Request r,
           // Victim = queued request with the latest deadline (no deadline ==
           // infinitely late). Scanning the batch lane first makes it the
           // preferred victim pool on equal deadlines.
-          Request* victim = nullptr;
+          const Request* victim = nullptr;
+          tenant::DrrLane* victim_lane = nullptr;
           for (auto* l : {&lane(Priority::kBatch), &lane(Priority::kInteractive)}) {
-            for (auto& q : *l) {
-              if (victim == nullptr || q.deadline > victim->deadline) victim = &q;
+            const Request* candidate = l->slackest();
+            if (candidate != nullptr &&
+                (victim == nullptr || candidate->deadline > victim->deadline)) {
+              victim = candidate;
+              victim_lane = l;
             }
           }
           if (victim != nullptr && victim->deadline > r.deadline) {
             ++stats_.evicted;
-            out.rejected.push_back(std::move(*victim));
-            for (auto& l : lanes_) {
-              for (auto it = l.begin(); it != l.end(); ++it) {
-                if (&*it == victim) {
-                  l.erase(it);
-                  victim = nullptr;
-                  break;
-                }
-              }
-              if (victim == nullptr) break;
-            }
+            out.rejected.push_back(victim_lane->take(victim));
           }
           break;
         }
@@ -81,7 +74,7 @@ AdmissionQueue::PushResult AdmissionQueue::push(Request r,
     r.admitted_at = now;
     lane(r.priority).push_back(std::move(r));
     ++stats_.admitted;
-    stats_.high_water = std::max(stats_.high_water, depth_locked());
+    note_high_water_locked();
     out.admitted = true;
   }
   cv_.notify_all();
@@ -90,9 +83,7 @@ AdmissionQueue::PushResult AdmissionQueue::push(Request r,
 
 std::optional<Request> AdmissionQueue::pop_locked() {
   for (auto& l : lanes_) {  // interactive lane first
-    if (!l.empty()) {
-      Request r = std::move(l.front());
-      l.pop_front();
+    if (auto r = l.pop()) {
       ++stats_.popped;
       return r;
     }
@@ -115,11 +106,8 @@ std::optional<Request> AdmissionQueue::try_pop() {
 
 std::optional<Request> AdmissionQueue::try_pop(Priority p) {
   LockGuard lock(mutex_);
-  auto& l = lane(p);
-  if (l.empty()) return std::nullopt;
-  Request r = std::move(l.front());
-  l.pop_front();
-  ++stats_.popped;
+  auto r = lane(p).pop();
+  if (r) ++stats_.popped;
   return r;
 }
 
@@ -144,7 +132,7 @@ void AdmissionQueue::requeue_front(Request r) {
     LockGuard lock(mutex_);
     ++stats_.requeued;
     lane(r.priority).push_front(std::move(r));
-    stats_.high_water = std::max(stats_.high_water, depth_locked());
+    note_high_water_locked();
   }
   cv_.notify_all();
 }
@@ -176,6 +164,8 @@ QueueStats AdmissionQueue::stats() const {
   LockGuard lock(mutex_);
   QueueStats s = stats_;
   s.depth = depth_locked();
+  s.depth_interactive = lanes_[0].size();
+  s.depth_batch = lanes_[1].size();
   return s;
 }
 

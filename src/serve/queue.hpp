@@ -1,6 +1,6 @@
 #pragma once
 // Bounded, thread-safe, two-lane admission queue with a configurable
-// overload policy and backpressure statistics.
+// overload policy, tenant-fair dequeue, and backpressure statistics.
 //
 // The queue is the single admission point of the serving layer: producers
 // push() from any thread; the scheduler's micro-batcher pops. Capacity is
@@ -13,13 +13,19 @@
 //                     deadline slack iff the incoming one is more urgent
 // Displaced requests are handed back to the caller (PushResult) so the
 // server can complete their promises with kRejected/kExpired.
+//
+// Within each lane, requests are held per tenant and dequeued with deficit
+// round-robin (tenant/drr.hpp): a tenant with weight w gets w dequeues per
+// rotation, so one tenant's storm cannot starve another's deadline even
+// after it has filled its share of the queue. Single-tenant traffic (all
+// requests on kDefaultTenant) degenerates to the original FIFO order.
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
 #include "serve/request.hpp"
+#include "serve/tenant/drr.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -45,8 +51,14 @@ struct QueueStats {
   std::uint64_t expired = 0;   // queued victims swept (kDropExpired)
   std::uint64_t popped = 0;
   std::uint64_t requeued = 0;  // popped requests handed back (preemption)
-  std::size_t depth = 0;
-  std::size_t high_water = 0;
+  std::size_t depth = 0;       // total across both lanes
+  std::size_t high_water = 0;  // total high-water mark
+  // Per-lane splits: the totals above hide interactive-lane starvation
+  // behind a deep batch backlog.
+  std::size_t depth_interactive = 0;
+  std::size_t depth_batch = 0;
+  std::size_t high_water_interactive = 0;
+  std::size_t high_water_batch = 0;
 };
 
 class AdmissionQueue {
@@ -96,18 +108,19 @@ class AdmissionQueue {
   QueueStats stats() const;
 
  private:
-  std::deque<Request>& lane(Priority p) REQUIRES(mutex_) {
+  tenant::DrrLane& lane(Priority p) REQUIRES(mutex_) {
     return lanes_[static_cast<std::size_t>(p)];
   }
   std::optional<Request> pop_locked() REQUIRES(mutex_);
   std::size_t depth_locked() const REQUIRES(mutex_) {
     return lanes_[0].size() + lanes_[1].size();
   }
+  void note_high_water_locked() REQUIRES(mutex_);
 
   const QueueConfig cfg_;
   mutable util::Mutex mutex_;
   util::CondVar cv_;
-  std::deque<Request> lanes_[2] GUARDED_BY(mutex_);  // [interactive, batch]
+  tenant::DrrLane lanes_[2] GUARDED_BY(mutex_);  // [interactive, batch]
   QueueStats stats_ GUARDED_BY(mutex_);
   bool closed_ GUARDED_BY(mutex_) = false;
 };

@@ -18,6 +18,12 @@ namespace seneca::serve {
 
 using Clock = std::chrono::steady_clock;
 
+/// Stable tenant identity. Tenant 0 is the implicit default for callers
+/// that predate (or don't care about) multi-tenancy; it is always
+/// registered and unthrottled in a TenantRegistry.
+using TenantId = std::uint32_t;
+constexpr TenantId kDefaultTenant = 0;
+
 enum class Priority : std::uint8_t { kInteractive = 0, kBatch = 1 };
 
 constexpr const char* to_string(Priority p) {
@@ -27,6 +33,11 @@ constexpr const char* to_string(Priority p) {
 struct Request {
   std::uint64_t id = 0;
   Priority priority = Priority::kBatch;
+  TenantId tenant = kDefaultTenant;
+  /// DRR quantum of this request's tenant, stamped at submit time from the
+  /// TenantRegistry (1 when serving single-tenant). Riding on the request
+  /// keeps the admission queue decoupled from the registry.
+  std::uint32_t weight = 1;
   tensor::TensorI8 input;
   /// Absolute deadline; Clock::time_point::max() means "no deadline".
   Clock::time_point deadline = Clock::time_point::max();
@@ -58,6 +69,7 @@ constexpr const char* to_string(Status s) {
 
 struct Response {
   std::uint64_t id = 0;
+  TenantId tenant = kDefaultTenant;
   Status status = Status::kRejected;
   tensor::TensorI8 output;  // valid iff status == kOk
   std::string model_used;   // zoo label of the model that served it

@@ -43,11 +43,15 @@ InferenceServer::~InferenceServer() { shutdown(); }
 
 std::future<Response> InferenceServer::submit(Priority priority,
                                               tensor::TensorI8 input,
-                                              double deadline_ms) {
+                                              double deadline_ms,
+                                              TenantId tenant) {
   const auto now = Clock::now();
+  tenant::TenantRegistry* registry = cfg_.tenants.get();
   Request r;
   r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   r.priority = priority;
+  r.tenant = tenant;
+  r.weight = registry != nullptr ? registry->weight(tenant) : 1;
   r.input = std::move(input);
   if (deadline_ms > 0.0) {
     r.deadline = now + std::chrono::duration_cast<Clock::duration>(
@@ -58,12 +62,26 @@ std::future<Response> InferenceServer::submit(Priority priority,
   auto future = promise.get_future();
   {
     util::LockGuard lock(pending_mutex_);
-    pending_.emplace(r.id, Pending{std::move(promise), now});
+    pending_.emplace(r.id, Pending{std::move(promise), now, tenant});
   }
   metrics_.on_submitted();
+  // The front door (the layer that throttles) owns per-tenant submit and
+  // throttle counts; boards behind a router skip them so cluster traffic is
+  // not double-counted in the shared registry.
+  if (registry != nullptr && cfg_.tenant_throttle) {
+    registry->on_submitted(tenant);
+  }
 
   if (stopping_.load(std::memory_order_acquire)) {
     complete_failed(r, Status::kRejected);
+    return future;
+  }
+
+  // Token-bucket admission happens before the request can occupy queue
+  // capacity: an out-of-budget tenant is rejected at the door.
+  if (registry != nullptr && cfg_.tenant_throttle &&
+      !registry->try_admit(tenant, now)) {
+    complete_failed(r, Status::kRejected, /*throttled=*/true);
     return future;
   }
 
@@ -77,8 +95,14 @@ std::future<Response> InferenceServer::submit(Priority priority,
   for (const auto& victim : result.expired) {
     complete_failed(victim, Status::kExpired);
   }
-  metrics_.set_queue_depth(queue_.depth());
+  publish_queue_gauges();
   return future;
+}
+
+void InferenceServer::publish_queue_gauges() {
+  const QueueStats qs = queue_.stats();
+  metrics_.set_queue_depth(qs.depth);
+  metrics_.set_lane_depths(qs.depth_interactive, qs.depth_batch);
 }
 
 std::optional<InferenceServer::Pending> InferenceServer::take_pending(
@@ -91,18 +115,30 @@ std::optional<InferenceServer::Pending> InferenceServer::take_pending(
   return p;
 }
 
-void InferenceServer::complete_failed(const Request& r, Status status) {
+void InferenceServer::complete_failed(const Request& r, Status status,
+                                      bool throttled) {
   auto pending = take_pending(r.id);
   if (!pending) return;  // already completed elsewhere; nothing to count
+  tenant::TenantRegistry* registry = cfg_.tenants.get();
   if (status == Status::kExpired) {
     metrics_.on_expired();
+    if (registry != nullptr) registry->on_expired(r.tenant);
   } else if (status == Status::kError) {
     metrics_.on_error();
+    if (registry != nullptr) registry->on_error(r.tenant);
   } else {
     metrics_.on_rejected();
+    if (registry != nullptr) {
+      if (throttled) {
+        registry->on_throttled(r.tenant);
+      } else {
+        registry->on_rejected(r.tenant);
+      }
+    }
   }
   Response resp;
   resp.id = r.id;
+  resp.tenant = r.tenant;
   resp.status = status;
   resp.total_ms = ms_between(pending->submitted_at, Clock::now());
   if (cfg_.on_complete) cfg_.on_complete(resp);
@@ -150,8 +186,10 @@ void InferenceServer::scheduler_loop() {
     // Backlog as seen by this dispatch cycle: what is still queued plus
     // what was just popped into the batch. Sampling after the pop alone
     // would systematically understate pressure by one batch.
-    const std::size_t backlog = queue_.depth() + batch.size();
+    const QueueStats qs = queue_.stats();
+    const std::size_t backlog = qs.depth + batch.size();
     metrics_.set_queue_depth(backlog);
+    metrics_.set_lane_depths(qs.depth_interactive, qs.depth_batch);
 
     std::vector<Request> live;
     live.reserve(batch.size());
@@ -192,6 +230,7 @@ void InferenceServer::scheduler_loop() {
       if (!pending) continue;
       Response resp;
       resp.id = r.id;
+      resp.tenant = r.tenant;
       resp.status = Status::kOk;
       resp.output = std::move(outputs[i]);
       resp.model_used = ladder_[static_cast<std::size_t>(level)].name;
@@ -201,6 +240,9 @@ void InferenceServer::scheduler_loop() {
       resp.total_ms = ms_between(pending->submitted_at, done_at);
       resp.served_seq = served_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
       metrics_.on_served(r.priority, resp.total_ms, resp.degraded);
+      if (cfg_.tenants != nullptr) {
+        cfg_.tenants->on_served(r.tenant, resp.total_ms, resp.degraded);
+      }
       if (r.priority == Priority::kInteractive) {
         recent_interactive_ms_.push_back(resp.total_ms);
         while (recent_interactive_ms_.size() > cfg_.degrade.p99_window) {
@@ -230,12 +272,29 @@ void InferenceServer::shutdown() {
   for (auto& [id, pending] : leftovers) {
     Response resp;
     resp.id = id;
+    resp.tenant = pending.tenant;
     resp.status = Status::kRejected;
     resp.total_ms = ms_between(pending.submitted_at, Clock::now());
     metrics_.on_rejected();
+    if (cfg_.tenants != nullptr) cfg_.tenants->on_rejected(pending.tenant);
     if (cfg_.on_complete) cfg_.on_complete(resp);
     pending.promise.set_value(std::move(resp));
   }
+}
+
+MetricsSnapshot InferenceServer::metrics() const {
+  MetricsSnapshot s = metrics_.snapshot();
+  const QueueStats qs = queue_.stats();
+  s.queue_depth_interactive = qs.depth_interactive;
+  s.queue_depth_batch = qs.depth_batch;
+  s.queue_high_water_interactive = std::max(s.queue_high_water_interactive,
+                                            qs.high_water_interactive);
+  s.queue_high_water_batch =
+      std::max(s.queue_high_water_batch, qs.high_water_batch);
+  if (cfg_.tenants != nullptr && cfg_.tenant_throttle) {
+    s.tenants = cfg_.tenants->snapshot();
+  }
+  return s;
 }
 
 }  // namespace seneca::serve

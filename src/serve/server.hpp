@@ -36,6 +36,7 @@
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
 #include "serve/queue.hpp"
+#include "serve/tenant/tenant.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -65,6 +66,14 @@ struct ServerConfig {
   QueueConfig queue;
   BatcherConfig batcher;
   DegradeConfig degrade;
+  /// Optional multi-tenant registry: token-bucket admission, DRR weights,
+  /// and per-tenant metrics. Null = single implicit tenant (kDefaultTenant),
+  /// which preserves the pre-tenant behaviour exactly.
+  std::shared_ptr<tenant::TenantRegistry> tenants;
+  /// Whether THIS server consumes token buckets at submit. The cluster tier
+  /// sets this false on its boards (the router is the front door and has
+  /// already charged the bucket); standalone servers keep the default.
+  bool tenant_throttle = true;
   /// Optional observer invoked (from the completing thread) just before a
   /// response's promise is fulfilled, whatever its status. Must be cheap
   /// and must not throw; used by the cluster tier for per-board inflight,
@@ -85,14 +94,28 @@ class InferenceServer {
   /// Thread-safe. `deadline_ms` is relative to now; <= 0 means no deadline.
   /// The future always resolves: kOk with an output, or kRejected/kExpired.
   std::future<Response> submit(Priority priority, tensor::TensorI8 input,
-                               double deadline_ms = 0.0);
+                               double deadline_ms = 0.0) {
+    return submit(priority, std::move(input), deadline_ms, kDefaultTenant);
+  }
+
+  /// Tenant-attributed submit: the request is charged against `tenant`'s
+  /// token bucket (when this server throttles), dequeued under its DRR
+  /// weight, and counted in its per-tenant metrics.
+  std::future<Response> submit(Priority priority, tensor::TensorI8 input,
+                               double deadline_ms, TenantId tenant);
 
   /// Stops admission, drains queued work, joins the scheduler. Idempotent;
   /// the destructor calls it.
   void shutdown();
 
-  MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+  /// Snapshot including per-lane queue gauges; per-tenant entries are
+  /// attached when this server fronts a TenantRegistry itself (boards
+  /// behind a ClusterRouter leave tenant roll-up to the router).
+  MetricsSnapshot metrics() const;
   QueueStats queue_stats() const { return queue_.stats(); }
+  const std::shared_ptr<tenant::TenantRegistry>& tenants() const {
+    return cfg_.tenants;
+  }
   /// Current degradation rung (0 = full-quality model).
   int degrade_level() const {
     return level_.load(std::memory_order_relaxed);
@@ -119,11 +142,14 @@ class InferenceServer {
   struct Pending {
     std::promise<Response> promise;
     Clock::time_point submitted_at;
+    TenantId tenant = kDefaultTenant;
   };
 
   void scheduler_loop();
   void update_level(Clock::time_point now, std::size_t depth);
-  void complete_failed(const Request& r, Status status);
+  void complete_failed(const Request& r, Status status,
+                       bool throttled = false);
+  void publish_queue_gauges();
   std::optional<Pending> take_pending(std::uint64_t id);
 
   const std::vector<ModelSpec> ladder_;

@@ -1,0 +1,183 @@
+#include "serve/tenant/tenant.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+using seneca::util::LockGuard;
+
+namespace seneca::serve::tenant {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst,
+                         Clock::time_point now)
+    : rate_per_s_(std::max(0.0, rate_per_s)),
+      burst_(std::max(0.0, burst)),
+      tokens_(burst_),
+      last_refill_(now) {}
+
+void TokenBucket::refill(Clock::time_point now) {
+  if (now <= last_refill_) return;  // backwards/stalled clock mints nothing
+  if (std::isinf(rate_per_s_)) {
+    tokens_ = burst_;
+  } else {
+    const double elapsed_s =
+        std::chrono::duration<double>(now - last_refill_).count();
+    tokens_ = std::min(burst_, tokens_ + rate_per_s_ * elapsed_s);
+  }
+  last_refill_ = now;
+}
+
+bool TokenBucket::try_acquire(Clock::time_point now) {
+  if (std::isinf(rate_per_s_)) return true;  // unthrottled fast path
+  refill(now);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(Clock::time_point now) const {
+  if (std::isinf(rate_per_s_)) return burst_;
+  if (now <= last_refill_ || rate_per_s_ == 0.0) return tokens_;
+  const double elapsed_s =
+      std::chrono::duration<double>(now - last_refill_).count();
+  return std::min(burst_, tokens_ + rate_per_s_ * elapsed_s);
+}
+
+TenantRegistry::TenantRegistry() {
+  add(TenantConfig{});  // tenant 0, unthrottled, weight 1
+}
+
+TenantRegistry::TenantRegistry(const std::vector<TenantConfig>& tenants)
+    : TenantRegistry() {
+  for (const auto& cfg : tenants) {
+    if (cfg.id == kDefaultTenant) continue;  // default is pre-registered
+    add(cfg);
+  }
+}
+
+void TenantRegistry::add(TenantConfig cfg) {
+  if (cfg.weight == 0) {
+    throw std::invalid_argument("TenantRegistry: zero DRR weight for \"" +
+                                cfg.name + "\"");
+  }
+  if (cfg.burst < 1.0) {
+    throw std::invalid_argument(
+        "TenantRegistry: burst < 1 could never admit (\"" + cfg.name + "\")");
+  }
+  const auto now = Clock::now();
+  LockGuard lock(mutex_);
+  for (const auto& s : states_) {
+    if (s->cfg.id == cfg.id) {
+      throw std::invalid_argument("TenantRegistry: duplicate tenant id " +
+                                  std::to_string(cfg.id));
+    }
+  }
+  states_.push_back(std::make_unique<State>(std::move(cfg), now));
+}
+
+TenantRegistry::State* TenantRegistry::find_locked(TenantId id) const {
+  for (const auto& s : states_) {
+    if (s->cfg.id == id) return s.get();
+  }
+  return nullptr;
+}
+
+TenantRegistry::State* TenantRegistry::find(TenantId id) const {
+  LockGuard lock(mutex_);
+  return find_locked(id);
+}
+
+bool TenantRegistry::has(TenantId id) const { return find(id) != nullptr; }
+
+std::vector<TenantId> TenantRegistry::ids() const {
+  LockGuard lock(mutex_);
+  std::vector<TenantId> out;
+  out.reserve(states_.size());
+  for (const auto& s : states_) out.push_back(s->cfg.id);
+  return out;
+}
+
+std::string TenantRegistry::name(TenantId id) const {
+  if (const State* s = find(id)) return s->cfg.name;
+  return "tenant-" + std::to_string(id);
+}
+
+std::uint32_t TenantRegistry::weight(TenantId id) const {
+  if (const State* s = find(id)) return s->cfg.weight;
+  return 1;
+}
+
+bool TenantRegistry::try_admit(TenantId id, Clock::time_point now) {
+  LockGuard lock(mutex_);  // buckets are registry-serialized
+  State* s = find_locked(id);
+  if (s == nullptr) return true;  // unregistered: no bucket to consume
+  return s->bucket.try_acquire(now);
+}
+
+void TenantRegistry::on_submitted(TenantId id) {
+  if (State* s = find(id)) {
+    s->submitted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TenantRegistry::on_throttled(TenantId id) {
+  if (State* s = find(id)) {
+    s->throttled.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TenantRegistry::on_rejected(TenantId id) {
+  if (State* s = find(id)) {
+    s->rejected.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TenantRegistry::on_expired(TenantId id) {
+  if (State* s = find(id)) {
+    s->expired.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TenantRegistry::on_error(TenantId id) {
+  if (State* s = find(id)) {
+    s->errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TenantRegistry::on_served(TenantId id, double total_ms, bool degraded) {
+  if (State* s = find(id)) {
+    s->served.fetch_add(1, std::memory_order_relaxed);
+    if (degraded) s->degraded.fetch_add(1, std::memory_order_relaxed);
+    s->latency.record(total_ms);
+  }
+}
+
+std::vector<TenantSnapshot> TenantRegistry::snapshot() const {
+  // Collect stable state pointers under the lock, read atomics outside it.
+  std::vector<State*> states;
+  {
+    LockGuard lock(mutex_);
+    states.reserve(states_.size());
+    for (const auto& s : states_) states.push_back(s.get());
+  }
+  std::vector<TenantSnapshot> out;
+  out.reserve(states.size());
+  for (const State* s : states) {
+    TenantSnapshot t;
+    t.id = s->cfg.id;
+    t.name = s->cfg.name;
+    t.weight = s->cfg.weight;
+    t.submitted = s->submitted.load(std::memory_order_relaxed);
+    t.throttled = s->throttled.load(std::memory_order_relaxed);
+    t.rejected = s->rejected.load(std::memory_order_relaxed);
+    t.expired = s->expired.load(std::memory_order_relaxed);
+    t.errors = s->errors.load(std::memory_order_relaxed);
+    t.served = s->served.load(std::memory_order_relaxed);
+    t.degraded = s->degraded.load(std::memory_order_relaxed);
+    t.latency = s->latency.snapshot();
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace seneca::serve::tenant

@@ -1,0 +1,147 @@
+#pragma once
+// SENECA-Tenants: per-tenant SLO admission for the serving layer.
+//
+// Production traffic has tenants, not just lanes: the intraoperative CT
+// stream of one clinic must not lose its deadline because a research batch
+// job elsewhere floods the queue. This header owns the tenant model:
+//
+//   TokenBucket    — rate + burst admission throttle, refilled on the
+//                    monotonic serve::Clock. A tenant whose bucket is empty
+//                    is rejected *before* it can occupy queue capacity.
+//   TenantConfig   — identity, bucket parameters, and the DRR weight the
+//                    admission queue uses for weighted-fair dequeue across
+//                    tenants within a lane (see tenant/drr.hpp).
+//   TenantRegistry — thread-safe config/bucket/metrics store shared by the
+//                    front door (InferenceServer or ClusterRouter) and
+//                    every per-board server behind it. Exactly one layer
+//                    consumes tokens (ServerConfig::tenant_throttle); the
+//                    serving layer that completes a request records its
+//                    per-tenant outcome and latency.
+//
+// Tenant 0 ("default") is always registered and unthrottled, so
+// single-tenant callers keep working untouched.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace seneca::serve::tenant {
+
+/// Rate+burst admission throttle on the monotonic clock. Not thread-safe;
+/// the registry serializes access. A `now` earlier than the last refill
+/// (a clock that appears to run backwards, e.g. across a suspend fixup)
+/// never mints tokens and never goes negative: refill is simply skipped.
+class TokenBucket {
+ public:
+  /// `rate_per_s` tokens accrue per second up to `burst`. rate 0 means no
+  /// refill (the initial burst is all the tenant ever gets); an infinite
+  /// rate means unthrottled. The bucket starts full.
+  TokenBucket(double rate_per_s, double burst, Clock::time_point now);
+
+  static TokenBucket unlimited(Clock::time_point now) {
+    return {std::numeric_limits<double>::infinity(), 1.0, now};
+  }
+
+  /// Consume one token at `now`; false when the bucket is empty.
+  bool try_acquire(Clock::time_point now);
+
+  /// Tokens available at `now` (after the refill `try_acquire` would do).
+  double available(Clock::time_point now) const;
+
+  double rate_per_s() const { return rate_per_s_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(Clock::time_point now);
+
+  double rate_per_s_;
+  double burst_;
+  double tokens_;
+  Clock::time_point last_refill_;
+};
+
+struct TenantConfig {
+  TenantId id = kDefaultTenant;
+  std::string name = "default";
+  /// Token-bucket admission parameters. Defaults are unthrottled.
+  double rate_per_s = std::numeric_limits<double>::infinity();
+  double burst = 32.0;
+  /// DRR quantum for weighted-fair dequeue within a lane: per round-robin
+  /// visit a tenant may dequeue `weight` requests. Must be >= 1.
+  std::uint32_t weight = 1;
+};
+
+/// Point-in-time per-tenant accounting, embedded in MetricsSnapshot.
+/// (The struct itself lives in metrics.hpp so the snapshot type does not
+/// depend on this header.)
+using TenantSnapshot = serve::TenantSnapshot;
+
+class TenantRegistry {
+ public:
+  /// Registers tenant 0 ("default", unthrottled, weight 1).
+  TenantRegistry();
+  explicit TenantRegistry(const std::vector<TenantConfig>& tenants);
+
+  /// Registers a tenant; throws std::invalid_argument on a duplicate id,
+  /// a zero weight, or a burst < 1 (such a bucket could never admit).
+  void add(TenantConfig cfg);
+
+  bool has(TenantId id) const;
+  /// Registered tenant ids in registration order.
+  std::vector<TenantId> ids() const;
+  /// Tenant display name; "tenant-<id>" for unregistered ids.
+  std::string name(TenantId id) const;
+  /// DRR weight; 1 for unregistered ids.
+  std::uint32_t weight(TenantId id) const;
+
+  /// Token-bucket admission for one request at `now`. Unregistered tenants
+  /// are always admitted (they ride the default class but keep their id for
+  /// fair dequeue and metrics attribution).
+  bool try_admit(TenantId id, Clock::time_point now);
+
+  // ---- per-tenant accounting (called by the serving layer) ----
+  void on_submitted(TenantId id);
+  void on_throttled(TenantId id);  // bucket empty at the front door
+  void on_rejected(TenantId id);
+  void on_expired(TenantId id);
+  void on_error(TenantId id);
+  void on_served(TenantId id, double total_ms, bool degraded);
+
+  std::vector<TenantSnapshot> snapshot() const;
+
+ private:
+  struct State {
+    TenantConfig cfg;
+    TokenBucket bucket;
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> throttled{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> expired{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> served{0};
+    std::atomic<std::uint64_t> degraded{0};
+    LatencyHistogram latency;
+
+    State(TenantConfig c, Clock::time_point now)
+        : cfg(std::move(c)), bucket(cfg.rate_per_s, cfg.burst, now) {}
+  };
+
+  /// nullptr for unregistered ids. The returned pointer is stable for the
+  /// registry's lifetime (states are never erased).
+  State* find(TenantId id) const;
+  State* find_locked(TenantId id) const REQUIRES(mutex_);
+
+  mutable util::Mutex mutex_;
+  // Registration order preserved for ids()/snapshot() output stability.
+  std::vector<std::unique_ptr<State>> states_ GUARDED_BY(mutex_);
+};
+
+}  // namespace seneca::serve::tenant

@@ -1,0 +1,351 @@
+// SENECA-Tenants tests: token-bucket edge cases (zero rate, burst=1, a
+// clock that appears to run backwards), registry contracts, DRR fairness
+// under a single-tenant storm, the per-lane queue stats split, and
+// per-tenant accounting through a live InferenceServer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "dpu/compiler.hpp"
+#include "nn/unet.hpp"
+#include "quant/quantizer.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve/tenant/drr.hpp"
+#include "serve/tenant/tenant.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::serve {
+namespace {
+
+using tenant::DrrLane;
+using tenant::TenantConfig;
+using tenant::TenantRegistry;
+using tenant::TokenBucket;
+
+const Clock::time_point t0 = Clock::now();
+Clock::time_point at_s(double s) {
+  return t0 + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(s));
+}
+
+// ---- TokenBucket ----
+
+TEST(TokenBucket, StartsFullAndDrainsToEmpty) {
+  TokenBucket b(/*rate=*/1.0, /*burst=*/3.0, t0);
+  EXPECT_DOUBLE_EQ(b.available(t0), 3.0);
+  EXPECT_TRUE(b.try_acquire(t0));
+  EXPECT_TRUE(b.try_acquire(t0));
+  EXPECT_TRUE(b.try_acquire(t0));
+  EXPECT_FALSE(b.try_acquire(t0));  // empty, no time has passed
+}
+
+TEST(TokenBucket, ZeroRateAdmitsOnlyTheInitialBurst) {
+  TokenBucket b(/*rate=*/0.0, /*burst=*/2.0, t0);
+  EXPECT_TRUE(b.try_acquire(t0));
+  EXPECT_TRUE(b.try_acquire(t0));
+  // No refill ever, no matter how long we wait.
+  EXPECT_FALSE(b.try_acquire(at_s(3600.0)));
+  EXPECT_DOUBLE_EQ(b.available(at_s(7200.0)), 0.0);
+}
+
+TEST(TokenBucket, BurstOneIsStrictlyPaced) {
+  TokenBucket b(/*rate=*/10.0, /*burst=*/1.0, t0);
+  EXPECT_TRUE(b.try_acquire(t0));
+  EXPECT_FALSE(b.try_acquire(at_s(0.05)));  // half a token accrued
+  EXPECT_TRUE(b.try_acquire(at_s(0.10)));   // one full period later
+  EXPECT_FALSE(b.try_acquire(at_s(0.10)));
+}
+
+TEST(TokenBucket, RefillRespectsRateAndCapsAtBurst) {
+  TokenBucket b(/*rate=*/2.0, /*burst=*/4.0, t0);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(b.try_acquire(t0));
+  EXPECT_NEAR(b.available(at_s(1.0)), 2.0, 1e-9);
+  // 100 s at 2/s would mint 200 tokens; the bucket caps at burst.
+  EXPECT_NEAR(b.available(at_s(100.0)), 4.0, 1e-9);
+}
+
+TEST(TokenBucket, BackwardsClockMintsNothingAndNeverGoesNegative) {
+  TokenBucket b(/*rate=*/100.0, /*burst=*/2.0, t0);
+  EXPECT_TRUE(b.try_acquire(at_s(1.0)));  // refill anchor now at t0+1s
+  EXPECT_TRUE(b.try_acquire(at_s(1.0)));
+  // The clock "jumps back": acquire at an earlier stamp must not mint the
+  // (negative) elapsed time into tokens, and must not crash.
+  EXPECT_FALSE(b.try_acquire(at_s(0.5)));
+  EXPECT_DOUBLE_EQ(b.available(at_s(0.5)), 0.0);
+  // Once the clock passes the anchor again, refill resumes normally.
+  EXPECT_TRUE(b.try_acquire(at_s(1.1)));
+}
+
+TEST(TokenBucket, UnlimitedNeverRefuses) {
+  TokenBucket b = TokenBucket::unlimited(t0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(b.try_acquire(t0));
+}
+
+// ---- TenantRegistry ----
+
+TEST(TenantRegistry, DefaultTenantIsAlwaysPresentAndUnthrottled) {
+  TenantRegistry reg;
+  EXPECT_TRUE(reg.has(kDefaultTenant));
+  EXPECT_EQ(reg.name(kDefaultTenant), "default");
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(reg.try_admit(kDefaultTenant, t0));
+  }
+}
+
+TEST(TenantRegistry, AddValidatesIdWeightAndBurst) {
+  TenantRegistry reg;
+  reg.add({1, "a", 10.0, 4.0, 2});
+  EXPECT_THROW(reg.add({1, "dup", 10.0, 4.0, 1}), std::invalid_argument);
+  EXPECT_THROW(reg.add({2, "w0", 10.0, 4.0, 0}), std::invalid_argument);
+  EXPECT_THROW(reg.add({3, "b0", 10.0, 0.5, 1}), std::invalid_argument);
+  EXPECT_EQ(reg.weight(1), 2u);
+  EXPECT_EQ(reg.weight(99), 1u);  // unregistered ids ride defaults
+  EXPECT_EQ(reg.name(99), "tenant-99");
+}
+
+TEST(TenantRegistry, ThrottlesRegisteredTenantByItsBucket) {
+  TenantRegistry reg;
+  reg.add({1, "capped", /*rate=*/0.0, /*burst=*/2.0, 1});
+  EXPECT_TRUE(reg.try_admit(1, t0));
+  EXPECT_TRUE(reg.try_admit(1, t0));
+  EXPECT_FALSE(reg.try_admit(1, t0));
+  // Unregistered tenants are admitted (default class) — attribution-only.
+  EXPECT_TRUE(reg.try_admit(42, t0));
+}
+
+TEST(TenantRegistry, SnapshotCarriesCountersAndLatency) {
+  TenantRegistry reg;
+  reg.add({1, "clinic", 10.0, 4.0, 3});
+  reg.on_submitted(1);
+  reg.on_submitted(1);
+  reg.on_throttled(1);
+  reg.on_served(1, 12.5, /*degraded=*/true);
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 2u);  // default + clinic
+  const auto& s = snaps[1];
+  EXPECT_EQ(s.id, 1u);
+  EXPECT_EQ(s.name, "clinic");
+  EXPECT_EQ(s.weight, 3u);
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.throttled, 1u);
+  EXPECT_EQ(s.served, 1u);
+  EXPECT_EQ(s.degraded, 1u);
+  EXPECT_EQ(s.latency.count, 1u);
+  EXPECT_DOUBLE_EQ(s.latency.max_ms, 12.5);
+}
+
+// ---- DrrLane ----
+
+Request tenant_request(std::uint64_t id, TenantId tenant,
+                       std::uint32_t weight = 1,
+                       Clock::time_point deadline = Clock::time_point::max()) {
+  Request r;
+  r.id = id;
+  r.tenant = tenant;
+  r.weight = weight;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(DrrLane, SingleTenantDegeneratesToFifo) {
+  DrrLane lane;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    lane.push_back(tenant_request(i, kDefaultTenant));
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(lane.pop()->id, i);
+  }
+  EXPECT_FALSE(lane.pop().has_value());
+}
+
+TEST(DrrLane, StormingTenantCannotStarveItsNeighbour) {
+  DrrLane lane;
+  // Tenant 1 floods 100 requests before tenant 2's single request arrives.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    lane.push_back(tenant_request(i, 1));
+  }
+  lane.push_back(tenant_request(1000, 2));
+  // Equal weights: tenant 2 is served within the first full rotation —
+  // position 2 here, not position 101.
+  std::size_t position = 0;
+  for (;; ++position) {
+    const auto r = lane.pop();
+    ASSERT_TRUE(r.has_value());
+    if (r->tenant == 2) break;
+  }
+  EXPECT_LE(position, 1u);
+}
+
+TEST(DrrLane, WeightsSplitDequeueShareProportionally) {
+  DrrLane lane;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    lane.push_back(tenant_request(i, 1, /*weight=*/2));
+    lane.push_back(tenant_request(100 + i, 2, /*weight=*/1));
+  }
+  // Count tenant-1 serves in the first 12 pops: weight 2 vs 1 gives a 2:1
+  // split per rotation (2 of every 3).
+  int t1 = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto r = lane.pop();
+    ASSERT_TRUE(r.has_value());
+    if (r->tenant == 1) ++t1;
+  }
+  EXPECT_EQ(t1, 8);
+}
+
+TEST(DrrLane, PushFrontRestoresPopOrder) {
+  DrrLane lane;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    lane.push_back(tenant_request(i, i % 2));  // two tenants interleaved
+  }
+  const Request a = *lane.pop();
+  const Request b = *lane.pop();
+  // Hand back in reverse pop order (the batcher's preemption contract) and
+  // expect the original order to replay.
+  lane.push_front(b);
+  lane.push_front(a);
+  EXPECT_EQ(lane.pop()->id, a.id);
+  EXPECT_EQ(lane.pop()->id, b.id);
+}
+
+TEST(DrrLane, SlackestAndTakeEvictAcrossTenantFifos) {
+  DrrLane lane;
+  lane.push_back(tenant_request(0, 1, 1, at_s(1.0)));
+  lane.push_back(tenant_request(1, 2, 1, at_s(9.0)));  // latest deadline
+  lane.push_back(tenant_request(2, 3, 1, at_s(2.0)));
+  const Request* victim = lane.slackest();
+  ASSERT_NE(victim, nullptr);
+  EXPECT_EQ(victim->id, 1u);
+  const Request removed = lane.take(victim);
+  EXPECT_EQ(removed.id, 1u);
+  EXPECT_EQ(lane.size(), 2u);
+}
+
+TEST(DrrLane, SweepExpiredDrainsAllTenants) {
+  DrrLane lane;
+  lane.push_back(tenant_request(0, 1, 1, at_s(1.0)));
+  lane.push_back(tenant_request(1, 2, 1, at_s(1.0)));
+  lane.push_back(tenant_request(2, 1, 1, at_s(9.0)));
+  std::vector<Request> dead;
+  EXPECT_EQ(lane.sweep_expired(at_s(5.0), dead), 2u);
+  EXPECT_EQ(dead.size(), 2u);
+  EXPECT_EQ(lane.size(), 1u);
+  EXPECT_EQ(lane.pop()->id, 2u);
+}
+
+// ---- AdmissionQueue per-lane stats ----
+
+TEST(AdmissionQueue, SplitsDepthAndHighWaterPerLane) {
+  AdmissionQueue q({.capacity = 8, .policy = OverloadPolicy::kRejectNewest});
+  Request r;
+  r.priority = Priority::kInteractive;
+  ASSERT_TRUE(q.push(r, t0).admitted);
+  ASSERT_TRUE(q.push(r, t0).admitted);
+  r.priority = Priority::kBatch;
+  ASSERT_TRUE(q.push(r, t0).admitted);
+  auto s = q.stats();
+  EXPECT_EQ(s.depth_interactive, 2u);
+  EXPECT_EQ(s.depth_batch, 1u);
+  EXPECT_EQ(s.high_water_interactive, 2u);
+  EXPECT_EQ(s.high_water_batch, 1u);
+  EXPECT_EQ(s.depth, 3u);
+  (void)q.pop();
+  (void)q.pop();  // interactive lane drains first
+  s = q.stats();
+  EXPECT_EQ(s.depth_interactive, 0u);
+  EXPECT_EQ(s.depth_batch, 1u);
+  // High-water marks do not recede with the depth.
+  EXPECT_EQ(s.high_water_interactive, 2u);
+}
+
+// ---- InferenceServer integration ----
+
+dpu::XModel tiny_model(std::uint64_t seed) {
+  nn::UNet2DConfig cfg;
+  cfg.input_size = 16;
+  cfg.depth = 1;
+  cfg.base_filters = 2;
+  cfg.seed = seed;
+  auto graph = nn::build_unet2d(cfg);
+  util::Rng rng(seed + 1);
+  tensor::TensorF x(tensor::Shape{16, 16, 1});
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+  graph->forward(x, true);
+  quant::FGraph fg = quant::fold(*graph);
+  std::vector<tensor::TensorF> calib{x};
+  return dpu::compile(quant::quantize(fg, calib));
+}
+
+tensor::TensorI8 tiny_input(std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::TensorI8 x(tensor::Shape{16, 16, 1});
+  for (auto& v : x) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  return x;
+}
+
+ServerConfig tenant_config(std::shared_ptr<TenantRegistry> reg) {
+  ServerConfig cfg;
+  cfg.queue.capacity = 64;
+  cfg.batcher.max_batch_size = 4;
+  cfg.batcher.max_wait_ms = 0.0;
+  cfg.degrade.queue_depth_high = 1000;
+  cfg.tenants = std::move(reg);
+  return cfg;
+}
+
+TEST(InferenceServerTenants, ThrottlesOverContractAndAttributesMetrics) {
+  auto reg = std::make_shared<TenantRegistry>();
+  // rate 0: the burst of 2 is all this tenant ever gets.
+  reg->add({7, "capped", /*rate=*/0.0, /*burst=*/2.0, 1});
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"1M", tiny_model(3), 1});
+  InferenceServer server(std::move(ladder), tenant_config(reg));
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(
+        server.submit(Priority::kInteractive, tiny_input(1), 0.0, 7));
+  }
+  int ok = 0;
+  int rejected = 0;
+  for (auto& f : futures) {
+    const Response r = f.get();
+    EXPECT_EQ(r.tenant, 7u);
+    (r.status == Status::kOk ? ok : rejected)++;
+  }
+  EXPECT_EQ(ok, 2);
+  EXPECT_EQ(rejected, 3);
+
+  const MetricsSnapshot m = server.metrics();
+  ASSERT_EQ(m.tenants.size(), 2u);  // default + capped
+  const TenantSnapshot& t = m.tenants[1];
+  EXPECT_EQ(t.name, "capped");
+  EXPECT_EQ(t.submitted, 5u);
+  EXPECT_EQ(t.throttled, 3u);
+  EXPECT_EQ(t.served, 2u);
+  EXPECT_EQ(t.latency.count, 2u);
+  // Conservation per tenant: everything submitted is accounted once
+  // (completed() folds throttled in alongside served/rejected/expired).
+  EXPECT_EQ(t.submitted, t.completed());
+}
+
+TEST(InferenceServerTenants, DefaultTenantPathIsUntouched) {
+  std::vector<ModelSpec> ladder;
+  ladder.push_back({"1M", tiny_model(5), 1});
+  ServerConfig cfg;
+  cfg.queue.capacity = 64;
+  cfg.batcher.max_wait_ms = 0.0;
+  cfg.degrade.queue_depth_high = 1000;
+  InferenceServer server(std::move(ladder), cfg);  // no registry configured
+  auto f = server.submit(Priority::kInteractive, tiny_input(2));
+  const Response r = f.get();
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.tenant, kDefaultTenant);
+  EXPECT_TRUE(server.metrics().tenants.empty());
+}
+
+}  // namespace
+}  // namespace seneca::serve
