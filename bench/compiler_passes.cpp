@@ -1,0 +1,168 @@
+// Compiler pass-pipeline bench: compiles every ladder rung twice from the
+// same quantized graph — -O0 (lowering only, byte-identical to the
+// pre-pipeline compiler) and -O1 (const-fold, DCE, concat elimination,
+// tile-size search) — and reports the before/after instruction counts and
+// simulated cycles per frame. Also proves the optimizations are safe by
+// running both programs on the functional core simulator at a smaller
+// resolution and comparing segmentation outputs bit-for-bit against the
+// quantized reference executor.
+//
+//   ./compiler_passes [--input 256] [--verify-input 64] [--sharers 2]
+//                     [--dump-passes] [--json compiler_passes.json]
+//                     [--strict] [--min-win 10]
+//
+// --strict exits nonzero unless the 16M and 4M rungs win >= --min-win % of
+// single-sharer cycles AND every rung's -O1 output is bit-exact.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "dpu/compiler.hpp"
+#include "dpu/core_sim.hpp"
+#include "dpu/passes.hpp"
+#include "eval/table.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace seneca;
+
+struct RungResult {
+  std::string model;
+  std::size_t instrs_o0 = 0;
+  std::size_t instrs_o1 = 0;
+  double cycles_o0 = 0.0;
+  double cycles_o1 = 0.0;
+  double ddr_mb_o0 = 0.0;
+  double ddr_mb_o1 = 0.0;
+  double win_pct = 0.0;
+  bool bitexact = false;
+};
+
+tensor::TensorI8 seeded_input(const tensor::Shape& shape, std::uint64_t seed) {
+  tensor::TensorI8 t(shape);
+  std::uint64_t s = seed;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    t[i] = static_cast<std::int8_t>(static_cast<std::int64_t>(s >> 56) - 128);
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const std::int64_t input = cli.get_int("input", 256);
+  const std::int64_t verify_input = cli.get_int("verify-input", 64);
+  const int sharers = static_cast<int>(cli.get_int("sharers", 2));
+  const bool dump_passes = cli.get_bool("dump-passes", false);
+  const bool strict = cli.get_bool("strict", false);
+  const double min_win = cli.get_double("min-win", 10.0);
+  const std::string json_path = cli.get("json", "");
+
+  const std::vector<std::string> rungs = {"16M", "8M", "4M", "2M", "1M"};
+  std::vector<RungResult> results;
+
+  for (const auto& name : rungs) {
+    RungResult r;
+    r.model = name;
+
+    // Timing comparison at full resolution.
+    const quant::QGraph qg = core::build_timing_qgraph(name, input);
+    dpu::CompileOptions o0;
+    o0.model_name = name;
+    o0.opt_level = 0;
+    dpu::CompileOptions o1 = o0;
+    o1.opt_level = 1;
+    const dpu::XModel xm0 = dpu::compile(qg, o0);
+    dpu::CompileReport report;
+    const dpu::XModel xm1 =
+        dpu::compile(qg, o1, dump_passes ? &report : nullptr);
+    r.instrs_o0 = xm0.total_instructions();
+    r.instrs_o1 = xm1.total_instructions();
+    r.cycles_o0 = xm0.latency_cycles(1);
+    r.cycles_o1 = xm1.latency_cycles(1);
+    r.ddr_mb_o0 = static_cast<double>(xm0.total_ddr_bytes()) / 1e6;
+    r.ddr_mb_o1 = static_cast<double>(xm1.total_ddr_bytes()) / 1e6;
+    r.win_pct = 100.0 * (r.cycles_o0 - r.cycles_o1) / r.cycles_o0;
+    if (dump_passes) {
+      std::printf("%s pass pipeline (%lldx%lld):\n%s\n", name.c_str(),
+                  static_cast<long long>(input), static_cast<long long>(input),
+                  dpu::format_pass_table(report).c_str());
+    }
+
+    // Bit-exactness at verify resolution: -O1 vs -O0 vs the quantized
+    // reference executor, on a deterministic pseudo-random input.
+    const quant::QGraph vqg = core::build_timing_qgraph(name, verify_input);
+    const dpu::XModel vxm0 = dpu::compile(vqg, o0);
+    const dpu::XModel vxm1 = dpu::compile(vqg, o1);
+    const auto in = seeded_input(vqg.input_shape, 0x5ECA + results.size());
+    const auto ref = vqg.forward(in);
+    const auto out0 = dpu::DpuCoreSim(&vxm0).run(in).output;
+    const auto out1 = dpu::DpuCoreSim(&vxm1).run(in).output;
+    r.bitexact = tensor::max_abs_diff(ref, out0) == 0.0 &&
+                 tensor::max_abs_diff(ref, out1) == 0.0;
+    results.push_back(r);
+  }
+
+  eval::Table table({"Model", "Instrs -O0", "Instrs -O1", "Mcyc/frame -O0",
+                     "Mcyc/frame -O1", "Win %", "DDR MB -O0", "DDR MB -O1",
+                     "Bit-exact"});
+  for (const auto& r : results) {
+    table.add_row({r.model, std::to_string(r.instrs_o0),
+                   std::to_string(r.instrs_o1),
+                   eval::Table::num(r.cycles_o0 / 1e6, 2),
+                   eval::Table::num(r.cycles_o1 / 1e6, 2),
+                   eval::Table::num(r.win_pct, 1),
+                   eval::Table::num(r.ddr_mb_o0, 2),
+                   eval::Table::num(r.ddr_mb_o1, 2),
+                   r.bitexact ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "(-O1 = const-fold, dce, concat-elim, tile-search; cycles at 1 DDR "
+      "sharer; latency at %d sharers scales the overlap model the same "
+      "way)\n",
+      sharers);
+
+  bool pass = true;
+  for (const auto& r : results) {
+    if (!r.bitexact) {
+      std::printf("FAIL: %s -O1 output not bit-exact\n", r.model.c_str());
+      pass = false;
+    }
+    if ((r.model == "16M" || r.model == "4M") && r.win_pct < min_win) {
+      std::printf("FAIL: %s win %.1f%% < %.1f%%\n", r.model.c_str(), r.win_pct,
+                  min_win);
+      pass = false;
+    }
+  }
+  std::printf("compiler_passes check: %s\n", pass ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      out << "  {\"model\": \"" << r.model << "\", \"instrs_o0\": "
+          << r.instrs_o0 << ", \"instrs_o1\": " << r.instrs_o1
+          << ", \"cycles_o0\": " << r.cycles_o0
+          << ", \"cycles_o1\": " << r.cycles_o1
+          << ", \"win_pct\": " << r.win_pct
+          << ", \"ddr_mb_o0\": " << r.ddr_mb_o0
+          << ", \"ddr_mb_o1\": " << r.ddr_mb_o1 << ", \"bitexact\": "
+          << (r.bitexact ? "true" : "false") << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return strict && !pass ? 1 : 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "compiler_passes: %s\n", e.what());
+  return 1;
+}

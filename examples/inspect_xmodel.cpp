@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
     std::printf("loaded %s\n\n", cli.positional()[0].c_str());
   } else {
     std::printf("no xmodel given; compiling the 1M model at 256x256...\n\n");
-    model = core::build_timing_xmodel(cli.get("model", "1M"));
+    model = core::build_timing_xmodel(cli.get("model", "1M"),
+                                      dpu::DpuArch::b4096(), 256,
+                                      static_cast<int>(cli.get_int("opt", 1)));
   }
 
   dpu::DisasmOptions opts;

@@ -95,13 +95,12 @@ WorkflowArtifacts Workflow::run() {
   return art;
 }
 
-dpu::XModel build_timing_xmodel(const std::string& model_name,
-                                const dpu::DpuArch& arch,
-                                std::int64_t input_size) {
+quant::QGraph build_timing_qgraph(const std::string& model_name,
+                                  std::int64_t input_size) {
   const ZooEntry& entry = zoo_entry(model_name);
   auto graph = nn::build_unet2d(unet_config(entry, input_size));
   quant::FGraph folded = quant::fold(*graph);
-  // Two synthetic calibration images suffice: fix positions do not affect
+  // One synthetic calibration image suffices: fix positions do not affect
   // the timing model.
   std::vector<tensor::TensorF> calib;
   tensor::TensorF img(tensor::Shape{input_size, input_size, 1});
@@ -109,10 +108,17 @@ dpu::XModel build_timing_xmodel(const std::string& model_name,
     img[i] = -1.f + 2.f * static_cast<float>(i % 97) / 96.f;
   }
   calib.push_back(img);
-  quant::QGraph qg = quant::quantize(folded, calib);
+  return quant::quantize(folded, calib);
+}
+
+dpu::XModel build_timing_xmodel(const std::string& model_name,
+                                const dpu::DpuArch& arch,
+                                std::int64_t input_size, int opt_level) {
+  const quant::QGraph qg = build_timing_qgraph(model_name, input_size);
   dpu::CompileOptions copts;
   copts.arch = arch;
   copts.model_name = model_name;
+  copts.opt_level = opt_level;
   return dpu::compile(qg, copts);
 }
 

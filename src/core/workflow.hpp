@@ -70,11 +70,18 @@ class Workflow {
   WorkflowConfig cfg_;
 };
 
+/// Builds + quantizes an *untrained* model of the given zoo name — the
+/// QGraph fed to the compiler, for benches that compile the same graph at
+/// several optimization levels (bench/compiler_passes).
+quant::QGraph build_timing_qgraph(const std::string& model_name,
+                                  std::int64_t input_size = 256);
+
 /// Builds + quantizes + compiles an *untrained* model of the given zoo name
 /// at full 256x256 resolution — sufficient for timing/energy experiments,
 /// whose results are weight-independent.
 dpu::XModel build_timing_xmodel(const std::string& model_name,
                                 const dpu::DpuArch& arch = dpu::DpuArch::b4096(),
-                                std::int64_t input_size = 256);
+                                std::int64_t input_size = 256,
+                                int opt_level = 1);
 
 }  // namespace seneca::core

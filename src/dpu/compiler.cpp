@@ -1,8 +1,10 @@
 #include "dpu/compiler.hpp"
 
-#include <algorithm>
-#include <numeric>
 #include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "dpu/passes.hpp"
 
 namespace seneca::dpu {
 
@@ -38,220 +40,96 @@ double concat_cycles(const DpuArch& arch, std::int64_t out_numel) {
          static_cast<double>(arch.pixel_parallel * arch.input_channel_parallel);
 }
 
-XModel compile(const quant::QGraph& qg, const CompileOptions& opts) {
-  XModel xm;
-  xm.arch = opts.arch;
-  xm.name = opts.model_name;
-  xm.input_shape = qg.input_shape;
-  xm.input_fix_pos = qg.input_fix_pos;
+void validate(const quant::QGraph& qg) {
+  using quant::QOpKind;
+  auto fail = [](const std::string& msg) {
+    throw std::invalid_argument("compile: invalid QGraph: " + msg);
+  };
+  const int n = static_cast<int>(qg.ops.size());
+  if (n == 0) fail("graph has no ops");
+  if (qg.input_op < 0 || qg.input_op >= n) {
+    fail("input_op " + std::to_string(qg.input_op) + " out of range");
+  }
+  if (qg.output_op < 0 || qg.output_op >= n) {
+    fail("output_op " + std::to_string(qg.output_op) + " out of range");
+  }
+  if (qg.ops[static_cast<std::size_t>(qg.input_op)].kind != QOpKind::kInput) {
+    fail("input_op is not a kInput op");
+  }
+  if (qg.ops[static_cast<std::size_t>(qg.output_op)].kind == QOpKind::kInput) {
+    fail("output_op is the network input");
+  }
 
-  // --- Map QGraph ops -> XLayer ids (input op maps to -1). ---
-  std::vector<int> layer_of(qg.ops.size(), -1);
-  for (std::size_t id = 0; id < qg.ops.size(); ++id) {
-    const quant::QOp& op = qg.ops[id];
-    if (op.kind == quant::QOpKind::kInput) continue;
-    XLayer layer;
-    switch (op.kind) {
-      case quant::QOpKind::kConv2D: layer.kind = XLayer::Kind::kConv; break;
-      case quant::QOpKind::kTConv2D: layer.kind = XLayer::Kind::kTConv; break;
-      case quant::QOpKind::kMaxPool2D: layer.kind = XLayer::Kind::kPool; break;
-      case quant::QOpKind::kConcat: layer.kind = XLayer::Kind::kConcat; break;
-      default: throw std::invalid_argument("compile: bad op kind");
+  std::unordered_set<std::string> names;
+  for (int id = 0; id < n; ++id) {
+    const quant::QOp& op = qg.ops[static_cast<std::size_t>(id)];
+    const std::string where =
+        "op " + std::to_string(id) + " ('" + op.name + "')";
+    if (op.kind == QOpKind::kInput) {
+      if (id != qg.input_op) fail(where + ": second kInput op");
+      if (!op.inputs.empty()) fail(where + ": kInput op takes no inputs");
+      continue;
     }
-    layer.name = op.name;
-    layer.out_shape = op.out_shape;
-    layer.kernel = op.kernel;
-    layer.relu = op.relu;
-    layer.fix_pos_w = op.fix_pos_w;
-    layer.fix_pos_out = op.fix_pos_out;
+    if (op.name.empty()) fail("op " + std::to_string(id) + " has no name");
+    if (!names.insert(op.name).second) fail(where + ": duplicate name");
+
+    // Executors evaluate ops in index order, so every edge must point at an
+    // already-defined op; a violation is either a dangling reference or a
+    // cycle routed through later ids.
     for (int in : op.inputs) {
-      layer.inputs.push_back(layer_of[static_cast<std::size_t>(in)]);
-    }
-    if (op.kind == quant::QOpKind::kConv2D ||
-        op.kind == quant::QOpKind::kTConv2D) {
-      layer.weight_offset = static_cast<std::int64_t>(xm.weights.size());
-      layer.weight_count = op.weights.numel();
-      xm.weights.insert(xm.weights.end(), op.weights.data(),
-                        op.weights.data() + op.weights.numel());
-      layer.bias_offset = static_cast<std::int64_t>(xm.biases.size());
-      layer.bias_count = static_cast<std::int64_t>(op.bias.size());
-      xm.biases.insert(xm.biases.end(), op.bias.begin(), op.bias.end());
-    }
-    xm.layers.push_back(std::move(layer));
-    layer_of[id] = static_cast<int>(xm.layers.size()) - 1;
-  }
-  xm.output_layer = layer_of[static_cast<std::size_t>(qg.output_op)];
-  xm.output_fix_pos =
-      qg.ops[static_cast<std::size_t>(qg.output_op)].fix_pos_out;
-
-  // --- Weight residency: keep the smallest layers' weights parked in the
-  //     global memory pool until the weight budget (half the pool) is
-  //     exhausted; the rest stream from DDR every inference. This is the
-  //     mechanism behind the steeper FPS drop of the big configs (Table IV).
-  const std::int64_t weight_budget = static_cast<std::int64_t>(
-      xm.arch.weight_pool_fraction * static_cast<double>(xm.arch.onchip_bytes));
-  std::vector<std::size_t> order(xm.layers.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return xm.layers[a].weight_count < xm.layers[b].weight_count;
-  });
-  // Weights are stored padded to the ICPxOCP lane grid.
-  auto padded_weight_bytes = [&](const XLayer& layer) -> std::int64_t {
-    if (layer.weight_count == 0) return 0;
-    const std::int64_t co = layer.out_shape[2];
-    const std::int64_t ci = layer.weight_count / (layer.kernel * layer.kernel * co);
-    return layer.kernel * layer.kernel *
-               ceil_div(ci, xm.arch.input_channel_parallel) *
-               xm.arch.input_channel_parallel *
-               ceil_div(co, xm.arch.output_channel_parallel) *
-               xm.arch.output_channel_parallel +
-           4 * layer.bias_count;
-  };
-  std::vector<bool> weights_resident(xm.layers.size(), false);
-  std::int64_t used = 0;
-  for (std::size_t idx : order) {
-    const std::int64_t bytes = padded_weight_bytes(xm.layers[idx]);
-    if (bytes == 0) continue;
-    if (used + bytes <= weight_budget) {
-      weights_resident[idx] = true;
-      used += bytes;
-    }
-  }
-
-  // --- Activation residency. ---
-  const std::int64_t act_budget = xm.arch.onchip_bytes / 2;
-  // Consumers of each layer's output.
-  std::vector<std::vector<int>> consumers(xm.layers.size());
-  for (std::size_t i = 0; i < xm.layers.size(); ++i) {
-    for (int in : xm.layers[i].inputs) {
-      if (in >= 0) consumers[static_cast<std::size_t>(in)].push_back(static_cast<int>(i));
-    }
-  }
-  // Activations live in channel-major DDR banks: a tensor with C channels
-  // occupies ceil(C/bank)*bank bytes per pixel. This padding is what makes
-  // non-bank-aligned filter counts (the 2M's base-6, the 8M's base-11)
-  // disproportionately bandwidth-hungry.
-  const std::int64_t bank = xm.arch.act_bank_channels;
-  auto tensor_bytes = [bank](const Shape& s) {
-    const std::int64_t c = s[s.rank() - 1];
-    return (s.numel() / c) * ceil_div(c, bank) * bank;
-  };
-
-  for (std::size_t i = 0; i < xm.layers.size(); ++i) {
-    XLayer& layer = xm.layers[i];
-    // Input residency: produced by the immediately preceding layer, small
-    // enough, and we are its first consumer.
-    layer.input_resident.resize(layer.inputs.size(), 0);
-    for (std::size_t k = 0; k < layer.inputs.size(); ++k) {
-      const int src = layer.inputs[k];
-      if (src < 0) continue;  // network input always arrives via LOAD
-      const XLayer& producer = xm.layers[static_cast<std::size_t>(src)];
-      const bool adjacent = (static_cast<int>(i) - src) == 1;
-      const bool fits = tensor_bytes(producer.out_shape) <= act_budget;
-      layer.input_resident[k] = (adjacent && fits) ? 1 : 0;
-    }
-    // Output residency: no SAVE only if the single consumer is the next
-    // layer and the tensor fits (skip-connection tensors must be saved).
-    const auto& cons = consumers[i];
-    const bool is_output = static_cast<int>(i) == xm.output_layer;
-    layer.output_resident = !is_output && cons.size() == 1 &&
-                            cons[0] == static_cast<int>(i) + 1 &&
-                            tensor_bytes(layer.out_shape) <= act_budget;
-  }
-
-  // --- Instruction generation + timing annotation. ---
-  const double bpc = xm.arch.ddr_bytes_per_cycle_total;  // nominal, 1 sharer
-  for (std::size_t i = 0; i < xm.layers.size(); ++i) {
-    XLayer& layer = xm.layers[i];
-    auto emit = [&](Instr ins) {
-      ins.layer_id = static_cast<std::int32_t>(i);
-      layer.instrs.push_back(ins);
-    };
-
-    // Activation loads.
-    for (std::size_t k = 0; k < layer.inputs.size(); ++k) {
-      if (layer.input_resident[k]) continue;
-      const int src = layer.inputs[k];
-      const Shape in_shape = (src < 0)
-                                 ? xm.input_shape
-                                 : xm.layers[static_cast<std::size_t>(src)].out_shape;
-      Instr ins;
-      ins.opcode = Opcode::kLoad;
-      ins.tensor_id = src;
-      ins.bytes = tensor_bytes(in_shape);
-      ins.cycles = static_cast<double>(ins.bytes) / bpc;
-      emit(ins);
-      layer.ddr_bytes += ins.bytes;
-    }
-    // Weight stream-in.
-    if (layer.weight_count > 0 && !weights_resident[i]) {
-      Instr ins;
-      ins.opcode = Opcode::kLoad;
-      ins.tensor_id = -2;  // weights
-      ins.bytes = padded_weight_bytes(layer);
-      ins.cycles = static_cast<double>(ins.bytes) / bpc;
-      emit(ins);
-      layer.ddr_bytes += ins.bytes;
-    }
-
-    // Compute instruction.
-    Instr c;
-    const Shape& os = layer.out_shape;
-    switch (layer.kind) {
-      case XLayer::Kind::kConv: {
-        const int src = layer.inputs[0];
-        const Shape in_shape = (src < 0)
-                                   ? xm.input_shape
-                                   : xm.layers[static_cast<std::size_t>(src)].out_shape;
-        c.opcode = Opcode::kConv;
-        c.macs = os[0] * os[1] * layer.kernel * layer.kernel * in_shape[2] * os[2];
-        c.cycles = conv_cycles(xm.arch, os[0], os[1], layer.kernel, in_shape[2], os[2]);
-        break;
+      if (in < 0 || in >= n) {
+        fail(where + ": dangling input " + std::to_string(in));
       }
-      case XLayer::Kind::kTConv: {
-        const int src = layer.inputs[0];
-        const Shape in_shape = xm.layers[static_cast<std::size_t>(src)].out_shape;
-        c.opcode = Opcode::kTConv;
-        c.macs = os[0] * os[1] * layer.kernel * layer.kernel * in_shape[2] * os[2] / 4;
-        c.cycles = tconv_cycles(xm.arch, os[0], os[1], layer.kernel, in_shape[2], os[2]);
-        break;
+      if (in >= id) {
+        fail(where + ": input " + std::to_string(in) +
+             " is not yet defined (cycle or forward reference)");
       }
-      case XLayer::Kind::kPool:
-        c.opcode = Opcode::kPool;
-        c.cycles = pool_cycles(xm.arch, os[0], os[1], os[2]);
-        break;
-      case XLayer::Kind::kConcat:
-        c.opcode = Opcode::kConcat;
-        c.cycles = concat_cycles(xm.arch, os.numel());
-        break;
     }
-    emit(c);
-    layer.compute_cycles = c.cycles;
-    layer.macs = c.macs;
+    const std::size_t arity = op.kind == QOpKind::kConcat ? 2 : 1;
+    if (op.inputs.size() != arity) {
+      fail(where + ": expected " + std::to_string(arity) + " inputs, got " +
+           std::to_string(op.inputs.size()));
+    }
+    if (op.kind == QOpKind::kConv2D || op.kind == QOpKind::kTConv2D) {
+      if (op.kernel < 1) fail(where + ": bad kernel size");
+      const auto& in_op = qg.ops[static_cast<std::size_t>(op.inputs[0])];
+      const Shape& in_shape =
+          in_op.kind == QOpKind::kInput ? qg.input_shape : in_op.out_shape;
+      const std::int64_t want =
+          op.kernel * op.kernel * in_shape[2] * op.out_shape[2];
+      if (op.weights.numel() != want) {
+        fail(where + ": weight count " + std::to_string(op.weights.numel()) +
+             " does not match k*k*ci*co = " + std::to_string(want));
+      }
+      if (static_cast<std::int64_t>(op.bias.size()) != op.out_shape[2]) {
+        fail(where + ": bias count " + std::to_string(op.bias.size()) +
+             " does not match out channels");
+      }
+    }
+  }
+}
 
-    // Output save. Tensors whose channel count is not bank-aligned incur a
-    // read-modify-write on every partial bank (the DMA must merge the tail
-    // lanes), doubling the write traffic — the mechanism that penalizes the
-    // base-6 (2M) and base-11 (8M) configurations on the real device.
-    if (!layer.output_resident) {
-      Instr ins;
-      ins.opcode = Opcode::kSave;
-      ins.tensor_id = static_cast<std::int32_t>(i);
-      ins.bytes = tensor_bytes(os);
-      if (os[os.rank() - 1] % bank != 0) ins.bytes *= 2;
-      ins.cycles = static_cast<double>(ins.bytes) / bpc;
-      emit(ins);
-      layer.ddr_bytes += ins.bytes;
-    }
+XModel compile(const quant::QGraph& qg, const CompileOptions& opts,
+               CompileReport* report) {
+  validate(qg);
+  ir::Graph g = ir::lower(qg, opts.arch, opts.model_name);
+
+  PassManager pm;
+  if (opts.opt_level >= 1) {
+    pm.add(make_constant_fold_pass());
+    pm.add(make_dead_node_elimination_pass());
   }
-  // Kernel-stream terminator (completion interrupt).
-  if (!xm.layers.empty()) {
-    Instr end;
-    end.opcode = Opcode::kEnd;
-    end.layer_id = static_cast<std::int32_t>(xm.layers.size()) - 1;
-    xm.layers.back().instrs.push_back(end);
+  pm.add(make_residency_pass());
+  if (opts.opt_level >= 1) {
+    pm.add(make_concat_elimination_pass());
+    pm.add(make_tile_search_pass());
   }
-  return xm;
+  pm.add(make_schedule_pass());
+  pm.add(make_timing_pass());
+  pm.run(g, report,
+         report ? PassManager::Measure(&measure_program)
+                : PassManager::Measure());
+  return ir::emit_xmodel(g);
 }
 
 }  // namespace seneca::dpu

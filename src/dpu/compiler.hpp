@@ -7,6 +7,7 @@
 // xmodel binary for the target DPU microarchitecture.
 
 #include "dpu/arch.hpp"
+#include "dpu/pass.hpp"
 #include "dpu/xmodel.hpp"
 #include "quant/qgraph.hpp"
 
@@ -15,10 +16,22 @@ namespace seneca::dpu {
 struct CompileOptions {
   DpuArch arch = DpuArch::b4096();
   std::string model_name = "seneca";
+  // 0 = lowering only (byte-identical to the pre-pipeline compiler),
+  // 1 = full pass pipeline (const-fold, DCE, concat elimination, tiling).
+  int opt_level = 1;
 };
 
-/// Compiles a quantized graph into a DPU-executable xmodel.
-XModel compile(const quant::QGraph& qgraph, const CompileOptions& opts = {});
+/// Structural validation of the graph compile() is about to consume:
+/// rejects cyclic/forward references, dangling inputs, duplicate or empty
+/// names, arity and payload-shape mismatches. Throws std::invalid_argument
+/// with a message naming the offending op.
+void validate(const quant::QGraph& qgraph);
+
+/// Compiles a quantized graph into a DPU-executable xmodel by running the
+/// pass pipeline (passes.hpp). With `report` set, per-pass before/after
+/// instruction and cycle stats are recorded (--dump-passes).
+XModel compile(const quant::QGraph& qgraph, const CompileOptions& opts = {},
+               CompileReport* report = nullptr);
 
 // --- Timing model (exposed for tests and the ablation benches). -----------
 

@@ -6,6 +6,7 @@ namespace seneca::dpu {
 
 DpuCoreSim::DpuCoreSim(const XModel* model) : model_(model) {
   payloads_.resize(model_->layers.size());
+  consts_.resize(model_->layers.size());
   for (std::size_t i = 0; i < model_->layers.size(); ++i) {
     const XLayer& layer = model_->layers[i];
     quant::QOp& op = payloads_[i];
@@ -15,11 +16,20 @@ DpuCoreSim::DpuCoreSim(const XModel* model) : model_(model) {
     op.fix_pos_w = layer.fix_pos_w;
     op.kernel = layer.kernel;
     op.relu = layer.relu;
+    if (layer.kind == XLayer::Kind::kConst) {
+      // The folded feature map rides in the weights blob, unpadded HWC.
+      consts_[i] = TensorI8(layer.out_shape);
+      std::copy(model_->weights.begin() + layer.weight_offset,
+                model_->weights.begin() + layer.weight_offset + layer.weight_count,
+                consts_[i].data());
+      continue;
+    }
     switch (layer.kind) {
       case XLayer::Kind::kConv: op.kind = quant::QOpKind::kConv2D; break;
       case XLayer::Kind::kTConv: op.kind = quant::QOpKind::kTConv2D; break;
       case XLayer::Kind::kPool: op.kind = quant::QOpKind::kMaxPool2D; break;
       case XLayer::Kind::kConcat: op.kind = quant::QOpKind::kConcat; break;
+      case XLayer::Kind::kConst: break;  // handled above
     }
     if (layer.weight_count > 0) {
       // Reconstruct the weight tensor from the blob: [K][K][Cin][Cout].
@@ -68,9 +78,38 @@ RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers) const {
         quant::qmaxpool2d_forward(input_of(layer.inputs[0]), out);
         break;
       case XLayer::Kind::kConcat:
-        quant::qconcat_forward(input_of(layer.inputs[0]), fp_of(layer.inputs[0]),
-                               input_of(layer.inputs[1]), fp_of(layer.inputs[1]),
-                               out, layer.fix_pos_out);
+        if (layer.materialized) {
+          // Offset-addressed assembly: each input lands in its channel
+          // region of this buffer, requantized on the way in — either by a
+          // producer's redirected store or by a region LOAD. The requant
+          // (sat8(rshift_round(v, fp_in - fp_out))) is the same arithmetic
+          // the deleted kConcat copy performed, so outputs are bit-exact.
+          std::int64_t chan_off = 0;
+          for (int src : layer.inputs) {
+            const TensorI8& in = input_of(src);
+            const std::int64_t ci = in.shape()[2];
+            const int shift = fp_of(src) - layer.fix_pos_out;
+            const std::int64_t co = layer.out_shape[2];
+            const std::int64_t pixels = in.numel() / ci;
+            for (std::int64_t p = 0; p < pixels; ++p) {
+              const std::int8_t* pi = in.data() + p * ci;
+              std::int8_t* po = out.data() + p * co + chan_off;
+              for (std::int64_t c = 0; c < ci; ++c) {
+                po[c] = quant::saturate_i8(quant::rshift_round(pi[c], shift));
+              }
+            }
+            chan_off += ci;
+          }
+        } else {
+          quant::qconcat_forward(input_of(layer.inputs[0]),
+                                 fp_of(layer.inputs[0]),
+                                 input_of(layer.inputs[1]),
+                                 fp_of(layer.inputs[1]), out,
+                                 layer.fix_pos_out);
+        }
+        break;
+      case XLayer::Kind::kConst:
+        out = consts_[i];
         break;
     }
     acts[i] = std::move(out);

@@ -37,6 +37,8 @@ class DpuCoreSim {
   const XModel* model_;
   // Per-layer weight/bias views materialized once at construction.
   std::vector<quant::QOp> payloads_;
+  // Folded feature maps of kConst layers, rebuilt from the weights blob.
+  std::vector<TensorI8> consts_;
 };
 
 }  // namespace seneca::dpu

@@ -15,14 +15,30 @@ const char* kind_name(XLayer::Kind kind) {
     case XLayer::Kind::kTConv: return "TCONV";
     case XLayer::Kind::kPool: return "POOL";
     case XLayer::Kind::kConcat: return "CONCAT";
+    case XLayer::Kind::kConst: return "CONST";
   }
   return "?";
 }
 
-double layer_latency_cycles(const XModel& m, const XLayer& l, int sharers) {
-  const double bpc = m.arch.ddr_bytes_per_cycle_total / static_cast<double>(sharers);
-  return l.compute_cycles + static_cast<double>(l.ddr_bytes) / bpc +
-         m.arch.instr_overhead_cycles * static_cast<double>(l.instrs.size());
+// Pass-pipeline annotations: redirected stores, assembled concat buffers,
+// and tiling decisions. Empty for a plain (-O0) program, which keeps the
+// -O0 disassembly byte-identical to the pre-pipeline compiler's.
+std::string layer_attrs(const XLayer& l) {
+  std::string s;
+  char buf[64];
+  if (l.output_resident) s += " [resident]";
+  if (l.concat_dst >= 0) {
+    std::snprintf(buf, sizeof buf, " [store->L%03d@ch%lld]", l.concat_dst,
+                  static_cast<long long>(l.concat_offset));
+    s += buf;
+  }
+  if (l.materialized) s += " [materialized]";
+  if (l.tile_count > 1) {
+    std::snprintf(buf, sizeof buf, " [tiled x%d %s]", l.tile_count,
+                  l.tile_mode == 1 ? "rows" : "co");
+    s += buf;
+  }
+  return s;
 }
 
 }  // namespace
@@ -50,15 +66,20 @@ std::string disassemble(const XModel& m, const DisasmOptions& opts) {
                   "L%03zu %-7s %-18s -> %-12s relu=%d fpw=%d fpo=%d%s\n", i,
                   kind_name(l.kind), l.name.c_str(),
                   l.out_shape.to_string().c_str(), l.relu ? 1 : 0, l.fix_pos_w,
-                  l.fix_pos_out, l.output_resident ? " [resident]" : "");
+                  l.fix_pos_out, layer_attrs(l).c_str());
     os << buf;
     if (opts.instructions) {
       for (const auto& ins : l.instrs) {
+        char region[32] = "";
+        if (ins.dst_id >= 0) {
+          std::snprintf(region, sizeof region, " ->L%03d@ch%lld", ins.dst_id,
+                        static_cast<long long>(ins.chan_off));
+        }
         std::snprintf(buf, sizeof buf,
-                      "      %-6s tensor=%-3d bytes=%-9lld macs=%-11lld cycles=%.0f\n",
+                      "      %-6s tensor=%-3d bytes=%-9lld macs=%-11lld cycles=%.0f%s\n",
                       opcode_name(ins.opcode), ins.tensor_id,
                       static_cast<long long>(ins.bytes),
-                      static_cast<long long>(ins.macs), ins.cycles);
+                      static_cast<long long>(ins.macs), ins.cycles, region);
         os << buf;
       }
     }
@@ -86,20 +107,20 @@ std::string latency_breakdown(const XModel& m, int bw_sharers) {
   std::vector<std::size_t> order(m.layers.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return layer_latency_cycles(m, m.layers[a], bw_sharers) >
-           layer_latency_cycles(m, m.layers[b], bw_sharers);
+    return m.layer_latency_cycles(m.layers[a], bw_sharers) >
+           m.layer_latency_cycles(m.layers[b], bw_sharers);
   });
   // Percentages are over the sum of per-layer latencies (the per-job
   // constant overhead is not attributable to any layer).
   double total = 0.0;
-  for (const auto& l : m.layers) total += layer_latency_cycles(m, l, bw_sharers);
+  for (const auto& l : m.layers) total += m.layer_latency_cycles(l, bw_sharers);
 
   std::ostringstream os;
   os << "layer latency breakdown (" << bw_sharers << " bandwidth sharers):\n";
   char buf[256];
   for (std::size_t idx : order) {
     const XLayer& l = m.layers[idx];
-    const double cycles = layer_latency_cycles(m, l, bw_sharers);
+    const double cycles = m.layer_latency_cycles(l, bw_sharers);
     std::snprintf(buf, sizeof buf,
                   "  %5.1f %%  %-18s %-7s compute=%-9.0f mem_bytes=%-9lld\n",
                   100.0 * cycles / total, l.name.c_str(), kind_name(l.kind),

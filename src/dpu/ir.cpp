@@ -1,0 +1,168 @@
+#include "dpu/ir.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace seneca::dpu::ir {
+
+int Graph::eff_fix_pos(int id) const {
+  while (id >= 0) {
+    const Node& n = nodes[static_cast<std::size_t>(id)];
+    if (n.kind != NodeKind::kPool) return n.fix_pos_out;
+    id = n.inputs[0];
+  }
+  return input_fix_pos;
+}
+
+std::vector<std::vector<int>> Graph::consumers() const {
+  std::vector<std::vector<int>> cons(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int in : nodes[i].inputs) {
+      if (in >= 0) cons[static_cast<std::size_t>(in)].push_back(static_cast<int>(i));
+    }
+  }
+  return cons;
+}
+
+void Graph::erase_nodes(const std::vector<bool>& dead) {
+  std::vector<int> remap(nodes.size(), -1);
+  int next = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!dead[i]) remap[i] = next++;
+  }
+  auto remap_id = [&](int id) {
+    if (id < 0) return id;
+    const int r = remap[static_cast<std::size_t>(id)];
+    if (r < 0) throw std::logic_error("erase_nodes: dead node still referenced");
+    return r;
+  };
+  std::vector<Node> kept;
+  kept.reserve(static_cast<std::size_t>(next));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (dead[i]) continue;
+    Node n = std::move(nodes[i]);
+    for (int& in : n.inputs) in = remap_id(in);
+    n.concat_dst = remap_id(n.concat_dst);
+    kept.push_back(std::move(n));
+  }
+  nodes = std::move(kept);
+  output = remap_id(output);
+}
+
+Graph lower(const quant::QGraph& qg, const DpuArch& arch,
+            const std::string& model_name) {
+  Graph g;
+  g.arch = arch;
+  g.name = model_name;
+  g.input_shape = qg.input_shape;
+  g.input_fix_pos = qg.input_fix_pos;
+
+  std::vector<int> node_of(qg.ops.size(), -1);
+  for (std::size_t id = 0; id < qg.ops.size(); ++id) {
+    const quant::QOp& op = qg.ops[id];
+    if (op.kind == quant::QOpKind::kInput) continue;
+    Node n;
+    switch (op.kind) {
+      case quant::QOpKind::kConv2D: n.kind = NodeKind::kConv; break;
+      case quant::QOpKind::kTConv2D: n.kind = NodeKind::kTConv; break;
+      case quant::QOpKind::kMaxPool2D: n.kind = NodeKind::kPool; break;
+      case quant::QOpKind::kConcat: n.kind = NodeKind::kConcat; break;
+      default: throw std::invalid_argument("lower: bad op kind");
+    }
+    n.name = op.name;
+    n.out_shape = op.out_shape;
+    n.fix_pos_out = op.fix_pos_out;
+    n.kernel = op.kernel;
+    n.relu = op.relu;
+    n.fix_pos_w = op.fix_pos_w;
+    n.weights = op.weights;
+    n.bias = op.bias;
+    for (int in : op.inputs) {
+      n.inputs.push_back(node_of[static_cast<std::size_t>(in)]);
+    }
+    g.nodes.push_back(std::move(n));
+    node_of[id] = static_cast<int>(g.nodes.size()) - 1;
+  }
+  g.output = node_of[static_cast<std::size_t>(qg.output_op)];
+  return g;
+}
+
+std::int64_t act_tensor_bytes(const Shape& s, const DpuArch& arch) {
+  const std::int64_t bank = arch.act_bank_channels;
+  const std::int64_t c = s[s.rank() - 1];
+  return (s.numel() / c) * ceil_div(c, bank) * bank;
+}
+
+std::int64_t padded_weight_bytes(const Node& node, const DpuArch& arch) {
+  const std::int64_t count = node.weights.numel();
+  if (count == 0) return 0;
+  const std::int64_t co = node.out_shape[2];
+  const std::int64_t ci = count / (node.kernel * node.kernel * co);
+  return node.kernel * node.kernel *
+             ceil_div(ci, arch.input_channel_parallel) *
+             arch.input_channel_parallel *
+             ceil_div(co, arch.output_channel_parallel) *
+             arch.output_channel_parallel +
+         4 * static_cast<std::int64_t>(node.bias.size());
+}
+
+XModel emit_xmodel(const Graph& g) {
+  XModel xm;
+  xm.arch = g.arch;
+  xm.name = g.name;
+  xm.input_shape = g.input_shape;
+  xm.input_fix_pos = g.input_fix_pos;
+  xm.output_layer = g.output;
+  xm.output_fix_pos =
+      g.nodes[static_cast<std::size_t>(g.output)].fix_pos_out;
+
+  for (const Node& n : g.nodes) {
+    XLayer l;
+    switch (n.kind) {
+      case NodeKind::kConv: l.kind = XLayer::Kind::kConv; break;
+      case NodeKind::kTConv: l.kind = XLayer::Kind::kTConv; break;
+      case NodeKind::kPool: l.kind = XLayer::Kind::kPool; break;
+      case NodeKind::kConcat: l.kind = XLayer::Kind::kConcat; break;
+      case NodeKind::kConst: l.kind = XLayer::Kind::kConst; break;
+    }
+    l.name = n.name;
+    l.inputs.assign(n.inputs.begin(), n.inputs.end());
+    l.out_shape = n.out_shape;
+    l.kernel = n.kernel;
+    l.relu = n.relu;
+    l.fix_pos_w = n.fix_pos_w;
+    l.fix_pos_out = n.fix_pos_out;
+    if (n.kind == NodeKind::kConv || n.kind == NodeKind::kTConv) {
+      l.weight_offset = static_cast<std::int64_t>(xm.weights.size());
+      l.weight_count = n.weights.numel();
+      xm.weights.insert(xm.weights.end(), n.weights.data(),
+                        n.weights.data() + n.weights.numel());
+      l.bias_offset = static_cast<std::int64_t>(xm.biases.size());
+      l.bias_count = static_cast<std::int64_t>(n.bias.size());
+      xm.biases.insert(xm.biases.end(), n.bias.begin(), n.bias.end());
+    } else if (n.kind == NodeKind::kConst) {
+      // The folded feature map rides in the weights blob; consumers LOAD it
+      // like any DDR activation.
+      l.weight_offset = static_cast<std::int64_t>(xm.weights.size());
+      l.weight_count = n.const_data.numel();
+      xm.weights.insert(xm.weights.end(), n.const_data.data(),
+                        n.const_data.data() + n.const_data.numel());
+    }
+    l.input_resident = n.input_resident;
+    l.output_resident = n.output_resident;
+    l.concat_dst = n.concat_dst;
+    l.concat_offset = n.concat_offset;
+    l.materialized = n.materialized;
+    l.tile_mode = static_cast<std::uint8_t>(n.tile_mode);
+    l.tile_count = n.tile_count;
+    l.instrs = n.instrs;
+    l.compute_cycles = n.compute_cycles;
+    l.ddr_bytes = n.ddr_bytes;
+    l.overlap_bytes = n.overlap_bytes;
+    l.macs = n.macs;
+    xm.layers.push_back(std::move(l));
+  }
+  return xm;
+}
+
+}  // namespace seneca::dpu::ir

@@ -1,0 +1,137 @@
+#pragma once
+// Mutable compiler IR sitting between quant::QGraph and the emitted XModel.
+//
+// The one-shot compiler became a pass pipeline (see DESIGN.md §7): lower()
+// turns the validated QGraph into an ir::Graph of Nodes in topological
+// order, passes annotate/rewrite it (dead-node elimination, constant
+// folding, concat elimination, residency, tile search, scheduling, timing),
+// and emit_xmodel() packs the final program. Every attribute a pass can set
+// lives on the Node so later passes and the emitter never recompute a
+// decision.
+//
+// Id convention (shared with XModel): node inputs reference producing node
+// ids; -1 is the network input.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dpu/arch.hpp"
+#include "dpu/isa.hpp"
+#include "dpu/xmodel.hpp"
+#include "quant/qgraph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace seneca::dpu::ir {
+
+using tensor::Shape;
+using tensor::TensorI8;
+
+enum class NodeKind : std::uint8_t {
+  kConv = 0,
+  kTConv = 1,
+  kPool = 2,
+  kConcat = 3,
+  kConst = 4,  // compile-time-known feature map (constant folding)
+};
+
+/// How a tiled layer overlaps its DDR traffic with compute.
+enum class TileMode : std::uint8_t {
+  kNone = 0,
+  kRows = 1,      // row tiles: activation LOAD/SAVE double-buffered (+halo)
+  kCoChannels = 2 // output-channel tiles: weight stream double-buffered
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kConv;
+  std::string name;
+  std::vector<int> inputs;  // producing node ids; -1 = network input
+  Shape out_shape;
+  int fix_pos_out = 0;
+
+  // Conv/TConv payload.
+  TensorI8 weights;                // [K][K][Cin][Cout]
+  std::vector<std::int32_t> bias;  // [Cout]
+  int fix_pos_w = 0;
+  std::int64_t kernel = 0;
+  bool relu = false;
+
+  // Const payload (kConst nodes): the folded feature map at fix_pos_out.
+  TensorI8 const_data;
+
+  // --- Concat elimination (ConcatEliminationPass) ---
+  // On a producer: store the output (requantized on the fly) into a channel
+  // region of the concat node `concat_dst`'s buffer instead of emitting a
+  // separate copy through the concat instruction.
+  int concat_dst = -1;
+  std::int64_t concat_offset = 0;  // channel offset inside the dst buffer
+  // On a concat: true once the buffer is assembled by offset-addressed
+  // producer stores / region loads; the kConcat instruction is then deleted.
+  bool materialized = false;
+
+  // --- Residency (ResidencyPass) ---
+  std::vector<std::uint8_t> input_resident;  // per input: no LOAD needed
+  bool output_resident = false;              // no SAVE needed
+  bool weights_resident = false;             // weights parked on-chip
+
+  // --- Tiling (TileSearchPass) ---
+  TileMode tile_mode = TileMode::kNone;
+  int tile_count = 1;
+  std::int64_t halo_bytes = 0;  // extra activation-LOAD traffic (row halos)
+
+  // --- Emission (SchedulePass + TimingPass) ---
+  std::vector<Instr> instrs;
+  double compute_cycles = 0.0;
+  std::int64_t ddr_bytes = 0;
+  std::int64_t overlap_bytes = 0;  // DDR bytes pipelined with compute
+  std::int64_t macs = 0;
+};
+
+struct Graph {
+  DpuArch arch;
+  std::string name;
+  Shape input_shape;
+  int input_fix_pos = 0;
+  std::vector<Node> nodes;  // topological order
+  int output = -1;
+
+  const Shape& shape_of(int id) const {
+    return id < 0 ? input_shape : nodes[static_cast<std::size_t>(id)].out_shape;
+  }
+
+  /// Effective output fix position of a node (-1 = network input). Pools
+  /// pass their input's position through unchanged, so this walks pool
+  /// chains the same way the executors track fix positions at run time.
+  int eff_fix_pos(int id) const;
+
+  /// Consumer lists: for each node, the ids of nodes reading its output.
+  std::vector<std::vector<int>> consumers() const;
+
+  /// Removes nodes flagged in `dead` and remaps every id (inputs, output,
+  /// concat_dst). Flagged nodes must not be referenced by surviving ones.
+  void erase_nodes(const std::vector<bool>& dead);
+};
+
+/// Lowers a validated QGraph into the compiler IR (structure + payloads
+/// only; no pass attributes set).
+Graph lower(const quant::QGraph& qgraph, const DpuArch& arch,
+            const std::string& model_name);
+
+/// Packs a fully-scheduled IR (instructions + timing annotated) into the
+/// executable artifact. kConst payloads go into the weights blob.
+XModel emit_xmodel(const Graph& graph);
+
+// --- Shared byte accounting (residency, tile search, scheduling). ---------
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// DDR footprint of an activation tensor: channel-major banks of
+/// `act_bank_channels`, so C pads up to the bank size per pixel.
+std::int64_t act_tensor_bytes(const Shape& s, const DpuArch& arch);
+
+/// Weight+bias DDR/stream footprint padded to the ICPxOCP lane grid.
+std::int64_t padded_weight_bytes(const Node& node, const DpuArch& arch);
+
+}  // namespace seneca::dpu::ir

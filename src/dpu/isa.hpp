@@ -28,6 +28,11 @@ struct Instr {
   Opcode opcode = Opcode::kEnd;
   std::int32_t layer_id = -1;   // owning XLayer
   std::int32_t tensor_id = -1;  // tensor moved (kLoad/kSave) or produced
+  // Offset-addressed transfers (concat elimination): the DMA requantizes on
+  // the fly and places the data at a channel offset inside another layer's
+  // output buffer instead of a buffer of its own.
+  std::int32_t dst_id = -1;     // destination buffer's owning layer, or -1
+  std::int64_t chan_off = 0;    // channel offset inside the dst buffer
   std::int64_t bytes = 0;       // memory traffic of this instruction
   std::int64_t macs = 0;        // MAC count (compute instructions)
   double cycles = 0.0;          // timing-model estimate (excl. issue cost)

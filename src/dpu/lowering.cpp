@@ -1,0 +1,296 @@
+// Lowering passes: Residency, Schedule, Timing. Together they re-express
+// the legacy one-shot compiler (see git history of compiler.cpp) as
+// pipeline stages — with no optimizing pass in between, the instruction
+// stream they produce is byte-identical to the pre-refactor compiler.
+
+#include <algorithm>
+#include <numeric>
+
+#include "dpu/compiler.hpp"
+#include "dpu/passes.hpp"
+
+namespace seneca::dpu {
+
+namespace {
+
+using ir::Graph;
+using ir::Node;
+using ir::NodeKind;
+
+// --- Residency -------------------------------------------------------------
+
+class ResidencyPass final : public Pass {
+ public:
+  const char* name() const override { return "residency"; }
+
+  bool run(Graph& g) override {
+    // Weight residency: keep the smallest layers' weights parked in the
+    // global memory pool until the weight budget is exhausted; the rest
+    // stream from DDR every inference (the mechanism behind the steeper
+    // FPS drop of the big configs, Table IV).
+    const std::int64_t weight_budget = static_cast<std::int64_t>(
+        g.arch.weight_pool_fraction * static_cast<double>(g.arch.onchip_bytes));
+    std::vector<std::size_t> order(g.nodes.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return g.nodes[a].weights.numel() < g.nodes[b].weights.numel();
+    });
+    for (auto& n : g.nodes) n.weights_resident = false;
+    std::int64_t used = 0;
+    for (std::size_t idx : order) {
+      const std::int64_t bytes = ir::padded_weight_bytes(g.nodes[idx], g.arch);
+      if (bytes == 0) continue;
+      if (used + bytes <= weight_budget) {
+        g.nodes[idx].weights_resident = true;
+        used += bytes;
+      }
+    }
+
+    // Activation residency.
+    const std::int64_t act_budget = g.arch.onchip_bytes / 2;
+    const auto consumers = g.consumers();
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      Node& n = g.nodes[i];
+      // Input residency: produced by the immediately preceding layer, small
+      // enough, and we are its first consumer. kConst data lives in DDR
+      // (the weights blob), so it always arrives via LOAD.
+      n.input_resident.assign(n.inputs.size(), 0);
+      for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+        const int src = n.inputs[k];
+        if (src < 0) continue;  // network input always arrives via LOAD
+        const Node& producer = g.nodes[static_cast<std::size_t>(src)];
+        if (producer.kind == NodeKind::kConst) continue;
+        const bool adjacent = (static_cast<int>(i) - src) == 1;
+        const bool fits =
+            ir::act_tensor_bytes(producer.out_shape, g.arch) <= act_budget;
+        n.input_resident[k] = (adjacent && fits) ? 1 : 0;
+      }
+      // Output residency: no SAVE only if the single consumer is the next
+      // layer and the tensor fits (skip-connection tensors must be saved).
+      // kConst nodes produce no runtime output at all.
+      const auto& cons = consumers[i];
+      const bool is_output = static_cast<int>(i) == g.output;
+      n.output_resident = n.kind != NodeKind::kConst && !is_output &&
+                          cons.size() == 1 &&
+                          cons[0] == static_cast<int>(i) + 1 &&
+                          ir::act_tensor_bytes(n.out_shape, g.arch) <= act_budget;
+    }
+    return true;
+  }
+};
+
+// --- Schedule --------------------------------------------------------------
+
+class SchedulePass final : public Pass {
+ public:
+  const char* name() const override { return "schedule"; }
+
+  bool run(Graph& g) override {
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      Node& n = g.nodes[i];
+      n.instrs.clear();
+      if (n.kind == NodeKind::kConst) continue;  // no runtime footprint
+      auto emit = [&](Instr ins) {
+        ins.layer_id = static_cast<std::int32_t>(i);
+        n.instrs.push_back(ins);
+      };
+
+      // Activation loads. A materialized concat loads its non-redirected
+      // inputs straight into channel regions of its own buffer; redirected
+      // producers already scattered their output there, so those inputs
+      // need no instruction at all.
+      std::int64_t chan_off = 0;
+      for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+        const int src = n.inputs[k];
+        const Shape& in_shape = g.shape_of(src);
+        const std::int64_t in_channels = in_shape[in_shape.rank() - 1];
+        if (n.materialized) {
+          const bool redirected =
+              src >= 0 &&
+              g.nodes[static_cast<std::size_t>(src)].concat_dst ==
+                  static_cast<int>(i);
+          if (!redirected) {
+            Instr ins;
+            ins.opcode = Opcode::kLoad;
+            ins.tensor_id = src;
+            ins.dst_id = static_cast<std::int32_t>(i);
+            ins.chan_off = chan_off;
+            ins.bytes = ir::act_tensor_bytes(in_shape, g.arch);
+            emit(ins);
+          }
+          chan_off += in_channels;
+          continue;
+        }
+        if (n.input_resident[k]) continue;
+        Instr ins;
+        ins.opcode = Opcode::kLoad;
+        ins.tensor_id = src;
+        ins.bytes = ir::act_tensor_bytes(in_shape, g.arch);
+        // Row tiling re-fetches halo rows at every tile boundary.
+        if (k == 0 && n.tile_mode == ir::TileMode::kRows) {
+          ins.bytes += n.halo_bytes;
+        }
+        emit(ins);
+      }
+      // Weight stream-in.
+      if (n.weights.numel() > 0 && !n.weights_resident) {
+        Instr ins;
+        ins.opcode = Opcode::kLoad;
+        ins.tensor_id = -2;  // weights
+        ins.bytes = ir::padded_weight_bytes(n, g.arch);
+        emit(ins);
+      }
+
+      // Compute instruction (a materialized concat's buffer is assembled
+      // entirely by the offset-addressed transfers above).
+      if (!n.materialized) {
+        Instr c;
+        const Shape& os = n.out_shape;
+        switch (n.kind) {
+          case NodeKind::kConv: {
+            const Shape& in_shape = g.shape_of(n.inputs[0]);
+            c.opcode = Opcode::kConv;
+            c.macs = os[0] * os[1] * n.kernel * n.kernel * in_shape[2] * os[2];
+            break;
+          }
+          case NodeKind::kTConv: {
+            const Shape& in_shape = g.shape_of(n.inputs[0]);
+            c.opcode = Opcode::kTConv;
+            c.macs =
+                os[0] * os[1] * n.kernel * n.kernel * in_shape[2] * os[2] / 4;
+            break;
+          }
+          case NodeKind::kPool:
+            c.opcode = Opcode::kPool;
+            break;
+          case NodeKind::kConcat:
+            c.opcode = Opcode::kConcat;
+            break;
+          case NodeKind::kConst:
+            break;  // unreachable
+        }
+        emit(c);
+        n.macs = c.macs;
+      } else {
+        n.macs = 0;
+      }
+
+      // Output save. Tensors whose channel count is not bank-aligned incur
+      // a read-modify-write on every partial bank (the DMA must merge the
+      // tail lanes), doubling the write traffic — the mechanism that
+      // penalizes the base-6 (2M) and base-11 (8M) configurations on the
+      // real device. A producer redirected into a concat buffer writes
+      // on-chip during compute and never saves.
+      if (!n.output_resident && n.concat_dst < 0) {
+        Instr ins;
+        ins.opcode = Opcode::kSave;
+        ins.tensor_id = static_cast<std::int32_t>(i);
+        ins.bytes = ir::act_tensor_bytes(n.out_shape, g.arch);
+        if (n.out_shape[n.out_shape.rank() - 1] % g.arch.act_bank_channels !=
+            0) {
+          ins.bytes *= 2;
+        }
+        emit(ins);
+      }
+    }
+    // Kernel-stream terminator (completion interrupt).
+    if (!g.nodes.empty()) {
+      Instr end;
+      end.opcode = Opcode::kEnd;
+      end.layer_id = static_cast<std::int32_t>(g.nodes.size()) - 1;
+      g.nodes.back().instrs.push_back(end);
+    }
+    return true;
+  }
+};
+
+// --- Timing ----------------------------------------------------------------
+
+class TimingPass final : public Pass {
+ public:
+  const char* name() const override { return "timing"; }
+
+  bool run(Graph& g) override {
+    const double bpc = g.arch.ddr_bytes_per_cycle_total;  // nominal, 1 sharer
+    for (Node& n : g.nodes) {
+      n.compute_cycles = 0.0;
+      n.ddr_bytes = 0;
+      n.overlap_bytes = 0;
+      const Shape& os = n.out_shape;
+      for (Instr& ins : n.instrs) {
+        switch (ins.opcode) {
+          case Opcode::kLoad:
+          case Opcode::kSave:
+            ins.cycles = static_cast<double>(ins.bytes) / bpc;
+            n.ddr_bytes += ins.bytes;
+            if (overlapped(n, ins)) n.overlap_bytes += ins.bytes;
+            break;
+          case Opcode::kConv:
+            ins.cycles = conv_cycles(g.arch, os[0], os[1], n.kernel,
+                                     g.shape_of(n.inputs[0])[2], os[2]);
+            n.compute_cycles = ins.cycles;
+            break;
+          case Opcode::kTConv:
+            ins.cycles = tconv_cycles(g.arch, os[0], os[1], n.kernel,
+                                      g.shape_of(n.inputs[0])[2], os[2]);
+            n.compute_cycles = ins.cycles;
+            break;
+          case Opcode::kPool:
+            ins.cycles = pool_cycles(g.arch, os[0], os[1], os[2]);
+            n.compute_cycles = ins.cycles;
+            break;
+          case Opcode::kConcat:
+            ins.cycles = concat_cycles(g.arch, os.numel());
+            n.compute_cycles = ins.cycles;
+            break;
+          case Opcode::kEnd:
+            ins.cycles = 0.0;
+            break;
+        }
+      }
+      if (n.tile_mode == ir::TileMode::kNone) n.overlap_bytes = 0;
+    }
+    return true;
+  }
+
+ private:
+  // Which transfers a tiled layer pipelines against its compute: row tiles
+  // double-buffer the activation traffic (weights stay serial), channel
+  // tiles double-buffer the weight stream and the save.
+  static bool overlapped(const Node& n, const Instr& ins) {
+    switch (n.tile_mode) {
+      case ir::TileMode::kRows:
+        return ins.opcode == Opcode::kSave ||
+               (ins.opcode == Opcode::kLoad && ins.tensor_id != -2);
+      case ir::TileMode::kCoChannels:
+        return ins.opcode == Opcode::kSave ||
+               (ins.opcode == Opcode::kLoad && ins.tensor_id == -2);
+      case ir::TileMode::kNone:
+        return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_residency_pass() {
+  return std::make_unique<ResidencyPass>();
+}
+std::unique_ptr<Pass> make_schedule_pass() {
+  return std::make_unique<SchedulePass>();
+}
+std::unique_ptr<Pass> make_timing_pass() {
+  return std::make_unique<TimingPass>();
+}
+
+std::pair<std::size_t, double> measure_program(const ir::Graph& graph) {
+  ir::Graph clone = graph;
+  make_residency_pass()->run(clone);
+  make_schedule_pass()->run(clone);
+  make_timing_pass()->run(clone);
+  const XModel xm = ir::emit_xmodel(clone);
+  return {xm.total_instructions(), xm.latency_cycles(1)};
+}
+
+}  // namespace seneca::dpu

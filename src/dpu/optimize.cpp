@@ -1,0 +1,322 @@
+// Optimizing passes: constant folding, dead-node elimination, concat
+// elimination, and tile-size search. All graph rewrites preserve the
+// integer reference semantics bit-exactly: folding runs the quant
+// reference kernels at compile time, and concat elimination moves the
+// qconcat requantization (sat8(rshift_round(v, fp_in - fp_out))) into the
+// offset-addressed store/load path without changing the arithmetic.
+
+#include <algorithm>
+#include <limits>
+
+#include "dpu/compiler.hpp"
+#include "dpu/passes.hpp"
+
+namespace seneca::dpu {
+
+namespace {
+
+using ir::Graph;
+using ir::Node;
+using ir::NodeKind;
+using ir::TileMode;
+using tensor::TensorI8;
+
+// --- Constant folding ------------------------------------------------------
+
+void to_const(Node& n, TensorI8 data) {
+  n.kind = NodeKind::kConst;
+  n.const_data = std::move(data);
+  n.inputs.clear();
+  n.weights = TensorI8();
+  n.bias.clear();
+  n.fix_pos_w = 0;
+  n.kernel = 0;
+  n.relu = false;
+}
+
+quant::QOp as_qop(const Node& n) {
+  quant::QOp op;
+  op.out_shape = n.out_shape;
+  op.fix_pos_out = n.fix_pos_out;
+  op.weights = n.weights;
+  op.bias = n.bias;
+  op.fix_pos_w = n.fix_pos_w;
+  op.kernel = n.kernel;
+  op.relu = n.relu;
+  return op;
+}
+
+class ConstantFoldPass final : public Pass {
+ public:
+  const char* name() const override { return "const-fold"; }
+
+  bool run(Graph& g) override {
+    bool any = false;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        Node& n = g.nodes[i];
+        if (n.kind == NodeKind::kConst) continue;
+        if (fold_zero_weights(g, n) || fold_const_inputs(g, n)) {
+          changed = any = true;
+        }
+      }
+    }
+    return any;
+  }
+
+ private:
+  // A conv/tconv whose weights are all zero computes
+  // sat8(rshift_round(bias[o], fp_in + fp_w - fp_out)) at every pixel —
+  // the same per-channel map the reference kernel would produce — so the
+  // layer collapses to a constant regardless of its input (pruning hook).
+  static bool fold_zero_weights(Graph& g, Node& n) {
+    if (n.kind != NodeKind::kConv && n.kind != NodeKind::kTConv) return false;
+    if (n.weights.numel() == 0) return false;
+    for (std::int64_t i = 0; i < n.weights.numel(); ++i) {
+      if (n.weights[i] != 0) return false;
+    }
+    const int shift = g.eff_fix_pos(n.inputs[0]) + n.fix_pos_w - n.fix_pos_out;
+    const std::int64_t co = n.out_shape[2];
+    TensorI8 data(n.out_shape);
+    std::vector<std::int8_t> chan(static_cast<std::size_t>(co));
+    for (std::int64_t o = 0; o < co; ++o) {
+      std::int64_t v = quant::rshift_round(n.bias[static_cast<std::size_t>(o)], shift);
+      if (n.relu && v < 0) v = 0;
+      chan[static_cast<std::size_t>(o)] = quant::saturate_i8(v);
+    }
+    for (std::int64_t i = 0; i < data.numel(); ++i) {
+      data[i] = chan[static_cast<std::size_t>(i % co)];
+    }
+    to_const(n, std::move(data));
+    return true;
+  }
+
+  // A node whose inputs are all compile-time constants is evaluated with
+  // the integer reference kernels — bit-exact by construction.
+  static bool fold_const_inputs(Graph& g, Node& n) {
+    if (n.inputs.empty()) return false;
+    for (int in : n.inputs) {
+      if (in < 0 || g.nodes[static_cast<std::size_t>(in)].kind != NodeKind::kConst) {
+        return false;
+      }
+    }
+    const Node& a = g.nodes[static_cast<std::size_t>(n.inputs[0])];
+    TensorI8 out(n.out_shape);
+    switch (n.kind) {
+      case NodeKind::kConv:
+        quant::qconv2d_forward(a.const_data, as_qop(n), out, a.fix_pos_out);
+        break;
+      case NodeKind::kTConv:
+        quant::qtconv2d_forward(a.const_data, as_qop(n), out, a.fix_pos_out);
+        break;
+      case NodeKind::kPool:
+        quant::qmaxpool2d_forward(a.const_data, out);
+        n.fix_pos_out = a.fix_pos_out;  // pool passes fix position through
+        break;
+      case NodeKind::kConcat: {
+        const Node& b = g.nodes[static_cast<std::size_t>(n.inputs[1])];
+        quant::qconcat_forward(a.const_data, a.fix_pos_out, b.const_data,
+                               b.fix_pos_out, out, n.fix_pos_out);
+        break;
+      }
+      case NodeKind::kConst:
+        return false;
+    }
+    to_const(n, std::move(out));
+    return true;
+  }
+};
+
+// --- Dead-node elimination -------------------------------------------------
+
+class DeadNodeEliminationPass final : public Pass {
+ public:
+  const char* name() const override { return "dce"; }
+
+  bool run(Graph& g) override {
+    std::vector<bool> live(g.nodes.size(), false);
+    std::vector<int> stack{g.output};
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      if (id < 0 || live[static_cast<std::size_t>(id)]) continue;
+      live[static_cast<std::size_t>(id)] = true;
+      for (int in : g.nodes[static_cast<std::size_t>(id)].inputs) {
+        stack.push_back(in);
+      }
+    }
+    std::vector<bool> dead(g.nodes.size());
+    bool any = false;
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      dead[i] = !live[i];
+      any = any || dead[i];
+    }
+    if (any) g.erase_nodes(dead);
+    return any;
+  }
+};
+
+// --- Concat elimination ----------------------------------------------------
+
+class ConcatEliminationPass final : public Pass {
+ public:
+  const char* name() const override { return "concat-elim"; }
+
+  bool run(Graph& g) override {
+    bool any = false;
+    const auto cons = g.consumers();
+    const std::int64_t act_budget = g.arch.onchip_bytes / 2;
+    for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+      Node& n = g.nodes[i];
+      if (n.kind != NodeKind::kConcat || n.materialized) continue;
+      // The buffer is assembled on-chip before any SAVE, so it must fit.
+      if (ir::act_tensor_bytes(n.out_shape, g.arch) > act_budget) continue;
+
+      // Every input must either redirect its producer's output into the
+      // concat buffer (resident, sole-consumer producers: the U-Net tconv
+      // path) or already be arriving from DDR (the skip path: its LOAD
+      // becomes an offset-addressed region LOAD for free). A resident
+      // input that cannot redirect would need a new on-chip copy, which
+      // is the kConcat instruction we are trying to delete — bail.
+      bool ok = true;
+      std::vector<bool> redirect(n.inputs.size(), false);
+      for (std::size_t k = 0; k < n.inputs.size() && ok; ++k) {
+        const int src = n.inputs[k];
+        if (!n.input_resident[k]) continue;  // region LOAD
+        redirect[k] =
+            src >= 0 && src != g.output &&
+            cons[static_cast<std::size_t>(src)].size() == 1 &&
+            g.nodes[static_cast<std::size_t>(src)].output_resident &&
+            g.nodes[static_cast<std::size_t>(src)].kind != NodeKind::kConcat &&
+            g.nodes[static_cast<std::size_t>(src)].kind != NodeKind::kConst &&
+            g.nodes[static_cast<std::size_t>(src)].concat_dst < 0;
+        ok = redirect[k];
+      }
+      if (!ok) continue;
+
+      std::int64_t chan_off = 0;
+      for (std::size_t k = 0; k < n.inputs.size(); ++k) {
+        const Shape& in_shape = g.shape_of(n.inputs[k]);
+        if (redirect[k]) {
+          Node& p = g.nodes[static_cast<std::size_t>(n.inputs[k])];
+          p.concat_dst = static_cast<int>(i);
+          p.concat_offset = chan_off;
+        }
+        chan_off += in_shape[in_shape.rank() - 1];
+      }
+      n.materialized = true;
+      any = true;
+    }
+    return any;
+  }
+};
+
+// --- Tile-size search ------------------------------------------------------
+
+class TileSearchPass final : public Pass {
+ public:
+  const char* name() const override { return "tile-search"; }
+
+  bool run(Graph& g) override {
+    bool any = false;
+    const std::int64_t act_budget = g.arch.onchip_bytes / 2;
+    for (Node& n : g.nodes) {
+      if (n.kind != NodeKind::kConv && n.kind != NodeKind::kTConv) continue;
+      const Shape& in_shape = g.shape_of(n.inputs[0]);
+      const Shape& os = n.out_shape;
+      const double c =
+          n.kind == NodeKind::kConv
+              ? conv_cycles(g.arch, os[0], os[1], n.kernel, in_shape[2], os[2])
+              : tconv_cycles(g.arch, os[0], os[1], n.kernel, in_shape[2],
+                             os[2]);
+      const std::int64_t in_load =
+          n.input_resident.empty() || !n.input_resident[0]
+              ? ir::act_tensor_bytes(in_shape, g.arch)
+              : 0;
+      const std::int64_t w_load =
+          n.weights_resident ? 0 : ir::padded_weight_bytes(n, g.arch);
+      std::int64_t save = 0;
+      if (!n.output_resident && n.concat_dst < 0) {
+        save = ir::act_tensor_bytes(os, g.arch);
+        if (os[os.rank() - 1] % g.arch.act_bank_channels != 0) save *= 2;
+      }
+      const std::int64_t in_row_bytes =
+          in_shape[0] > 0 ? ir::act_tensor_bytes(in_shape, g.arch) / in_shape[0]
+                          : 0;
+
+      struct Candidate {
+        TileMode mode = TileMode::kNone;
+        int count = 1;
+        std::int64_t halo = 0;
+        double lat1 = std::numeric_limits<double>::infinity();
+        double lat2 = std::numeric_limits<double>::infinity();
+      };
+      auto price = [&](std::int64_t serial, std::int64_t ov, int tiles,
+                       int sharers) {
+        const double bpc =
+            g.arch.ddr_bytes_per_cycle_total / static_cast<double>(sharers);
+        const double ovc = static_cast<double>(ov) / bpc;
+        return static_cast<double>(serial) / bpc + std::max(c, ovc) +
+               std::min(c, ovc) / static_cast<double>(tiles);
+      };
+      const double base1 = price(in_load + w_load + save, 0, 1, 1);
+      const double base2 = price(in_load + w_load + save, 0, 1, 2);
+
+      Candidate best;
+      for (int t : {2, 4, 8, 16}) {
+        // Row tiles: activation LOAD/SAVE stream against compute; tile
+        // boundaries re-fetch (k-1) halo rows of the input.
+        if (t <= os[0] / 4) {
+          const std::int64_t halo =
+              in_load > 0 ? static_cast<std::int64_t>(t - 1) * (n.kernel - 1) *
+                                in_row_bytes
+                          : 0;
+          const std::int64_t ov = in_load + halo + save;
+          if (ov > 0 && 2 * (ov / t) <= act_budget) {
+            Candidate cand{TileMode::kRows, t, halo,
+                           price(w_load, ov, t, 1), price(w_load, ov, t, 2)};
+            if (cand.lat1 < best.lat1) best = cand;
+          }
+        }
+        // Output-channel tiles: the weight stream (and the save) double-
+        // buffer against compute; the full input must be on hand first.
+        if (w_load > 0 && t <= os[2] / g.arch.output_channel_parallel) {
+          const std::int64_t ov = w_load + save;
+          if (2 * (ov / t) <= act_budget) {
+            Candidate cand{TileMode::kCoChannels, t, 0,
+                           price(in_load, ov, t, 1), price(in_load, ov, t, 2)};
+            if (cand.lat1 < best.lat1) best = cand;
+          }
+        }
+      }
+      // Accept only clear wins: faster alone, not slower when sharing DDR.
+      if (best.mode != TileMode::kNone && best.lat1 < base1 &&
+          best.lat2 <= base2) {
+        n.tile_mode = best.mode;
+        n.tile_count = best.count;
+        n.halo_bytes = best.halo;
+        any = true;
+      }
+    }
+    return any;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_constant_fold_pass() {
+  return std::make_unique<ConstantFoldPass>();
+}
+std::unique_ptr<Pass> make_dead_node_elimination_pass() {
+  return std::make_unique<DeadNodeEliminationPass>();
+}
+std::unique_ptr<Pass> make_concat_elimination_pass() {
+  return std::make_unique<ConcatEliminationPass>();
+}
+std::unique_ptr<Pass> make_tile_search_pass() {
+  return std::make_unique<TileSearchPass>();
+}
+
+}  // namespace seneca::dpu

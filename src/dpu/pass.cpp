@@ -1,0 +1,53 @@
+#include "dpu/pass.hpp"
+
+#include <cstdio>
+
+namespace seneca::dpu {
+
+void PassManager::run(ir::Graph& graph, CompileReport* report,
+                      const Measure& measure) const {
+  const bool stats = report != nullptr && measure != nullptr;
+  std::size_t instrs = 0;
+  double cycles = 0.0;
+  if (stats) {
+    const auto m = measure(graph);
+    instrs = m.first;
+    cycles = m.second;
+  }
+  for (const auto& pass : passes_) {
+    const bool changed = pass->run(graph);
+    if (!stats) continue;
+    PassStats ps;
+    ps.pass = pass->name();
+    ps.changed = changed;
+    ps.instrs_before = instrs;
+    ps.cycles_before = cycles;
+    const auto m = measure(graph);
+    ps.instrs_after = instrs = m.first;
+    ps.cycles_after = cycles = m.second;
+    report->passes.push_back(std::move(ps));
+  }
+}
+
+std::string format_pass_table(const CompileReport& report) {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-18s %1s %9s %9s %14s %14s %8s\n",
+                "pass", "Δ", "instrs", "instrs'", "cycles", "cycles'",
+                "win%");
+  out += line;
+  for (const auto& ps : report.passes) {
+    const double win =
+        ps.cycles_before > 0.0
+            ? 100.0 * (ps.cycles_before - ps.cycles_after) / ps.cycles_before
+            : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-18s %1s %9zu %9zu %14.0f %14.0f %8.2f\n", ps.pass.c_str(),
+                  ps.changed ? "*" : " ", ps.instrs_before, ps.instrs_after,
+                  ps.cycles_before, ps.cycles_after, win);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace seneca::dpu

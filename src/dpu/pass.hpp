@@ -1,0 +1,60 @@
+#pragma once
+// Pass framework for the DPU compiler pipeline. A Pass rewrites or
+// annotates the ir::Graph in place; the PassManager runs them in order and
+// can record per-pass before/after program stats (instruction count and
+// single-sharer cycles per frame) by provisionally finishing a clone of the
+// graph after each pass — see passes.hpp::measure_program.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpu/ir.hpp"
+
+namespace seneca::dpu {
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+  /// Returns true when the pass changed the graph.
+  virtual bool run(ir::Graph& graph) = 0;
+};
+
+/// Program size/speed of one pipeline stage, measured on a finished clone.
+struct PassStats {
+  std::string pass;
+  bool changed = false;
+  std::size_t instrs_before = 0;
+  std::size_t instrs_after = 0;
+  double cycles_before = 0.0;
+  double cycles_after = 0.0;
+};
+
+/// Per-compile report of what each pass bought (--dump-passes).
+struct CompileReport {
+  std::vector<PassStats> passes;
+};
+
+/// Renders the report as an aligned text table.
+std::string format_pass_table(const CompileReport& report);
+
+class PassManager {
+ public:
+  /// Program metric probe used for stats: {instructions, cycles}.
+  using Measure = std::function<std::pair<std::size_t, double>(const ir::Graph&)>;
+
+  void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+
+  /// Runs all passes in order. When `report` is non-null, `measure` is
+  /// invoked on a copy of the graph around every pass to fill per-pass
+  /// stats (measurement is skipped entirely when no report is wanted).
+  void run(ir::Graph& graph, CompileReport* report = nullptr,
+           const Measure& measure = nullptr) const;
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace seneca::dpu

@@ -1,0 +1,62 @@
+#pragma once
+// The concrete compiler passes. Pipeline order (compiler.cpp):
+//
+//   -O1:  ConstantFold -> DeadNodeElimination -> Residency ->
+//         ConcatElimination -> TileSearch -> Schedule -> Timing
+//   -O0:  Residency -> Schedule -> Timing   (legacy one-shot lowering,
+//         byte-identical to the pre-pipeline compiler's output)
+//
+// Invariants between passes are documented in DESIGN.md §7: graph rewrites
+// (fold/DCE) run before Residency; ConcatElimination and TileSearch consume
+// Residency's placement and do not invalidate it; Schedule derives the
+// instruction stream purely from node attributes; Timing only annotates.
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "dpu/pass.hpp"
+
+namespace seneca::dpu {
+
+/// Weight/activation residency allocation in the global memory pool
+/// (identical rules to the legacy compiler; kConst outputs never resident).
+std::unique_ptr<Pass> make_residency_pass();
+
+/// Emits each node's instruction stream from its attributes (loads, weight
+/// stream-in, compute, save, kEnd terminator). Materialized concats emit
+/// offset-addressed region LOADs instead of a kConcat instruction; kConst
+/// nodes emit nothing.
+std::unique_ptr<Pass> make_schedule_pass();
+
+/// Annotates per-instruction cycles and per-node summaries (compute_cycles,
+/// ddr_bytes, overlap_bytes, macs) from the arch timing model.
+std::unique_ptr<Pass> make_timing_pass();
+
+/// Folds conv/tconv nodes with all-zero weights into kConst feature maps,
+/// then folds any node whose inputs are all kConst by running the integer
+/// reference kernels at compile time. Iterates to a fixpoint.
+std::unique_ptr<Pass> make_constant_fold_pass();
+
+/// Removes nodes unreachable from the graph output.
+std::unique_ptr<Pass> make_dead_node_elimination_pass();
+
+/// U-Net skip-connection concat elimination: producers store straight into
+/// channel regions of the concat buffer (requantizing on the fly) and
+/// non-resident inputs arrive via offset-addressed region LOADs, so the
+/// kConcat copy instruction disappears. Runs after Residency.
+std::unique_ptr<Pass> make_concat_elimination_pass();
+
+/// Searches per-layer tile counts (row tiles or output-channel tiles) that
+/// double-buffer DDR traffic against compute, using conv_cycles/
+/// tconv_cycles; keeps a candidate only if it wins at 1 bandwidth sharer
+/// and does not lose at 2. Runs after Residency + ConcatElimination.
+std::unique_ptr<Pass> make_tile_search_pass();
+
+/// Finishes a clone of the graph — Residency (recomputed; deterministic),
+/// Schedule, Timing, emit — and returns {instructions, single-sharer
+/// cycles/frame}. This is how PassManager stats price intermediate states:
+/// "what would the program cost if we stopped optimizing here".
+std::pair<std::size_t, double> measure_program(const ir::Graph& graph);
+
+}  // namespace seneca::dpu

@@ -1,22 +1,40 @@
 #include "dpu/xmodel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/io.hpp"
 
 namespace seneca::dpu {
 
-double XModel::latency_cycles(int bw_sharers) const {
+double XModel::layer_latency_cycles(const XLayer& layer,
+                                    int bw_sharers) const {
   const double bytes_per_cycle =
       arch.ddr_bytes_per_cycle_total / static_cast<double>(bw_sharers);
-  // Layers are data-dependent and share one memory port, so LOAD/compute/
-  // SAVE serialize at layer granularity; the job constant covers kernel
-  // start + completion-interrupt handling.
+  const double issue =
+      arch.instr_overhead_cycles * static_cast<double>(layer.instrs.size());
+  if (layer.tile_count <= 1) {
+    // Untiled: the layer shares one memory port with its own compute, so
+    // LOAD/compute/SAVE serialize at layer granularity.
+    const double mem = static_cast<double>(layer.ddr_bytes) / bytes_per_cycle;
+    return layer.compute_cycles + mem + issue;
+  }
+  // Tiled: `overlap_bytes` of the traffic streams tile-by-tile against
+  // compute; only the first tile of the shorter phase is exposed.
+  const std::int64_t serial_bytes = layer.ddr_bytes - layer.overlap_bytes;
+  const double serial = static_cast<double>(serial_bytes) / bytes_per_cycle;
+  const double ov = static_cast<double>(layer.overlap_bytes) / bytes_per_cycle;
+  const double hi = std::max(layer.compute_cycles, ov);
+  const double lo = std::min(layer.compute_cycles, ov);
+  return serial + hi + lo / static_cast<double>(layer.tile_count) + issue;
+}
+
+double XModel::latency_cycles(int bw_sharers) const {
+  // Layers are data-dependent, so they serialize; the job constant covers
+  // kernel start + completion-interrupt handling.
   double total = arch.job_overhead_cycles;
   for (const auto& layer : layers) {
-    const double mem_cycles = static_cast<double>(layer.ddr_bytes) / bytes_per_cycle;
-    total += layer.compute_cycles + mem_cycles +
-             arch.instr_overhead_cycles * static_cast<double>(layer.instrs.size());
+    total += layer_latency_cycles(layer, bw_sharers);
   }
   return total;
 }
@@ -76,7 +94,9 @@ Shape read_shape(util::BinaryReader& r) {
 
 void XModel::save(const std::filesystem::path& path) const {
   util::BinaryWriter w;
-  w.str("SENECAXM");
+  // "SENECAX2": v2 adds offset-addressed Instr fields and the pass-pipeline
+  // layer attributes (concat elimination, tiling, kConst layers).
+  w.str("SENECAX2");
   w.str(name);
   w.str(arch.name);
   w.u32(static_cast<std::uint32_t>(arch.cores));
@@ -112,11 +132,19 @@ void XModel::save(const std::filesystem::path& path) const {
     w.u32(static_cast<std::uint32_t>(l.input_resident.size()));
     for (auto r : l.input_resident) w.u8(r);
     w.u8(l.output_resident ? 1 : 0);
+    w.i32(l.concat_dst);
+    w.u64(static_cast<std::uint64_t>(l.concat_offset));
+    w.u8(l.materialized ? 1 : 0);
+    w.u8(l.tile_mode);
+    w.i32(l.tile_count);
+    w.u64(static_cast<std::uint64_t>(l.overlap_bytes));
     w.u32(static_cast<std::uint32_t>(l.instrs.size()));
     for (const auto& ins : l.instrs) {
       w.u8(static_cast<std::uint8_t>(ins.opcode));
       w.i32(ins.layer_id);
       w.i32(ins.tensor_id);
+      w.i32(ins.dst_id);
+      w.u64(static_cast<std::uint64_t>(ins.chan_off));
       w.u64(static_cast<std::uint64_t>(ins.bytes));
       w.u64(static_cast<std::uint64_t>(ins.macs));
       w.f32(static_cast<float>(ins.cycles));
@@ -134,7 +162,7 @@ void XModel::save(const std::filesystem::path& path) const {
 
 XModel XModel::load(const std::filesystem::path& path) {
   util::BinaryReader r(util::read_file(path));
-  if (r.str() != "SENECAXM") throw std::runtime_error("xmodel: bad magic");
+  if (r.str() != "SENECAX2") throw std::runtime_error("xmodel: bad magic");
   XModel m;
   m.name = r.str();
   m.arch.name = r.str();
@@ -174,12 +202,20 @@ XModel XModel::load(const std::filesystem::path& path) {
     l.input_resident.resize(n_res);
     for (auto& v : l.input_resident) v = r.u8();
     l.output_resident = r.u8() != 0;
+    l.concat_dst = r.i32();
+    l.concat_offset = static_cast<std::int64_t>(r.u64());
+    l.materialized = r.u8() != 0;
+    l.tile_mode = r.u8();
+    l.tile_count = r.i32();
+    l.overlap_bytes = static_cast<std::int64_t>(r.u64());
     const std::uint32_t n_instr = r.u32();
     l.instrs.resize(n_instr);
     for (auto& ins : l.instrs) {
       ins.opcode = static_cast<Opcode>(r.u8());
       ins.layer_id = r.i32();
       ins.tensor_id = r.i32();
+      ins.dst_id = r.i32();
+      ins.chan_off = static_cast<std::int64_t>(r.u64());
       ins.bytes = static_cast<std::int64_t>(r.u64());
       ins.macs = static_cast<std::int64_t>(r.u64());
       ins.cycles = r.f32();

@@ -18,7 +18,13 @@ namespace seneca::dpu {
 using tensor::Shape;
 
 struct XLayer {
-  enum class Kind : std::uint8_t { kConv = 0, kTConv = 1, kPool = 2, kConcat = 3 };
+  enum class Kind : std::uint8_t {
+    kConv = 0,
+    kTConv = 1,
+    kPool = 2,
+    kConcat = 3,
+    kConst = 4,  // compile-time-folded feature map living in the weights blob
+  };
 
   Kind kind = Kind::kConv;
   std::string name;
@@ -39,6 +45,22 @@ struct XLayer {
   // pool (no LOAD needed) and whether the output stays resident (no SAVE).
   std::vector<std::uint8_t> input_resident;
   bool output_resident = false;
+
+  // Concat elimination: this layer stores its output (requantized on the
+  // fly) at channel offset `concat_offset` inside layer `concat_dst`'s
+  // buffer; a concat layer with `materialized` set has its buffer assembled
+  // by those stores plus region LOADs and carries no kConcat instruction.
+  std::int32_t concat_dst = -1;
+  std::int64_t concat_offset = 0;
+  bool materialized = false;
+
+  // Tile search: >1 splits the layer's DDR traffic into `tile_count` slices
+  // double-buffered against compute. tile_mode: 0=none, 1=rows, 2=co-chans
+  // (mirrors ir::TileMode). overlap_bytes is the pipelined share of
+  // ddr_bytes; the remainder stays serial with compute.
+  std::uint8_t tile_mode = 0;
+  std::int32_t tile_count = 1;
+  std::int64_t overlap_bytes = 0;
 
   std::vector<Instr> instrs;
 
@@ -62,9 +84,15 @@ struct XModel {
   std::vector<std::int32_t> biases;
 
   /// End-to-end latency (cycles) of one inference on one core when
-  /// `bw_sharers` cores contend for DDR bandwidth. Per layer:
-  /// max(compute, memory) — double-buffered overlap — plus issue overhead.
+  /// `bw_sharers` cores contend for DDR bandwidth; sum of
+  /// layer_latency_cycles plus job overhead.
   double latency_cycles(int bw_sharers = 1) const;
+
+  /// One layer's cycles at a given bandwidth share. Untiled layers
+  /// serialize compute and memory; tiled layers overlap `overlap_bytes` of
+  /// traffic with compute, exposing only the first tile of the shorter
+  /// phase: serial/bpc + max(compute, overlap/bpc) + min(...)/tile_count.
+  double layer_latency_cycles(const XLayer& layer, int bw_sharers) const;
 
   /// Latency in seconds at the arch clock.
   double latency_seconds(int bw_sharers = 1) const;

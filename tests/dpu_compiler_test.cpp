@@ -122,14 +122,34 @@ TEST(Compiler, SkipConnectionInputsAreLoaded) {
 }
 
 TEST(Compiler, EveryLayerHasComputeInstruction) {
+  // Materialized concats are assembled by offset-addressed transfers and
+  // kConst layers have no runtime footprint; everything else computes.
   const XModel xm = compile(tiny_qgraph());
   for (const auto& layer : xm.layers) {
+    if (layer.materialized || layer.kind == XLayer::Kind::kConst) continue;
     bool has_compute = false;
     for (const auto& ins : layer.instrs) {
       has_compute |= (ins.opcode == Opcode::kConv || ins.opcode == Opcode::kTConv ||
                       ins.opcode == Opcode::kPool || ins.opcode == Opcode::kConcat);
     }
     EXPECT_TRUE(has_compute) << layer.name;
+  }
+}
+
+TEST(Compiler, OptLevelZeroKeepsConcatInstructions) {
+  CompileOptions opts;
+  opts.opt_level = 0;
+  const XModel xm = compile(tiny_qgraph(), opts);
+  for (const auto& layer : xm.layers) {
+    EXPECT_FALSE(layer.materialized);
+    EXPECT_EQ(layer.concat_dst, -1);
+    EXPECT_EQ(layer.tile_count, 1);
+    if (layer.kind != XLayer::Kind::kConcat) continue;
+    bool has_concat_instr = false;
+    for (const auto& ins : layer.instrs) {
+      has_concat_instr |= ins.opcode == Opcode::kConcat;
+    }
+    EXPECT_TRUE(has_concat_instr) << layer.name;
   }
 }
 
@@ -221,6 +241,106 @@ TEST(XModel, LoadRejectsGarbage) {
   util::write_text_file(path, "not an xmodel at all, padded to some length");
   EXPECT_THROW(XModel::load(path), std::runtime_error);
   std::filesystem::remove(path);
+}
+
+// --- Graph validation (compile() no longer trusts its input). -------------
+
+quant::QGraph one_conv_graph() {
+  quant::QGraph qg;
+  quant::QOp input;
+  input.kind = quant::QOpKind::kInput;
+  input.out_shape = Shape{8, 8, 4};
+  qg.ops.push_back(input);
+  quant::QOp conv;
+  conv.kind = quant::QOpKind::kConv2D;
+  conv.name = "c";
+  conv.inputs = {0};
+  conv.out_shape = Shape{8, 8, 4};
+  conv.kernel = 3;
+  conv.weights = tensor::TensorI8(Shape{3, 3, 4, 4}, 1);
+  conv.bias.assign(4, 0);
+  qg.ops.push_back(conv);
+  qg.input_op = 0;
+  qg.output_op = 1;
+  qg.input_shape = Shape{8, 8, 4};
+  return qg;
+}
+
+void expect_invalid(const quant::QGraph& qg, const std::string& needle) {
+  try {
+    compile(qg);
+    FAIL() << "expected invalid_argument containing '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Validate, AcceptsWellFormedGraph) {
+  EXPECT_NO_THROW(compile(one_conv_graph()));
+}
+
+TEST(Validate, RejectsEmptyGraph) {
+  expect_invalid(quant::QGraph{}, "no ops");
+}
+
+TEST(Validate, RejectsDanglingInput) {
+  auto qg = one_conv_graph();
+  qg.ops[1].inputs = {7};
+  expect_invalid(qg, "dangling input 7");
+}
+
+TEST(Validate, RejectsCyclicReference) {
+  // A self/forward edge cannot be evaluated in index order — the shape a
+  // cycle takes in this topologically-indexed IR.
+  auto qg = one_conv_graph();
+  qg.ops[1].inputs = {1};
+  expect_invalid(qg, "cycle or forward reference");
+}
+
+TEST(Validate, RejectsDuplicateNames) {
+  auto qg = one_conv_graph();
+  quant::QOp dup = qg.ops[1];
+  dup.inputs = {1};
+  qg.ops.push_back(dup);
+  qg.output_op = 2;
+  expect_invalid(qg, "duplicate name");
+}
+
+TEST(Validate, RejectsUnnamedOp) {
+  auto qg = one_conv_graph();
+  qg.ops[1].name.clear();
+  expect_invalid(qg, "has no name");
+}
+
+TEST(Validate, RejectsBadArity) {
+  auto qg = one_conv_graph();
+  qg.ops[1].inputs = {0, 0};
+  expect_invalid(qg, "expected 1 inputs");
+}
+
+TEST(Validate, RejectsWeightShapeMismatch) {
+  auto qg = one_conv_graph();
+  qg.ops[1].weights = tensor::TensorI8(Shape{3, 3, 4, 2}, 1);
+  expect_invalid(qg, "weight count");
+}
+
+TEST(Validate, RejectsBiasCountMismatch) {
+  auto qg = one_conv_graph();
+  qg.ops[1].bias.assign(3, 0);
+  expect_invalid(qg, "bias count");
+}
+
+TEST(Validate, RejectsBadInputOp) {
+  auto qg = one_conv_graph();
+  qg.input_op = 1;
+  expect_invalid(qg, "not a kInput");
+}
+
+TEST(Validate, RejectsOutputOpOutOfRange) {
+  auto qg = one_conv_graph();
+  qg.output_op = 9;
+  expect_invalid(qg, "output_op 9 out of range");
 }
 
 TEST(Isa, OpcodeNames) {

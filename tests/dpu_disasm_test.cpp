@@ -95,5 +95,109 @@ TEST(Disasm, InstructionCountsMatchModel) {
   EXPECT_EQ(loads, expected);
 }
 
+// Golden disassembly: a hand-built U-Net-shaped graph with fixed integer
+// weights (no training RNG) compiled at -O1 must disassemble to exactly
+// this text. Locks the pass pipeline's output format — layer annotations
+// ([resident], [store->...], [materialized], [tiled ...]), region-addressed
+// instruction suffixes, and the summary totals. Update deliberately when
+// the compiler or disassembler changes.
+quant::QGraph golden_qgraph() {
+  using tensor::Shape;
+  quant::QGraph qg;
+  quant::QOp input;
+  input.kind = quant::QOpKind::kInput;
+  input.out_shape = Shape{16, 16, 2};
+  input.fix_pos_out = 6;
+  qg.ops.push_back(input);
+  quant::QOp enc;
+  enc.kind = quant::QOpKind::kConv2D;
+  enc.name = "enc";
+  enc.inputs = {0};
+  enc.out_shape = Shape{16, 16, 4};
+  enc.kernel = 3;
+  enc.fix_pos_w = 6;
+  enc.fix_pos_out = 5;
+  enc.relu = true;
+  enc.weights = tensor::TensorI8(Shape{3, 3, 2, 4}, 1);
+  enc.bias.assign(4, 0);
+  qg.ops.push_back(enc);  // op 1
+  quant::QOp down;
+  down.kind = quant::QOpKind::kMaxPool2D;
+  down.name = "down";
+  down.inputs = {1};
+  down.out_shape = Shape{8, 8, 4};
+  down.fix_pos_out = 5;
+  qg.ops.push_back(down);  // op 2
+  quant::QOp up;
+  up.kind = quant::QOpKind::kTConv2D;
+  up.name = "up";
+  up.inputs = {2};
+  up.out_shape = Shape{16, 16, 4};
+  up.kernel = 3;
+  up.fix_pos_w = 6;
+  up.fix_pos_out = 4;
+  up.weights = tensor::TensorI8(Shape{3, 3, 4, 4}, 2);
+  up.bias.assign(4, 16);
+  qg.ops.push_back(up);  // op 3
+  quant::QOp skip;
+  skip.kind = quant::QOpKind::kConcat;
+  skip.name = "skip";
+  skip.inputs = {1, 3};
+  skip.out_shape = Shape{16, 16, 8};
+  skip.fix_pos_out = 4;
+  qg.ops.push_back(skip);  // op 4
+  quant::QOp head;
+  head.kind = quant::QOpKind::kConv2D;
+  head.name = "head";
+  head.inputs = {4};
+  head.out_shape = Shape{16, 16, 2};
+  head.kernel = 3;
+  head.fix_pos_w = 6;
+  head.fix_pos_out = 4;
+  head.weights = tensor::TensorI8(Shape{3, 3, 8, 2}, 1);
+  head.bias.assign(2, 0);
+  qg.ops.push_back(head);  // op 5
+  qg.input_op = 0;
+  qg.output_op = 5;
+  qg.input_fix_pos = 6;
+  qg.input_shape = Shape{16, 16, 2};
+  return qg;
+}
+
+TEST(Disasm, GoldenUnetAtO1) {
+  CompileOptions opts;
+  opts.model_name = "golden";
+  opts.opt_level = 1;
+  const XModel xm = compile(golden_qgraph(), opts);
+  const std::string text = disassemble(xm);
+  const std::string golden =
+      "xmodel \"golden\" for DPUCZDX8G-B4096 (2 cores @ 300 MHz, 8x16x16 "
+      "lanes)\n"
+      "input [16x16x2] fix_pos=6 | output layer 4 fix_pos=4\n"
+      "L000 CONV    enc                -> [16x16x4]    relu=1 fpw=6 fpo=5 "
+      "[tiled x4 rows]\n"
+      "      LOAD   tensor=-1  bytes=2816      macs=0           cycles=352\n"
+      "      CONV   tensor=-1  bytes=0         macs=18432       cycles=288\n"
+      "      SAVE   tensor=0   bytes=4096      macs=0           cycles=512\n"
+      "L001 POOL    down               -> [8x8x4]      relu=0 fpw=0 fpo=5 "
+      "[resident]\n"
+      "      POOL   tensor=-1  bytes=0         macs=0           cycles=16\n"
+      "L002 TCONV   up                 -> [16x16x4]    relu=0 fpw=6 fpo=4 "
+      "[resident] [store->L003@ch4]\n"
+      "      TCONV  tensor=-1  bytes=0         macs=9216        cycles=96\n"
+      "L003 CONCAT  skip               -> [16x16x8]    relu=0 fpw=0 fpo=4 "
+      "[resident] [materialized]\n"
+      "      LOAD   tensor=0   bytes=2048      macs=0           cycles=256 "
+      "->L003@ch0\n"
+      "L004 CONV    head               -> [16x16x2]    relu=0 fpw=6 fpo=4 "
+      "[tiled x4 rows]\n"
+      "      CONV   tensor=-1  bytes=0         macs=36864       cycles=288\n"
+      "      SAVE   tensor=4   bytes=4096      macs=0           cycles=512\n"
+      "      END    tensor=-1  bytes=0         macs=0           cycles=0\n"
+      "TOTAL: 5 layers, 9 instrs, 0.1 MMACs, 0.01 MB DDR/inf, util 4.6 %\n"
+      "LATENCY: 1.00 ms (exclusive DDR) / 1.00 ms (2 sharers)\n";
+  EXPECT_EQ(text, golden) << "--- actual ---\n" << text << "--- end ---";
+}
+
 }  // namespace
 }  // namespace seneca::dpu

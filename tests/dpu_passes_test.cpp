@@ -1,0 +1,468 @@
+// Pass-pipeline tests: the compiler IR, the individual optimizing passes
+// (constant folding, dead-node elimination, concat elimination, tile
+// search), per-pass stats, and end-to-end bit-exactness of optimized
+// programs against both -O0 and the quantized reference executor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "dpu/compiler.hpp"
+#include "dpu/core_sim.hpp"
+#include "dpu/ir.hpp"
+#include "dpu/passes.hpp"
+#include "nn/unet.hpp"
+#include "quant/quantizer.hpp"
+#include "util/rng.hpp"
+
+namespace seneca::dpu {
+namespace {
+
+using tensor::Shape;
+using tensor::TensorF;
+using tensor::TensorI8;
+
+quant::QGraph tiny_qgraph(std::uint64_t seed = 5, std::int64_t size = 16,
+                          std::int64_t base_filters = 4) {
+  nn::UNet2DConfig cfg;
+  cfg.input_size = size;
+  cfg.depth = 2;
+  cfg.base_filters = base_filters;
+  cfg.seed = seed;
+  auto graph = nn::build_unet2d(cfg);
+  for (int i = 0; i < 4; ++i) {
+    util::Rng rng(seed + 100 + static_cast<std::uint64_t>(i));
+    TensorF x(Shape{size, size, 1});
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-1, 1));
+    graph->forward(x, true);
+  }
+  quant::FGraph fg = quant::fold(*graph);
+  std::vector<TensorF> calib;
+  util::Rng rng(seed + 7);
+  TensorF img(Shape{size, size, 1});
+  for (auto& v : img) v = static_cast<float>(rng.uniform(-1, 1));
+  calib.push_back(img);
+  return quant::quantize(fg, calib);
+}
+
+TensorI8 random_input(const Shape& shape, std::uint64_t seed) {
+  util::Rng rng(seed);
+  TensorI8 t(shape);
+  for (auto& v : t) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  return t;
+}
+
+XModel compile_at(const quant::QGraph& qg, int opt_level,
+                  CompileReport* report = nullptr) {
+  CompileOptions opts;
+  opts.opt_level = opt_level;
+  return compile(qg, opts, report);
+}
+
+// --- IR basics -------------------------------------------------------------
+
+TEST(Ir, LowerPreservesTopologyAndPayloads) {
+  const quant::QGraph qg = tiny_qgraph();
+  const ir::Graph g = ir::lower(qg, DpuArch::b4096(), "t");
+  std::size_t non_input = 0;
+  for (const auto& op : qg.ops) {
+    non_input += (op.kind != quant::QOpKind::kInput);
+  }
+  EXPECT_EQ(g.nodes.size(), non_input);
+  EXPECT_GE(g.output, 0);
+  // Every edge points backwards (topological order).
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    for (int in : g.nodes[i].inputs) {
+      EXPECT_LT(in, static_cast<int>(i));
+    }
+  }
+}
+
+TEST(Ir, EffFixPosWalksPoolChains) {
+  const quant::QGraph qg = tiny_qgraph();
+  const ir::Graph g = ir::lower(qg, DpuArch::b4096(), "t");
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    if (g.nodes[i].kind != ir::NodeKind::kPool) continue;
+    EXPECT_EQ(g.eff_fix_pos(static_cast<int>(i)),
+              g.eff_fix_pos(g.nodes[i].inputs[0]));
+  }
+}
+
+TEST(Ir, ConsumersInvertInputs) {
+  const quant::QGraph qg = tiny_qgraph();
+  const ir::Graph g = ir::lower(qg, DpuArch::b4096(), "t");
+  const auto cons = g.consumers();
+  for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+    for (int in : g.nodes[i].inputs) {
+      if (in < 0) continue;
+      const auto& c = cons[static_cast<std::size_t>(in)];
+      EXPECT_NE(std::find(c.begin(), c.end(), static_cast<int>(i)), c.end());
+    }
+  }
+}
+
+// --- Concat elimination ----------------------------------------------------
+
+TEST(ConcatElim, MaterializesSkipConcatsAndDeletesInstructions) {
+  const quant::QGraph qg = tiny_qgraph();
+  const XModel o0 = compile_at(qg, 0);
+  const XModel o1 = compile_at(qg, 1);
+  std::size_t materialized = 0;
+  for (std::size_t i = 0; i < o1.layers.size(); ++i) {
+    const XLayer& l = o1.layers[i];
+    if (l.kind != XLayer::Kind::kConcat) continue;
+    EXPECT_TRUE(l.materialized) << l.name;
+    ++materialized;
+    // No kConcat instruction survives; region LOADs are offset-addressed
+    // into this layer's buffer.
+    for (const auto& ins : l.instrs) {
+      EXPECT_NE(ins.opcode, Opcode::kConcat) << l.name;
+      if (ins.opcode == Opcode::kLoad) {
+        EXPECT_EQ(ins.dst_id, static_cast<std::int32_t>(i));
+        EXPECT_GE(ins.chan_off, 0);
+      }
+    }
+    // Exactly one redirected producer (the adjacent tconv) scatters in.
+    std::size_t redirected = 0;
+    for (const auto& p : o1.layers) {
+      redirected += (p.concat_dst == static_cast<std::int32_t>(i));
+    }
+    EXPECT_EQ(redirected, 1u) << l.name;
+  }
+  EXPECT_GT(materialized, 0u);
+  EXPECT_LT(o1.total_instructions(), o0.total_instructions());
+}
+
+TEST(ConcatElim, RedirectedProducerOffsetsMatchConcatLayout) {
+  const XModel o1 = compile_at(tiny_qgraph(), 1);
+  for (std::size_t p = 0; p < o1.layers.size(); ++p) {
+    const XLayer& producer = o1.layers[p];
+    if (producer.concat_dst < 0) continue;
+    const XLayer& concat =
+        o1.layers[static_cast<std::size_t>(producer.concat_dst)];
+    ASSERT_TRUE(concat.materialized);
+    // The producer is one of the concat's inputs and its channel region
+    // lies inside the concat buffer.
+    std::int64_t off = 0;
+    bool found = false;
+    for (int in : concat.inputs) {
+      if (in == static_cast<int>(p)) {
+        EXPECT_EQ(producer.concat_offset, off);
+        found = true;
+        break;
+      }
+      off += o1.layers[static_cast<std::size_t>(in)].out_shape[2];
+    }
+    EXPECT_TRUE(found);
+    EXPECT_LE(producer.concat_offset + producer.out_shape[2],
+              concat.out_shape[2]);
+  }
+}
+
+// --- Constant folding + DCE ------------------------------------------------
+
+quant::QGraph graph_with_zero_branch() {
+  // input -> convA (live path, output)
+  //       -> convZ (all-zero weights) -> concat(convA, convZ) is NOT built;
+  // instead convZ feeds convB whose output is concatenated with convA so
+  // the folded branch stays reachable until DCE sees what folding exposes.
+  quant::QGraph qg;
+  quant::QOp input;
+  input.kind = quant::QOpKind::kInput;
+  input.out_shape = Shape{8, 8, 4};
+  input.fix_pos_out = 6;
+  qg.ops.push_back(input);
+  auto conv = [](const char* name, int in, std::int64_t ci, std::int64_t co,
+                 std::int8_t w, std::int32_t b) {
+    quant::QOp op;
+    op.kind = quant::QOpKind::kConv2D;
+    op.name = name;
+    op.inputs = {in};
+    op.out_shape = Shape{8, 8, co};
+    op.kernel = 3;
+    op.fix_pos_w = 6;
+    op.fix_pos_out = 5;
+    op.relu = true;
+    op.weights = tensor::TensorI8(Shape{3, 3, ci, co}, w);
+    op.bias.assign(static_cast<std::size_t>(co), b);
+    return op;
+  };
+  qg.ops.push_back(conv("live", 0, 4, 4, 1, 10));    // op 1
+  qg.ops.push_back(conv("zeroed", 0, 4, 4, 0, 70));  // op 2: folds to const
+  quant::QOp cat;
+  cat.kind = quant::QOpKind::kConcat;
+  cat.name = "cat";
+  cat.inputs = {1, 2};
+  cat.out_shape = Shape{8, 8, 8};
+  cat.fix_pos_out = 5;
+  qg.ops.push_back(cat);  // op 3
+  qg.ops.push_back(conv("head", 3, 8, 4, 1, 0));  // op 4
+  qg.input_op = 0;
+  qg.output_op = 4;
+  qg.input_fix_pos = 6;
+  qg.input_shape = Shape{8, 8, 4};
+  return qg;
+}
+
+TEST(ConstFold, ZeroWeightConvBecomesConstLayer) {
+  const quant::QGraph qg = graph_with_zero_branch();
+  const XModel o1 = compile_at(qg, 1);
+  bool found_const = false;
+  for (const auto& l : o1.layers) {
+    if (l.kind != XLayer::Kind::kConst) continue;
+    found_const = true;
+    EXPECT_EQ(l.name, "zeroed");
+    EXPECT_TRUE(l.instrs.empty());  // no runtime footprint
+    EXPECT_EQ(l.weight_count, l.out_shape.numel());
+  }
+  EXPECT_TRUE(found_const);
+}
+
+TEST(ConstFold, FoldedProgramIsBitExact) {
+  const quant::QGraph qg = graph_with_zero_branch();
+  const XModel o0 = compile_at(qg, 0);
+  const XModel o1 = compile_at(qg, 1);
+  const TensorI8 in = random_input(qg.input_shape, 11);
+  const TensorI8 ref = qg.forward(in);
+  EXPECT_EQ(tensor::max_abs_diff(ref, DpuCoreSim(&o0).run(in).output), 0.0);
+  EXPECT_EQ(tensor::max_abs_diff(ref, DpuCoreSim(&o1).run(in).output), 0.0);
+}
+
+TEST(ConstFold, FullyConstGraphFoldsThroughEveryOpKind) {
+  // zero-weight conv -> pool -> tconv -> concat: after the first fold the
+  // whole chain has const inputs and folds via the reference kernels.
+  quant::QGraph qg;
+  quant::QOp input;
+  input.kind = quant::QOpKind::kInput;
+  input.out_shape = Shape{8, 8, 4};
+  input.fix_pos_out = 6;
+  qg.ops.push_back(input);
+  quant::QOp z;
+  z.kind = quant::QOpKind::kConv2D;
+  z.name = "z";
+  z.inputs = {0};
+  z.out_shape = Shape{8, 8, 4};
+  z.kernel = 3;
+  z.fix_pos_w = 6;
+  z.fix_pos_out = 5;
+  z.weights = tensor::TensorI8(Shape{3, 3, 4, 4}, 0);
+  z.bias = {100, -50, 7, 0};
+  qg.ops.push_back(z);  // op 1
+  quant::QOp pool;
+  pool.kind = quant::QOpKind::kMaxPool2D;
+  pool.name = "p";
+  pool.inputs = {1};
+  pool.out_shape = Shape{4, 4, 4};
+  pool.fix_pos_out = 5;
+  qg.ops.push_back(pool);  // op 2
+  quant::QOp up;
+  up.kind = quant::QOpKind::kTConv2D;
+  up.name = "u";
+  up.inputs = {2};
+  up.out_shape = Shape{8, 8, 4};
+  up.kernel = 3;
+  up.fix_pos_w = 6;
+  up.fix_pos_out = 4;
+  up.weights = tensor::TensorI8(Shape{3, 3, 4, 4}, 2);
+  up.bias.assign(4, 5);
+  qg.ops.push_back(up);  // op 3
+  quant::QOp cat;
+  cat.kind = quant::QOpKind::kConcat;
+  cat.name = "cat";
+  cat.inputs = {3, 1};
+  cat.out_shape = Shape{8, 8, 8};
+  cat.fix_pos_out = 4;
+  qg.ops.push_back(cat);  // op 4
+  qg.input_op = 0;
+  qg.output_op = 4;
+  qg.input_fix_pos = 6;
+  qg.input_shape = Shape{8, 8, 4};
+
+  const XModel o1 = compile_at(qg, 1);
+  // Everything folded into one surviving const layer (DCE removed the
+  // intermediate consts feeding it).
+  ASSERT_EQ(o1.layers.size(), 1u);
+  EXPECT_EQ(o1.layers[0].kind, XLayer::Kind::kConst);
+
+  const TensorI8 in = random_input(qg.input_shape, 13);
+  const TensorI8 ref = qg.forward(in);
+  EXPECT_EQ(tensor::max_abs_diff(ref, DpuCoreSim(&o1).run(in).output), 0.0);
+  // The folded program still reports a valid (smaller) latency.
+  EXPECT_GT(o1.latency_cycles(1), 0.0);
+  const XModel o0 = compile_at(qg, 0);
+  EXPECT_LT(o1.latency_cycles(1), o0.latency_cycles(1));
+}
+
+TEST(Dce, RemovesUnreachableBranch) {
+  quant::QGraph qg;
+  quant::QOp input;
+  input.kind = quant::QOpKind::kInput;
+  input.out_shape = Shape{8, 8, 4};
+  qg.ops.push_back(input);
+  for (const char* name : {"live", "dead"}) {
+    quant::QOp op;
+    op.kind = quant::QOpKind::kConv2D;
+    op.name = name;
+    op.inputs = {0};
+    op.out_shape = Shape{8, 8, 4};
+    op.kernel = 3;
+    op.weights = tensor::TensorI8(Shape{3, 3, 4, 4}, 1);
+    op.bias.assign(4, 0);
+    qg.ops.push_back(op);
+  }
+  qg.input_op = 0;
+  qg.output_op = 1;
+  qg.input_shape = Shape{8, 8, 4};
+
+  const XModel o0 = compile_at(qg, 0);
+  const XModel o1 = compile_at(qg, 1);
+  EXPECT_EQ(o0.layers.size(), 2u);
+  ASSERT_EQ(o1.layers.size(), 1u);
+  EXPECT_EQ(o1.layers[0].name, "live");
+  EXPECT_EQ(o1.output_layer, 0);
+}
+
+// --- Tile search -----------------------------------------------------------
+
+TEST(TileSearch, TilesBandwidthBoundConvAndCutsLatency) {
+  // One big conv from the network input: full input LOAD + output SAVE with
+  // nothing resident — the canonical row-tiling candidate.
+  quant::QGraph qg;
+  quant::QOp input;
+  input.kind = quant::QOpKind::kInput;
+  input.out_shape = Shape{64, 64, 32};
+  input.fix_pos_out = 6;
+  qg.ops.push_back(input);
+  quant::QOp conv;
+  conv.kind = quant::QOpKind::kConv2D;
+  conv.name = "big";
+  conv.inputs = {0};
+  conv.out_shape = Shape{64, 64, 32};
+  conv.kernel = 3;
+  conv.fix_pos_w = 6;
+  conv.fix_pos_out = 5;
+  conv.weights = tensor::TensorI8(Shape{3, 3, 32, 32}, 1);
+  conv.bias.assign(32, 0);
+  qg.ops.push_back(conv);
+  qg.input_op = 0;
+  qg.output_op = 1;
+  qg.input_fix_pos = 6;
+  qg.input_shape = Shape{64, 64, 32};
+
+  const XModel o0 = compile_at(qg, 0);
+  const XModel o1 = compile_at(qg, 1);
+  ASSERT_EQ(o1.layers.size(), 1u);
+  const XLayer& l = o1.layers[0];
+  EXPECT_GT(l.tile_count, 1);
+  EXPECT_EQ(static_cast<int>(l.tile_mode), 1);  // rows
+  EXPECT_GT(l.overlap_bytes, 0);
+  EXPECT_LE(l.overlap_bytes, l.ddr_bytes);
+  EXPECT_LT(o1.latency_cycles(1), o0.latency_cycles(1));
+  // Not worse under bandwidth sharing (the pass's acceptance criterion).
+  EXPECT_LE(o1.latency_cycles(2), o0.latency_cycles(2));
+
+  // Tiling is a timing attribute only: functional results are unchanged.
+  const TensorI8 in = random_input(qg.input_shape, 17);
+  EXPECT_EQ(tensor::max_abs_diff(DpuCoreSim(&o0).run(in).output,
+                                 DpuCoreSim(&o1).run(in).output),
+            0.0);
+}
+
+// --- End-to-end bit-exactness ---------------------------------------------
+
+TEST(PassPipeline, OptimizedUnetBitExactVsReferenceAndO0) {
+  for (std::int64_t base : {4, 6}) {  // 6: non-bank-aligned channels
+    const quant::QGraph qg = tiny_qgraph(5, 16, base);
+    const XModel o0 = compile_at(qg, 0);
+    const XModel o1 = compile_at(qg, 1);
+    const TensorI8 in = random_input(qg.input_shape, 23 + static_cast<std::uint64_t>(base));
+    const TensorI8 ref = qg.forward(in);
+    EXPECT_EQ(tensor::max_abs_diff(ref, DpuCoreSim(&o0).run(in).output), 0.0)
+        << "base " << base;
+    EXPECT_EQ(tensor::max_abs_diff(ref, DpuCoreSim(&o1).run(in).output), 0.0)
+        << "base " << base;
+  }
+}
+
+TEST(PassPipeline, TinyOnchipArchStillBitExact) {
+  // Starve the global memory pool so nothing is resident: every concat
+  // input becomes a region LOAD and tiling candidates lose feasibility —
+  // the opposite corner from the roomy default arch.
+  DpuArch arch = DpuArch::b4096();
+  arch.onchip_bytes = 2048;
+  CompileOptions o0opts;
+  o0opts.arch = arch;
+  o0opts.opt_level = 0;
+  CompileOptions o1opts = o0opts;
+  o1opts.opt_level = 1;
+  const quant::QGraph qg = tiny_qgraph();
+  const XModel o0 = compile(qg, o0opts);
+  const XModel o1 = compile(qg, o1opts);
+  const TensorI8 in = random_input(qg.input_shape, 29);
+  const TensorI8 ref = qg.forward(in);
+  EXPECT_EQ(tensor::max_abs_diff(ref, DpuCoreSim(&o0).run(in).output), 0.0);
+  EXPECT_EQ(tensor::max_abs_diff(ref, DpuCoreSim(&o1).run(in).output), 0.0);
+}
+
+// --- Pass manager stats ----------------------------------------------------
+
+TEST(PassManager, ReportRecordsEveryPassInPipelineOrder)
+{
+  CompileReport report;
+  compile_at(tiny_qgraph(), 1, &report);
+  const std::vector<std::string> expected = {
+      "const-fold", "dce",         "residency", "concat-elim",
+      "tile-search", "schedule",   "timing"};
+  ASSERT_EQ(report.passes.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(report.passes[i].pass, expected[i]);
+    // Chained measurements: before[i] == after[i-1].
+    if (i > 0) {
+      EXPECT_EQ(report.passes[i].instrs_before,
+                report.passes[i - 1].instrs_after);
+      EXPECT_DOUBLE_EQ(report.passes[i].cycles_before,
+                       report.passes[i - 1].cycles_after);
+    }
+  }
+  // The optimizing passes measurably shrink the program.
+  double first = report.passes.front().cycles_before;
+  double last = report.passes.back().cycles_after;
+  EXPECT_LT(last, first);
+  const std::string table = format_pass_table(report);
+  EXPECT_NE(table.find("concat-elim"), std::string::npos);
+  EXPECT_NE(table.find("tile-search"), std::string::npos);
+}
+
+// --- Serialization of the new fields ---------------------------------------
+
+TEST(XModelV2, RoundTripsPassAttributes) {
+  const XModel xm = compile_at(tiny_qgraph(), 1);
+  const auto path =
+      std::filesystem::temp_directory_path() / "seneca_passes.xmodel";
+  xm.save(path);
+  const XModel loaded = XModel::load(path);
+  ASSERT_EQ(loaded.layers.size(), xm.layers.size());
+  for (std::size_t i = 0; i < xm.layers.size(); ++i) {
+    EXPECT_EQ(loaded.layers[i].concat_dst, xm.layers[i].concat_dst);
+    EXPECT_EQ(loaded.layers[i].concat_offset, xm.layers[i].concat_offset);
+    EXPECT_EQ(loaded.layers[i].materialized, xm.layers[i].materialized);
+    EXPECT_EQ(loaded.layers[i].tile_mode, xm.layers[i].tile_mode);
+    EXPECT_EQ(loaded.layers[i].tile_count, xm.layers[i].tile_count);
+    EXPECT_EQ(loaded.layers[i].overlap_bytes, xm.layers[i].overlap_bytes);
+    ASSERT_EQ(loaded.layers[i].instrs.size(), xm.layers[i].instrs.size());
+    for (std::size_t k = 0; k < xm.layers[i].instrs.size(); ++k) {
+      EXPECT_EQ(loaded.layers[i].instrs[k].dst_id,
+                xm.layers[i].instrs[k].dst_id);
+      EXPECT_EQ(loaded.layers[i].instrs[k].chan_off,
+                xm.layers[i].instrs[k].chan_off);
+    }
+  }
+  EXPECT_NEAR(loaded.latency_cycles(2), xm.latency_cycles(2),
+              1e-4 * xm.latency_cycles(2));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace seneca::dpu

@@ -179,6 +179,23 @@ TEST(InferenceEnergy, DeterministicForFixedOperatingPoint) {
   EXPECT_DOUBLE_EQ(a.watts, b.watts);
 }
 
+TEST(InferenceEnergy, PassPipelineRepricesRungCheaper) {
+  // BoardSim prices its rung cost tables through this estimator from
+  // caller-compiled xmodels, so the -O1 pass pipeline (the compile()
+  // default) must translate its cycle wins into cheaper J/frame and
+  // s/frame than a passes-disabled compile of the same graph.
+  ZcuPowerModel pm;
+  const dpu::XModel o0 =
+      core::build_timing_xmodel("1M", dpu::DpuArch::b4096(), 256, 0);
+  const dpu::XModel o1 =
+      core::build_timing_xmodel("1M", dpu::DpuArch::b4096(), 256, 1);
+  const auto e0 = estimate_inference_energy(pm, o0, 2);
+  const auto e1 = estimate_inference_energy(pm, o1, 2);
+  EXPECT_LT(e1.seconds_per_frame, e0.seconds_per_frame);
+  EXPECT_LT(e1.joules_per_frame, e0.joules_per_frame);
+  EXPECT_GT(e1.fps, e0.fps);
+}
+
 /// Calibration pin: the GPU model constants were fitted once against Table
 /// IV; this test freezes that contract (1M row: 72.20 FPS, and the model
 /// must stay within a few percent).
