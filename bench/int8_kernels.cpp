@@ -1,0 +1,280 @@
+// INT8 kernel bench: the SIMD/arena hot path vs the scalar reference.
+//
+// Two sections. The micro section times each kernel (conv / tconv / pool /
+// concat) on a representative mid-network shape per backend and reports the
+// per-kernel speedup. The end-to-end section runs the functional DPU core
+// simulator over every model-zoo ladder rung and reports frames/second per
+// backend — scalar (the int64 reference, no arena: the pre-kernel-layer
+// executor), generic (portable int32), and SIMD (AVX2/NEON) with a
+// TensorArena, which is what VartRunner workers run in production. Every
+// backend's output is compared bit-for-bit against the scalar
+// quant::QGraph reference on a deterministic pseudo-random input.
+//
+//   ./int8_kernels [--input 128] [--min-time 0.4] [--max-frames 60]
+//                  [--min-speedup 4] [--json int8_kernels.json] [--strict]
+//
+// --strict exits nonzero unless the best available backend reaches
+// --min-speedup x scalar FPS on the 16M and 2M rungs AND every backend is
+// bit-exact on every rung.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "dpu/compiler.hpp"
+#include "dpu/core_sim.hpp"
+#include "eval/table.hpp"
+#include "quant/kernels.hpp"
+#include "tensor/arena.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace seneca;
+using quant::kernels::Backend;
+
+tensor::TensorI8 seeded_input(const tensor::Shape& shape, std::uint64_t seed) {
+  tensor::TensorI8 t(shape);
+  std::uint64_t s = seed;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    t[i] = static_cast<std::int8_t>(static_cast<std::int64_t>(s >> 56) - 128);
+  }
+  return t;
+}
+
+/// Backends to bench: scalar reference first, then everything built in.
+std::vector<Backend> bench_backends() {
+  std::vector<Backend> v{Backend::kScalar, Backend::kGeneric};
+  if (quant::kernels::simd_available()) v.push_back(Backend::kSimd);
+  return v;
+}
+
+struct Timing {
+  double fps = 0.0;
+  int frames = 0;
+};
+
+template <typename Fn>
+Timing time_loop(Fn&& fn, double min_seconds, int max_frames) {
+  using clock = std::chrono::steady_clock;
+  Timing t;
+  const auto t0 = clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++t.frames;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (elapsed < min_seconds && t.frames < max_frames);
+  t.fps = static_cast<double>(t.frames) / elapsed;
+  return t;
+}
+
+// ------------------------------------------------------- micro section --
+
+struct MicroResult {
+  std::string kernel;
+  std::vector<double> us;  // microseconds/call, indexed like bench_backends()
+};
+
+std::vector<MicroResult> run_micro(double min_seconds) {
+  using quant::QOp;
+  using tensor::Shape;
+  using tensor::TensorI8;
+
+  const std::int64_t hw = 56, ci = 32, co = 64;
+  QOp conv;
+  conv.kind = quant::QOpKind::kConv2D;
+  conv.kernel = 3;
+  conv.relu = true;
+  conv.out_shape = Shape{hw, hw, co};
+  conv.fix_pos_w = 6;
+  conv.fix_pos_out = 4;
+  conv.weights = seeded_input(Shape{3, 3, ci, co}, 11);
+  conv.bias.assign(static_cast<std::size_t>(co), 321);
+
+  QOp tconv;
+  tconv.kind = quant::QOpKind::kTConv2D;
+  tconv.kernel = 3;
+  tconv.out_shape = Shape{hw, hw, ci};
+  tconv.fix_pos_w = 6;
+  tconv.fix_pos_out = 4;
+  tconv.weights = seeded_input(Shape{3, 3, co, ci}, 13);
+  tconv.bias.assign(static_cast<std::size_t>(ci), -123);
+
+  const TensorI8 x = seeded_input(Shape{hw, hw, ci}, 17);
+  const TensorI8 xt = seeded_input(Shape{hw / 2, hw / 2, co}, 19);
+  const int fp_in = 4;
+  tensor::TensorArena arena;
+  TensorI8 out_conv(conv.out_shape);
+  TensorI8 out_tconv(tconv.out_shape);
+  TensorI8 out_pool(Shape{hw / 2, hw / 2, ci});
+  TensorI8 out_cat(Shape{hw, hw, 2 * ci});
+
+  std::vector<MicroResult> results(4);
+  results[0].kernel = "conv2d 56x56x32->64 k3";
+  results[1].kernel = "tconv2d 28x28x64->56x56x32";
+  results[2].kernel = "maxpool 56x56x32";
+  results[3].kernel = "concat 2x 56x56x32";
+  for (Backend b : bench_backends()) {
+    quant::kernels::set_backend(b);
+    const Timing tc = time_loop(
+        [&] { quant::kernels::conv2d(x, conv, out_conv, fp_in); },
+        min_seconds, 1 << 20);
+    const Timing tt = time_loop(
+        [&] { quant::kernels::tconv2d(xt, tconv, out_tconv, fp_in, &arena); },
+        min_seconds, 1 << 20);
+    const Timing tp = time_loop(
+        [&] { quant::kernels::maxpool2d(x, out_pool); }, min_seconds, 1 << 20);
+    const Timing tk = time_loop(
+        [&] { quant::kernels::concat(x, 5, x, 3, out_cat, 4); }, min_seconds,
+        1 << 20);
+    results[0].us.push_back(1e6 / tc.fps);
+    results[1].us.push_back(1e6 / tt.fps);
+    results[2].us.push_back(1e6 / tp.fps);
+    results[3].us.push_back(1e6 / tk.fps);
+  }
+  quant::kernels::set_backend(Backend::kAuto);
+  return results;
+}
+
+// -------------------------------------------------- end-to-end section --
+
+struct RungResult {
+  std::string model;
+  std::vector<double> fps;    // indexed like bench_backends()
+  std::vector<bool> bitexact;
+  double best_speedup = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const std::int64_t input = cli.get_int("input", 128);
+  const double min_time = cli.get_double("min-time", 0.4);
+  const int max_frames = static_cast<int>(cli.get_int("max-frames", 60));
+  const double min_speedup = cli.get_double("min-speedup", 4.0);
+  const bool strict = cli.get_bool("strict", false);
+  const std::string json_path = cli.get("json", "");
+
+  const std::vector<Backend> backends = bench_backends();
+  std::vector<std::string> backend_names;
+  for (Backend b : backends) {
+    backend_names.push_back(quant::kernels::backend_name(
+        b == Backend::kSimd ? quant::kernels::active_backend() : b));
+  }
+
+  // Per-kernel micro bench.
+  const auto micro = run_micro(min_time * 0.25);
+  {
+    std::vector<std::string> header{"Kernel"};
+    for (const auto& n : backend_names) header.push_back("us/" + n);
+    header.push_back("best speedup");
+    eval::Table table(header);
+    for (const auto& m : micro) {
+      std::vector<std::string> row{m.kernel};
+      for (double us : m.us) row.push_back(eval::Table::num(us, 1));
+      row.push_back(eval::Table::num(m.us.front() / m.us.back(), 2));
+      table.add_row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  // End-to-end: functional DPU simulator FPS per ladder rung.
+  const std::vector<std::string> rungs = {"16M", "8M", "4M", "2M", "1M"};
+  std::vector<RungResult> results;
+  for (const auto& name : rungs) {
+    RungResult r;
+    r.model = name;
+    const quant::QGraph qg = core::build_timing_qgraph(name, input);
+    const dpu::XModel xm = dpu::compile(qg);
+    const dpu::DpuCoreSim sim(&xm);
+    const auto in = seeded_input(qg.input_shape, 0x5ECA + results.size());
+
+    quant::kernels::set_backend(Backend::kScalar);
+    const auto ref = qg.forward(in);
+
+    for (Backend b : backends) {
+      quant::kernels::set_backend(b);
+      // Scalar is benched without an arena: that is the pre-kernel-layer
+      // executor this bench measures the win against.
+      tensor::TensorArena arena;
+      tensor::TensorArena* ap = b == Backend::kScalar ? nullptr : &arena;
+      const auto out = sim.run(in, 1, ap).output;  // also warms the arena
+      r.bitexact.push_back(tensor::max_abs_diff(ref, out) == 0.0);
+      const Timing t = time_loop([&] { (void)sim.run(in, 1, ap); }, min_time,
+                                 max_frames);
+      r.fps.push_back(t.fps);
+    }
+    quant::kernels::set_backend(Backend::kAuto);
+    r.best_speedup = r.fps.back() / r.fps.front();
+    results.push_back(r);
+  }
+
+  {
+    std::vector<std::string> header{"Model"};
+    for (const auto& n : backend_names) header.push_back("FPS " + n);
+    header.push_back("best speedup");
+    header.push_back("Bit-exact");
+    eval::Table table(header);
+    for (const auto& r : results) {
+      std::vector<std::string> row{r.model};
+      for (double f : r.fps) row.push_back(eval::Table::num(f, 1));
+      row.push_back(eval::Table::num(r.best_speedup, 2));
+      bool all = true;
+      for (bool bx : r.bitexact) all = all && bx;
+      row.push_back(all ? "yes" : "NO");
+      table.add_row(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  std::printf(
+      "(end-to-end functional DPU simulator at %lldx%lld; scalar = int64 "
+      "reference without arena, others recycle a TensorArena as VartRunner "
+      "workers do)\n",
+      static_cast<long long>(input), static_cast<long long>(input));
+
+  bool pass = true;
+  for (const auto& r : results) {
+    for (std::size_t i = 0; i < r.bitexact.size(); ++i) {
+      if (!r.bitexact[i]) {
+        std::printf("FAIL: %s %s output not bit-exact vs scalar reference\n",
+                    r.model.c_str(), backend_names[i].c_str());
+        pass = false;
+      }
+    }
+    if ((r.model == "16M" || r.model == "2M") && r.best_speedup < min_speedup) {
+      std::printf("FAIL: %s speedup %.2fx < %.2fx\n", r.model.c_str(),
+                  r.best_speedup, min_speedup);
+      pass = false;
+    }
+  }
+  std::printf("int8_kernels check: %s\n", pass ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      out << "  {\"model\": \"" << r.model << "\"";
+      for (std::size_t j = 0; j < r.fps.size(); ++j) {
+        out << ", \"fps_" << backend_names[j] << "\": " << r.fps[j];
+      }
+      out << ", \"best_speedup\": " << r.best_speedup;
+      bool all = true;
+      for (bool bx : r.bitexact) all = all && bx;
+      out << ", \"bitexact\": " << (all ? "true" : "false") << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return strict && !pass ? 1 : 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "int8_kernels: %s\n", e.what());
+  return 1;
+}

@@ -90,6 +90,24 @@ void validate(const quant::QGraph& qg) {
       fail(where + ": expected " + std::to_string(arity) + " inputs, got " +
            std::to_string(op.inputs.size()));
     }
+    if (op.kind == QOpKind::kMaxPool2D) {
+      const auto& in_op = qg.ops[static_cast<std::size_t>(op.inputs[0])];
+      const Shape& in_shape =
+          in_op.kind == QOpKind::kInput ? qg.input_shape : in_op.out_shape;
+      // The 2x2/stride-2 pool is unpadded: odd extents would silently drop
+      // the last row/column of the feature map (a real segmentation-quality
+      // bug at the image border), so they are a compile error.
+      if (in_shape[0] % 2 != 0 || in_shape[1] % 2 != 0) {
+        fail(where + ": max-pool input is " + std::to_string(in_shape[0]) +
+             "x" + std::to_string(in_shape[1]) +
+             "; the 2x2/stride-2 pool requires even H and W (odd extents "
+             "would drop the last row/column)");
+      }
+      if (op.out_shape[0] != in_shape[0] / 2 ||
+          op.out_shape[1] != in_shape[1] / 2 || op.out_shape[2] != in_shape[2]) {
+        fail(where + ": max-pool output shape does not match input/2");
+      }
+    }
     if (op.kind == QOpKind::kConv2D || op.kind == QOpKind::kTConv2D) {
       if (op.kernel < 1) fail(where + ": bad kernel size");
       const auto& in_op = qg.ops[static_cast<std::size_t>(op.inputs[0])];

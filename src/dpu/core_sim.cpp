@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "quant/kernels.hpp"
+
 namespace seneca::dpu {
 
 DpuCoreSim::DpuCoreSim(const XModel* model) : model_(model) {
@@ -47,7 +49,8 @@ DpuCoreSim::DpuCoreSim(const XModel* model) : model_(model) {
   }
 }
 
-RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers) const {
+RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers,
+                          tensor::TensorArena* arena) const {
   if (input.shape() != model_->input_shape) {
     throw std::invalid_argument("DpuCoreSim::run: input shape mismatch");
   }
@@ -55,7 +58,14 @@ RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers) const {
   std::vector<int> fps(model_->layers.size(), 0);
 
   auto input_of = [&](int id) -> const TensorI8& {
-    return id < 0 ? input : acts[static_cast<std::size_t>(id)];
+    if (id < 0) return input;
+    // Folded kConst feature maps are read in place from the construction-time
+    // decode; they never enter the per-frame activation set.
+    if (model_->layers[static_cast<std::size_t>(id)].kind ==
+        XLayer::Kind::kConst) {
+      return consts_[static_cast<std::size_t>(id)];
+    }
+    return acts[static_cast<std::size_t>(id)];
   };
   auto fp_of = [&](int id) {
     return id < 0 ? model_->input_fix_pos : fps[static_cast<std::size_t>(id)];
@@ -63,19 +73,24 @@ RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers) const {
 
   for (std::size_t i = 0; i < model_->layers.size(); ++i) {
     const XLayer& layer = model_->layers[i];
+    if (layer.kind == XLayer::Kind::kConst) {
+      fps[i] = layer.fix_pos_out;  // aliased via input_of, nothing to execute
+      continue;
+    }
     const quant::QOp& op = payloads_[i];
-    TensorI8 out(layer.out_shape);
+    TensorI8 out =
+        arena ? arena->acquire(layer.out_shape) : TensorI8(layer.out_shape);
     switch (layer.kind) {
       case XLayer::Kind::kConv:
-        quant::qconv2d_forward(input_of(layer.inputs[0]), op, out,
+        quant::kernels::conv2d(input_of(layer.inputs[0]), op, out,
                                fp_of(layer.inputs[0]));
         break;
       case XLayer::Kind::kTConv:
-        quant::qtconv2d_forward(input_of(layer.inputs[0]), op, out,
-                                fp_of(layer.inputs[0]));
+        quant::kernels::tconv2d(input_of(layer.inputs[0]), op, out,
+                                fp_of(layer.inputs[0]), arena);
         break;
       case XLayer::Kind::kPool:
-        quant::qmaxpool2d_forward(input_of(layer.inputs[0]), out);
+        quant::kernels::maxpool2d(input_of(layer.inputs[0]), out);
         break;
       case XLayer::Kind::kConcat:
         if (layer.materialized) {
@@ -92,16 +107,14 @@ RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers) const {
             const std::int64_t co = layer.out_shape[2];
             const std::int64_t pixels = in.numel() / ci;
             for (std::int64_t p = 0; p < pixels; ++p) {
-              const std::int8_t* pi = in.data() + p * ci;
-              std::int8_t* po = out.data() + p * co + chan_off;
-              for (std::int64_t c = 0; c < ci; ++c) {
-                po[c] = quant::saturate_i8(quant::rshift_round(pi[c], shift));
-              }
+              quant::kernels::requant_row(in.data() + p * ci,
+                                          out.data() + p * co + chan_off, ci,
+                                          shift);
             }
             chan_off += ci;
           }
         } else {
-          quant::qconcat_forward(input_of(layer.inputs[0]),
+          quant::kernels::concat(input_of(layer.inputs[0]),
                                  fp_of(layer.inputs[0]),
                                  input_of(layer.inputs[1]),
                                  fp_of(layer.inputs[1]), out,
@@ -109,8 +122,7 @@ RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers) const {
         }
         break;
       case XLayer::Kind::kConst:
-        out = consts_[i];
-        break;
+        break;  // unreachable: handled before the payload dispatch
     }
     acts[i] = std::move(out);
     fps[i] = (layer.kind == XLayer::Kind::kPool) ? fp_of(layer.inputs[0])
@@ -118,7 +130,15 @@ RunResult DpuCoreSim::run(const TensorI8& input, int bw_sharers) const {
   }
 
   RunResult result;
-  result.output = acts[static_cast<std::size_t>(model_->output_layer)];
+  const std::size_t out_id = static_cast<std::size_t>(model_->output_layer);
+  if (model_->layers[out_id].kind == XLayer::Kind::kConst) {
+    result.output = consts_[out_id];  // degenerate fully-folded model
+  } else {
+    result.output = std::move(acts[out_id]);
+  }
+  if (arena) {
+    for (auto& t : acts) arena->release(std::move(t));
+  }
   result.cycles = model_->latency_cycles(bw_sharers);
   result.seconds = model_->latency_seconds(bw_sharers);
   return result;

@@ -30,8 +30,12 @@ class DpuCoreSim {
   const XModel& model() const { return *model_; }
 
   /// Executes one inference. `bw_sharers` is the number of cores currently
-  /// contending for DDR bandwidth (affects LOAD/SAVE latency only).
-  RunResult run(const TensorI8& input, int bw_sharers = 1) const;
+  /// contending for DDR bandwidth (affects LOAD/SAVE latency only). With an
+  /// `arena`, per-layer buffers recycle its slabs across frames (zero heap
+  /// allocation in steady state except the returned output); the arena is
+  /// single-threaded state — one per runner worker, never shared.
+  RunResult run(const TensorI8& input, int bw_sharers = 1,
+                tensor::TensorArena* arena = nullptr) const;
 
  private:
   const XModel* model_;

@@ -1,0 +1,570 @@
+// AVX2 INT8 kernels. This translation unit is the only one compiled with
+// -mavx2; the dispatcher in kernels.cpp only routes here after a runtime
+// cpuid check, so the rest of the library stays runnable on any x86-64.
+//
+// Conv inner loop: two input channels per step, 16 output channels per
+// vector. The int8 weights of both channels widen to int16 and interleave
+// (unpacklo/hi), then one _mm256_madd_epi16 against the broadcast
+// (x0, x1) pair yields 8 widened int8*int8 -> int32 dual-MACs. The madd
+// pair-sum keeps accumulators in a fixed lane permutation; two
+// _mm256_permute2x128 restore channel order once per pixel block before
+// the requant epilogue. Bit-exactness vs the scalar reference is
+// guaranteed because every product and the full accumulation are exact in
+// int32 (the dispatcher's headroom proof) and the requant epilogue
+// computes the identical round-half-away-from-zero arithmetic.
+
+#include "quant/kernels.hpp"
+#include "quant/kernels_internal.hpp"
+
+#if defined(SENECA_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+#include <vector>
+
+namespace seneca::quant::kernels {
+
+namespace {
+
+using detail::rshift_round32;
+
+/// Requants 16 in-order int32 accumulators (v0 = channels 0..7, v1 =
+/// 8..15): round-half-away-from-zero shift, optional ReLU, saturate to
+/// int8, store 16 bytes.
+inline void requant_store16(__m256i v0, __m256i v1, int shift, bool relu,
+                            std::int8_t* dst) {
+  if (shift > 0) {
+    const __m256i rbias = _mm256_set1_epi32(std::int32_t{1} << (shift - 1));
+    const __m128i cnt = _mm_cvtsi32_si128(shift);
+    const __m256i a0 = _mm256_srl_epi32(
+        _mm256_add_epi32(_mm256_abs_epi32(v0), rbias), cnt);
+    const __m256i a1 = _mm256_srl_epi32(
+        _mm256_add_epi32(_mm256_abs_epi32(v1), rbias), cnt);
+    v0 = _mm256_sign_epi32(a0, v0);  // restore sign; zero stays zero
+    v1 = _mm256_sign_epi32(a1, v1);
+  } else if (shift < 0) {
+    const __m128i cnt = _mm_cvtsi32_si128(-shift);
+    v0 = _mm256_sll_epi32(v0, cnt);
+    v1 = _mm256_sll_epi32(v1, cnt);
+  }
+  if (relu) {
+    const __m256i zero = _mm256_setzero_si256();
+    v0 = _mm256_max_epi32(v0, zero);
+    v1 = _mm256_max_epi32(v1, zero);
+  }
+  // Saturating packs work per 128-bit lane; one dword permute undoes the
+  // interleave so the 16 bytes land in channel order.
+  const __m256i p16 = _mm256_packs_epi32(v0, v1);
+  const __m256i p8 = _mm256_packs_epi16(p16, p16);
+  const __m256i perm = _mm256_setr_epi32(0, 4, 1, 5, 0, 4, 1, 5);
+  const __m256i q = _mm256_permutevar8x32_epi32(p8, perm);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dst),
+                   _mm256_castsi256_si128(q));
+}
+
+/// Requants 8 in-order int32 accumulators and stores the first `nvalid`
+/// saturated int8 bytes (the small-co tail: nvalid in 1..8).
+inline void requant_store_n(__m256i v, int shift, bool relu, std::int8_t* dst,
+                            std::int64_t nvalid) {
+  if (shift > 0) {
+    const __m256i rbias = _mm256_set1_epi32(std::int32_t{1} << (shift - 1));
+    const __m128i cnt = _mm_cvtsi32_si128(shift);
+    const __m256i a =
+        _mm256_srl_epi32(_mm256_add_epi32(_mm256_abs_epi32(v), rbias), cnt);
+    v = _mm256_sign_epi32(a, v);
+  } else if (shift < 0) {
+    v = _mm256_sll_epi32(v, _mm_cvtsi32_si128(-shift));
+  }
+  if (relu) v = _mm256_max_epi32(v, _mm256_setzero_si256());
+  const __m128i p16 = _mm_packs_epi32(_mm256_castsi256_si128(v),
+                                      _mm256_extracti128_si256(v, 1));
+  const __m128i p8 = _mm_packs_epi16(p16, p16);
+  alignas(16) std::int8_t tmp[16];
+  _mm_store_si128(reinterpret_cast<__m128i*>(tmp), p8);
+  std::memcpy(dst, tmp, static_cast<std::size_t>(nvalid));
+}
+
+/// Interleaved-pair int16 repack of output channels [co_from, co_from +
+/// count) — the madd operand for channels the 16-wide main loop cannot
+/// reach. Element ((t*cpairs + cp)*nb8 + b)*16 + 2*j + m holds
+/// W[t][2*cp+m][co_from + 8*b + j], zero-padded out of range, so one
+/// _mm256_madd_epi16 against the broadcast (x0, x1) pair yields 8 in-order
+/// int32 dual-MACs with no out-of-bounds weight reads.
+std::vector<short> pack_pair_weights(const QOp& op, std::int64_t ci,
+                                     std::int64_t co, std::int64_t co_from,
+                                     std::int64_t count) {
+  const std::int64_t k2 = op.kernel * op.kernel;
+  const std::int64_t cpairs = (ci + 1) / 2;
+  const std::int64_t nb8 = (count + 7) / 8;
+  std::vector<short> packed(static_cast<std::size_t>(k2 * cpairs * nb8 * 16),
+                            0);
+  const std::int8_t* W = op.weights.data();
+  for (std::int64_t t = 0; t < k2; ++t) {
+    for (std::int64_t cp = 0; cp < cpairs; ++cp) {
+      for (std::int64_t b = 0; b < nb8; ++b) {
+        short* dst = packed.data() + ((t * cpairs + cp) * nb8 + b) * 16;
+        for (std::int64_t j = 0; j < 8 && b * 8 + j < count; ++j) {
+          const std::int64_t o = co_from + b * 8 + j;
+          for (int m = 0; m < 2; ++m) {
+            const std::int64_t c = 2 * cp + m;
+            if (c < ci) dst[2 * j + m] = W[(t * ci + c) * co + o];
+          }
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+/// int16 repack of the 16-wide output-channel blocks into ready-made madd
+/// operands: for tap t, block bi (channels 16*bi..16*bi+15), and input
+/// pair cp, 32 shorts — first the unpacklo_epi16 operand (channels
+/// {0..3, 8..11} of the block interleaved (wa, wb)), then the unpackhi
+/// operand ({4..7, 12..15}). Packing once per call replaces the per-pixel
+/// widen+interleave of the straight int8 layout; zero-padding covers odd
+/// ci.
+std::vector<short> pack_block_weights(const QOp& op, std::int64_t ci,
+                                      std::int64_t co, std::int64_t nblk) {
+  const std::int64_t k2 = op.kernel * op.kernel;
+  const std::int64_t cpairs = (ci + 1) / 2;
+  std::vector<short> packed(
+      static_cast<std::size_t>(k2 * nblk * cpairs * 32), 0);
+  const std::int8_t* W = op.weights.data();
+  for (std::int64_t t = 0; t < k2; ++t) {
+    for (std::int64_t bi = 0; bi < nblk; ++bi) {
+      for (std::int64_t cp = 0; cp < cpairs; ++cp) {
+        short* dst = packed.data() + ((t * nblk + bi) * cpairs + cp) * 32;
+        for (int i = 0; i < 16; ++i) {
+          const std::int64_t lane = i / 8;
+          const std::int64_t jlo = lane * 8 + (i % 8) / 2;
+          const int m = i % 2;
+          const std::int64_t c = 2 * cp + m;
+          if (c >= ci) continue;
+          dst[i] = W[(t * ci + c) * co + 16 * bi + jlo];
+          dst[16 + i] = W[(t * ci + c) * co + 16 * bi + jlo + 4];
+        }
+      }
+    }
+  }
+  return packed;
+}
+
+/// Sign-extends the input into (x0, x1) int16 pairs packed in int32 — the
+/// broadcast operand of the madd pairing, built once per call instead of
+/// per (pixel, tap) read. Odd ci pads x1 = 0.
+std::vector<std::int32_t> pack_input_pairs(const TensorI8& x) {
+  const std::int64_t ci = x.shape()[2];
+  const std::int64_t pixels = x.numel() / ci;
+  const std::int64_t cpairs = (ci + 1) / 2;
+  std::vector<std::int32_t> plane(
+      static_cast<std::size_t>(pixels * cpairs));
+  const std::int8_t* X = x.data();
+  for (std::int64_t p = 0; p < pixels; ++p) {
+    const std::int8_t* px = X + p * ci;
+    std::int32_t* xp = plane.data() + p * cpairs;
+    for (std::int64_t cp = 0; cp < cpairs; ++cp) {
+      const int x0 = px[2 * cp];
+      const int x1 = 2 * cp + 1 < ci ? px[2 * cp + 1] : 0;
+      xp[cp] = static_cast<std::int32_t>(
+          (x0 & 0xFFFF) | static_cast<int>(static_cast<unsigned>(x1) << 16));
+    }
+  }
+  return plane;
+}
+
+}  // namespace
+
+void conv2d_avx2(const TensorI8& x, const QOp& op, TensorI8& out,
+                 int fix_pos_in) {
+  const std::int64_t h = x.shape()[0];
+  const std::int64_t w = x.shape()[1];
+  const std::int64_t ci = x.shape()[2];
+  const std::int64_t k = op.kernel;
+  const std::int64_t co = op.out_shape[2];
+  const std::int64_t pad = k / 2;
+  const int shift = fix_pos_in + op.fix_pos_w - op.fix_pos_out;
+  const std::int32_t* B = op.bias.data();
+  const std::int64_t co16 = co & ~std::int64_t{15};
+
+  // Channels past the last 16-wide block (the whole layer when co < 16,
+  // e.g. narrow models and the class-logit head) run on repacked
+  // interleaved int16 weights: same madd pairing, 8 channels per vector,
+  // zero-padded so no load ever leaves the weight tensor.
+  const std::int64_t tail = co - co16;
+  const std::int64_t cpairs = (ci + 1) / 2;
+  const std::int64_t nblk = co16 / 16;
+  const std::int64_t nb8 = (tail + 7) / 8;  // 0..2
+  const std::int8_t* W = op.weights.data();
+  const std::vector<std::int32_t> xplane = pack_input_pairs(x);
+  // The int16 repack doubles the weight working set; past ~L2 capacity the
+  // packed loads turn memory-bound and lose to widening the int8 weights
+  // in-register, so the giant bottleneck-layer weights stay unpacked.
+  const std::int64_t packed_bytes = k * k * nblk * cpairs * 64;
+  const bool use_packed = nblk > 0 && packed_bytes <= (3 << 19);
+  const std::vector<short> blk_packed =
+      use_packed ? pack_block_weights(op, ci, co, nblk) : std::vector<short>{};
+  std::vector<short> tail_packed;
+  std::int32_t tail_bias[16] = {0};
+  if (tail > 0) {
+    tail_packed = pack_pair_weights(op, ci, co, co16, tail);
+    for (std::int64_t o = 0; o < tail; ++o) {
+      tail_bias[o] = B[co16 + o];
+    }
+  }
+
+  for (std::int64_t oy = 0; oy < h; ++oy) {
+    const std::int64_t ky0 = std::max<std::int64_t>(0, pad - oy);
+    const std::int64_t ky1 = std::min(k, h + pad - oy);
+    for (std::int64_t ox = 0; ox < w; ++ox) {
+      const std::int64_t kx0 = std::max<std::int64_t>(0, pad - ox);
+      const std::int64_t kx1 = std::min(k, w + pad - ox);
+      std::int8_t* po = out.data() + (oy * w + ox) * co;
+
+      for (std::int64_t bi = 0; bi < nblk; ++bi) {
+        // Accumulators live in madd's pair-permuted lane order:
+        // acc_lo = channels {0..3, 8..11}, acc_hi = {4..7, 12..15}.
+        const __m256i b0 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(B + 16 * bi));
+        const __m256i b1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(B + 16 * bi + 8));
+        __m256i acc_lo = _mm256_permute2x128_si256(b0, b1, 0x20);
+        __m256i acc_hi = _mm256_permute2x128_si256(b0, b1, 0x31);
+
+        for (std::int64_t ky = ky0; ky < ky1; ++ky) {
+          const std::int64_t iy = oy + ky - pad;
+          for (std::int64_t kx = kx0; kx < kx1; ++kx) {
+            const std::int64_t ix = ox + kx - pad;
+            const std::int32_t* xrow =
+                xplane.data() + (iy * w + ix) * cpairs;
+            if (use_packed) {
+              const short* wt =
+                  blk_packed.data() +
+                  (((ky * k + kx) * nblk + bi) * cpairs) * 32;
+              for (std::int64_t cp = 0; cp < cpairs; ++cp) {
+                // Branchless on purpose: post-ReLU activations are zero-rich
+                // and a data-dependent skip mispredicts far more than the
+                // saved madd costs.
+                const __m256i xv = _mm256_set1_epi32(xrow[cp]);
+                acc_lo = _mm256_add_epi32(
+                    acc_lo,
+                    _mm256_madd_epi16(
+                        _mm256_loadu_si256(
+                            reinterpret_cast<const __m256i*>(wt + cp * 32)),
+                        xv));
+                acc_hi = _mm256_add_epi32(
+                    acc_hi,
+                    _mm256_madd_epi16(
+                        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                            wt + cp * 32 + 16)),
+                        xv));
+              }
+            } else {
+              const std::int8_t* pw =
+                  W + ((ky * k + kx) * ci) * co + 16 * bi;
+              for (std::int64_t cp = 0; cp < cpairs; ++cp) {
+                const __m256i xv = _mm256_set1_epi32(xrow[cp]);
+                const std::int64_t c = 2 * cp;
+                const __m256i wa = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(pw + c * co)));
+                const __m256i wb =
+                    c + 1 < ci
+                        ? _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                              reinterpret_cast<const __m128i*>(
+                                  pw + (c + 1) * co)))
+                        : _mm256_setzero_si256();
+                acc_lo = _mm256_add_epi32(
+                    acc_lo,
+                    _mm256_madd_epi16(_mm256_unpacklo_epi16(wa, wb), xv));
+                acc_hi = _mm256_add_epi32(
+                    acc_hi,
+                    _mm256_madd_epi16(_mm256_unpackhi_epi16(wa, wb), xv));
+              }
+            }
+          }
+        }
+        requant_store16(_mm256_permute2x128_si256(acc_lo, acc_hi, 0x20),
+                        _mm256_permute2x128_si256(acc_lo, acc_hi, 0x31),
+                        shift, op.relu, po + 16 * bi);
+      }
+
+      if (tail > 0) {
+        __m256i acc[2];
+        for (std::int64_t b = 0; b < nb8; ++b) {
+          acc[b] = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(tail_bias + 8 * b));
+        }
+        for (std::int64_t ky = ky0; ky < ky1; ++ky) {
+          const std::int64_t iy = oy + ky - pad;
+          for (std::int64_t kx = kx0; kx < kx1; ++kx) {
+            const std::int64_t ix = ox + kx - pad;
+            const std::int32_t* xrow =
+                xplane.data() + (iy * w + ix) * cpairs;
+            const short* wt =
+                tail_packed.data() + (ky * k + kx) * cpairs * nb8 * 16;
+            for (std::int64_t cp = 0; cp < cpairs; ++cp) {
+              const __m256i xv = _mm256_set1_epi32(xrow[cp]);
+              for (std::int64_t b = 0; b < nb8; ++b) {
+                acc[b] = _mm256_add_epi32(
+                    acc[b],
+                    _mm256_madd_epi16(
+                        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                            wt + (cp * nb8 + b) * 16)),
+                        xv));
+              }
+            }
+          }
+        }
+        for (std::int64_t b = 0; b < nb8; ++b) {
+          requant_store_n(acc[b], shift, op.relu, po + co16 + 8 * b,
+                          std::min<std::int64_t>(8, tail - 8 * b));
+        }
+      }
+    }
+  }
+}
+
+void tconv2d_avx2(const TensorI8& x, const QOp& op, TensorI8& out,
+                  int fix_pos_in, tensor::TensorArena* arena) {
+  const int shift = fix_pos_in + op.fix_pos_w - op.fix_pos_out;
+  const std::int64_t ci = x.shape()[2];
+  const std::int64_t co = op.out_shape[2];
+  const std::int64_t co16 = co & ~std::int64_t{15};
+  const std::int64_t tail = co - co16;
+  const std::int64_t cpairs = (ci + 1) / 2;
+  const std::int64_t nb8 = (tail + 7) / 8;  // 0..2
+  const std::int8_t* W = op.weights.data();
+
+  // Tail channels use the repacked madd operands and a masked store into
+  // the accumulator plane (full-width loads stay in bounds because
+  // tconv_scratch pads the plane by 8 int32).
+  std::vector<short> tail_packed;
+  __m256i tmask[2] = {_mm256_setzero_si256(), _mm256_setzero_si256()};
+  if (tail > 0) {
+    tail_packed = pack_pair_weights(op, ci, co, co16, tail);
+    const __m256i idx = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    for (std::int64_t b = 0; b < nb8; ++b) {
+      tmask[b] = _mm256_cmpgt_epi32(
+          _mm256_set1_epi32(static_cast<int>(tail - 8 * b)), idx);
+    }
+  }
+
+  std::vector<std::int32_t> local;
+  std::int32_t* acc = detail::tconv_scratch(op, arena, local);
+  detail::tconv_acc_init(op, acc);
+  detail::tconv_scatter(
+      x, op, acc,
+      [&](std::int32_t* pa, const std::int8_t* px, const std::int8_t* pw,
+          std::int64_t nci, std::int64_t nco) {
+        // Full 16-wide blocks: accumulate every input channel in registers
+        // with the same madd pairing as the conv, then touch the
+        // accumulator plane once per block (instead of a read-modify-write
+        // per input channel).
+        for (std::int64_t ob = 0; ob < co16; ob += 16) {
+          __m256i acc_lo = _mm256_setzero_si256();
+          __m256i acc_hi = _mm256_setzero_si256();
+          const std::int8_t* pwb = pw + ob;
+          for (std::int64_t c = 0; c < nci; c += 2) {
+            const int x0 = px[c];
+            const int x1 = c + 1 < nci ? px[c + 1] : 0;
+            const int xp = (x0 & 0xFFFF) |
+                           static_cast<int>(static_cast<unsigned>(x1) << 16);
+            const __m256i xv = _mm256_set1_epi32(xp);
+            const __m256i wa = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(pwb + c * nco)));
+            const __m256i wb =
+                c + 1 < nci
+                    ? _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                          reinterpret_cast<const __m128i*>(pwb +
+                                                           (c + 1) * nco)))
+                    : _mm256_setzero_si256();
+            acc_lo = _mm256_add_epi32(
+                acc_lo, _mm256_madd_epi16(_mm256_unpacklo_epi16(wa, wb), xv));
+            acc_hi = _mm256_add_epi32(
+                acc_hi, _mm256_madd_epi16(_mm256_unpackhi_epi16(wa, wb), xv));
+          }
+          __m256i* a0 = reinterpret_cast<__m256i*>(pa + ob);
+          __m256i* a1 = reinterpret_cast<__m256i*>(pa + ob + 8);
+          _mm256_storeu_si256(
+              a0, _mm256_add_epi32(
+                      _mm256_loadu_si256(a0),
+                      _mm256_permute2x128_si256(acc_lo, acc_hi, 0x20)));
+          _mm256_storeu_si256(
+              a1, _mm256_add_epi32(
+                      _mm256_loadu_si256(a1),
+                      _mm256_permute2x128_si256(acc_lo, acc_hi, 0x31)));
+        }
+        if (tail > 0) {
+          const std::int64_t t = (pw - W) / (nci * nco);  // tap index
+          const short* wt = tail_packed.data() + t * cpairs * nb8 * 16;
+          for (std::int64_t cp = 0; cp < cpairs; ++cp) {
+            const int x0 = px[2 * cp];
+            const int x1 = 2 * cp + 1 < nci ? px[2 * cp + 1] : 0;
+            const int xp = (x0 & 0xFFFF) |
+                           static_cast<int>(static_cast<unsigned>(x1) << 16);
+            const __m256i xb = _mm256_set1_epi32(xp);
+            for (std::int64_t b = 0; b < nb8; ++b) {
+              std::int32_t* ptr = pa + co16 + 8 * b;
+              const __m256i prod = _mm256_madd_epi16(
+                  _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                      wt + (cp * nb8 + b) * 16)),
+                  xb);
+              _mm256_maskstore_epi32(
+                  ptr, tmask[b],
+                  _mm256_add_epi32(_mm256_loadu_si256(
+                                       reinterpret_cast<const __m256i*>(ptr)),
+                                   prod));
+            }
+          }
+        }
+      });
+
+  const std::int64_t n = op.out_shape.numel();
+  std::int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    requant_store16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 8)),
+        shift, op.relu, out.data() + i);
+  }
+  for (; i < n; ++i) {
+    std::int32_t v = rshift_round32(acc[i], shift);
+    if (op.relu && v < 0) v = 0;
+    out[i] = saturate_i8(v);
+  }
+}
+
+void maxpool2d_avx2(const TensorI8& x, TensorI8& out) {
+  const std::int64_t h = x.shape()[0];
+  const std::int64_t w = x.shape()[1];
+  const std::int64_t c = x.shape()[2];
+  const std::int64_t oh = h / 2, ow = w / 2;
+  if (c < 16) {
+    // Narrow-channel path (the small ladder rungs pool c <= 15): one
+    // overlapped 16-byte vector covers the whole 2x2 window of a pixel.
+    // The store writes 16 - c bytes past the pixel's channels; those bytes
+    // belong to later output pixels and are rewritten before anyone reads
+    // them, because pixels are produced in ascending flat order. The last
+    // pixels fall back to scalar so neither loads nor stores leave the
+    // tensors.
+    const std::int8_t* xb = x.data();
+    std::int8_t* ob = out.data();
+    const std::int64_t xn = x.numel(), on = out.numel();
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        const std::int64_t i00 = ((2 * oy) * w + 2 * ox) * c;
+        const std::int64_t i10 = ((2 * oy + 1) * w + 2 * ox) * c;
+        const std::int64_t io = (oy * ow + ox) * c;
+        if (i10 + c + 16 <= xn && io + 16 <= on) {
+          const __m128i m = _mm_max_epi8(
+              _mm_max_epi8(
+                  _mm_loadu_si128(reinterpret_cast<const __m128i*>(xb + i00)),
+                  _mm_loadu_si128(
+                      reinterpret_cast<const __m128i*>(xb + i00 + c))),
+              _mm_max_epi8(
+                  _mm_loadu_si128(reinterpret_cast<const __m128i*>(xb + i10)),
+                  _mm_loadu_si128(
+                      reinterpret_cast<const __m128i*>(xb + i10 + c))));
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(ob + io), m);
+        } else {
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            ob[io + ch] =
+                std::max(std::max(xb[i00 + ch], xb[i00 + c + ch]),
+                         std::max(xb[i10 + ch], xb[i10 + c + ch]));
+          }
+        }
+      }
+    }
+    return;
+  }
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      const std::int8_t* p00 = x.data() + ((2 * oy) * w + 2 * ox) * c;
+      const std::int8_t* p10 = x.data() + ((2 * oy + 1) * w + 2 * ox) * c;
+      std::int8_t* po = out.data() + (oy * ow + ox) * c;
+      std::int64_t ch = 0;
+      for (; ch + 32 <= c; ch += 32) {
+        const __m256i m = _mm256_max_epi8(
+            _mm256_max_epi8(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(p00 + ch)),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(p00 + c + ch))),
+            _mm256_max_epi8(
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(p10 + ch)),
+                _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i*>(p10 + c + ch))));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(po + ch), m);
+      }
+      for (; ch + 16 <= c; ch += 16) {
+        const __m128i m = _mm_max_epi8(
+            _mm_max_epi8(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(p00 + ch)),
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(p00 + c + ch))),
+            _mm_max_epi8(
+                _mm_loadu_si128(reinterpret_cast<const __m128i*>(p10 + ch)),
+                _mm_loadu_si128(
+                    reinterpret_cast<const __m128i*>(p10 + c + ch))));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(po + ch), m);
+      }
+      for (; ch < c; ++ch) {
+        po[ch] = std::max(std::max(p00[ch], p00[c + ch]),
+                          std::max(p10[ch], p10[c + ch]));
+      }
+    }
+  }
+}
+
+void requant_row_avx2(const std::int8_t* src, std::int8_t* dst,
+                      std::int64_t n, int shift) {
+  if (shift == 0) {
+    std::memcpy(dst, src, static_cast<std::size_t>(n));
+    return;
+  }
+  // int16 arithmetic covers |v| <= 128 with rounding-bias headroom for
+  // shifts in [-8, 7]; anything wilder goes through the int64 reference.
+  if (shift > 7 || shift < -8) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      dst[i] = saturate_i8(rshift_round(src[i], shift));
+    }
+    return;
+  }
+  const std::int64_t n16 = n & ~std::int64_t{15};
+  std::int64_t i = 0;
+  if (shift > 0) {
+    const __m128i rbias = _mm_set1_epi16(static_cast<short>(1 << (shift - 1)));
+    const __m128i cnt = _mm_cvtsi32_si128(shift);
+    for (; i < n16; i += 16) {
+      const __m128i v8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i lo = _mm_cvtepi8_epi16(v8);
+      const __m128i hi = _mm_cvtepi8_epi16(_mm_srli_si128(v8, 8));
+      const __m128i rlo = _mm_sign_epi16(
+          _mm_srl_epi16(_mm_add_epi16(_mm_abs_epi16(lo), rbias), cnt), lo);
+      const __m128i rhi = _mm_sign_epi16(
+          _mm_srl_epi16(_mm_add_epi16(_mm_abs_epi16(hi), rbias), cnt), hi);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_packs_epi16(rlo, rhi));
+    }
+  } else {
+    const __m128i cnt = _mm_cvtsi32_si128(-shift);
+    for (; i < n16; i += 16) {
+      const __m128i v8 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+      const __m128i lo = _mm_sll_epi16(_mm_cvtepi8_epi16(v8), cnt);
+      const __m128i hi = _mm_sll_epi16(
+          _mm_cvtepi8_epi16(_mm_srli_si128(v8, 8)), cnt);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                       _mm_packs_epi16(lo, hi));
+    }
+  }
+  for (; i < n; ++i) {
+    dst[i] = saturate_i8(rshift_round(src[i], shift));
+  }
+}
+
+}  // namespace seneca::quant::kernels
+
+#endif  // SENECA_KERNELS_AVX2

@@ -3,13 +3,18 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "quant/kernels.hpp"
+
 namespace seneca::quant {
 
 TensorI8 quantize_tensor(const TensorF& x, int fix_pos) {
   TensorI8 q(x.shape());
   const double scale = std::ldexp(1.0, fix_pos);  // 2^fix_pos
   for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const double v = std::nearbyint(static_cast<double>(x[i]) * scale);
+    // std::round is round-half-away-from-zero regardless of the ambient FP
+    // rounding mode — the same tie rule as the runtime's rshift_round, so
+    // calibration and execution agree on every representable tie.
+    const double v = std::round(static_cast<double>(x[i]) * scale);
     q[i] = saturate_i8(static_cast<std::int64_t>(v));
   }
   return q;
@@ -30,7 +35,7 @@ double quantization_mse(const TensorF& x, int fix_pos) {
   double mse = 0.0;
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     const double q = static_cast<double>(
-        saturate_i8(static_cast<std::int64_t>(std::nearbyint(x[i] * scale))));
+        saturate_i8(static_cast<std::int64_t>(std::round(x[i] * scale))));
     const double err = q * inv - x[i];
     mse += err * err;
   }
@@ -176,30 +181,39 @@ void qconcat_forward(const TensorI8& a, int fp_a, const TensorI8& b, int fp_b,
 }
 
 TensorI8 QGraph::forward(const TensorI8& input,
-                         std::vector<TensorI8>* activations) const {
+                         std::vector<TensorI8>* activations,
+                         tensor::TensorArena* arena) const {
   std::vector<TensorI8> acts(ops.size());
   std::vector<int> fps(ops.size(), 0);
-  acts[static_cast<std::size_t>(input_op)] = input;
   fps[static_cast<std::size_t>(input_op)] = input_fix_pos;
+
+  // The input is only materialized into the activation set when the caller
+  // asked for activations; the frame path reads it by reference.
+  auto in_of = [&](int id) -> const TensorI8& {
+    return id == input_op ? input : acts[static_cast<std::size_t>(id)];
+  };
 
   for (std::size_t id = 0; id < ops.size(); ++id) {
     const QOp& op = ops[id];
     if (op.kind == QOpKind::kInput) continue;
-    const auto in0 = static_cast<std::size_t>(op.inputs[0]);
-    TensorI8 out(op.out_shape);
+    const int in0 = op.inputs[0];
+    const int fp0 = fps[static_cast<std::size_t>(in0)];
+    TensorI8 out = arena ? arena->acquire(op.out_shape)
+                         : TensorI8(op.out_shape);
     switch (op.kind) {
       case QOpKind::kConv2D:
-        qconv2d_forward(acts[in0], op, out, fps[in0]);
+        kernels::conv2d(in_of(in0), op, out, fp0);
         break;
       case QOpKind::kTConv2D:
-        qtconv2d_forward(acts[in0], op, out, fps[in0]);
+        kernels::tconv2d(in_of(in0), op, out, fp0, arena);
         break;
       case QOpKind::kMaxPool2D:
-        qmaxpool2d_forward(acts[in0], out);
+        kernels::maxpool2d(in_of(in0), out);
         break;
       case QOpKind::kConcat: {
-        const auto in1 = static_cast<std::size_t>(op.inputs[1]);
-        qconcat_forward(acts[in0], fps[in0], acts[in1], fps[in1], out,
+        const int in1 = op.inputs[1];
+        kernels::concat(in_of(in0), fp0, in_of(in1),
+                        fps[static_cast<std::size_t>(in1)], out,
                         op.fix_pos_out);
         break;
       }
@@ -207,10 +221,18 @@ TensorI8 QGraph::forward(const TensorI8& input,
         throw std::logic_error("QGraph::forward: bad op");
     }
     acts[id] = std::move(out);
-    fps[id] = (op.kind == QOpKind::kMaxPool2D) ? fps[in0] : op.fix_pos_out;
+    fps[id] = (op.kind == QOpKind::kMaxPool2D) ? fp0 : op.fix_pos_out;
   }
-  TensorI8 result = acts[static_cast<std::size_t>(output_op)];
-  if (activations) *activations = std::move(acts);
+  TensorI8 result = std::move(acts[static_cast<std::size_t>(output_op)]);
+  if (activations) {
+    // Keep the capture complete: the output op's slot and the network
+    // input both appear in the activation set (one copy each, only here).
+    acts[static_cast<std::size_t>(output_op)] = result;
+    acts[static_cast<std::size_t>(input_op)] = input;
+    *activations = std::move(acts);
+  } else if (arena) {
+    for (auto& t : acts) arena->release(std::move(t));
+  }
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/arena.hpp"
 #include "tensor/tensor.hpp"
 
 namespace seneca::quant {
@@ -46,9 +47,16 @@ struct QGraph {
   int input_fix_pos = 0;  // the "scale factor stored into the xmodel" (§III-E)
   Shape input_shape;
 
-  /// Integer reference forward. Optionally captures all op outputs.
+  /// Integer forward through the dispatched kernels (quant/kernels.hpp);
+  /// bit-exact with the scalar reference kernels below by construction.
+  /// Optionally captures all op outputs (the returned output and the input
+  /// are then the only tensors copied). With an arena, intermediate
+  /// activations recycle its slabs: zero heap allocation from the second
+  /// frame on. The arena is single-threaded state — one per executor
+  /// thread, never shared across concurrent forwards.
   TensorI8 forward(const TensorI8& input,
-                   std::vector<TensorI8>* activations = nullptr) const;
+                   std::vector<TensorI8>* activations = nullptr,
+                   tensor::TensorArena* arena = nullptr) const;
 
   /// Total INT8 weight bytes (memory-footprint reporting).
   std::int64_t weight_bytes() const;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "quant/kernels.hpp"
 
 namespace seneca::quant {
 
@@ -91,10 +94,24 @@ QGraph build_qgraph(const FGraph& fg, const ActivationStats& stats) {
         qop.kind = QOpKind::kInput;
         qop.fix_pos_out = stats.input_fix_pos;
         break;
-      case OpKind::kMaxPool2D:
+      case OpKind::kMaxPool2D: {
+        // The 2x2/stride-2 pool has no padding: odd extents would silently
+        // drop the last row/column of the feature map. Reject them here so
+        // the model surfaces the geometry bug at quantization time instead
+        // of degrading segmentation quality at the border.
+        const Shape& in_shape =
+            fg.ops[static_cast<std::size_t>(fop.inputs[0])].out_shape;
+        if (in_shape[0] % 2 != 0 || in_shape[1] % 2 != 0) {
+          throw std::invalid_argument(
+              "quantize: max-pool op '" + fop.name + "' has odd input extent " +
+              std::to_string(in_shape[0]) + "x" + std::to_string(in_shape[1]) +
+              "; the 2x2/stride-2 pool would drop the last row/column. "
+              "Pad the network input so every pooled feature map is even.");
+        }
         qop.kind = QOpKind::kMaxPool2D;
         qop.fix_pos_out = effective_fp(fg, stats, static_cast<int>(id));
         break;
+      }
       case OpKind::kConcat:
         qop.kind = QOpKind::kConcat;
         qop.fix_pos_out = stats.fix_pos[id];
@@ -172,9 +189,9 @@ void fast_finetune(QGraph& qg, const FGraph& fg,
         const TensorI8& qin = qacts[i][static_cast<std::size_t>(op.inputs[0])];
         TensorI8 qout(op.out_shape);
         if (op.kind == QOpKind::kConv2D) {
-          qconv2d_forward(qin, trial, qout, fp_in);
+          kernels::conv2d(qin, trial, qout, fp_in);
         } else {
-          qtconv2d_forward(qin, trial, qout, fp_in);
+          kernels::tconv2d(qin, trial, qout, fp_in);
         }
         const TensorF deq = dequantize_tensor(qout, op.fix_pos_out);
         const TensorF& ref = facts[i][id];
@@ -208,9 +225,9 @@ void fast_finetune(QGraph& qg, const FGraph& fg,
         const TensorI8& qin = qacts[i][static_cast<std::size_t>(op.inputs[0])];
         TensorI8 qout(op.out_shape);
         if (op.kind == QOpKind::kConv2D) {
-          qconv2d_forward(qin, op, qout, fp_in);
+          kernels::conv2d(qin, op, qout, fp_in);
         } else {
-          qtconv2d_forward(qin, op, qout, fp_in);
+          kernels::tconv2d(qin, op, qout, fp_in);
         }
         const TensorF deq = dequantize_tensor(qout, op.fix_pos_out);
         const TensorF& ref = facts[i][id];
@@ -237,9 +254,9 @@ void fast_finetune(QGraph& qg, const FGraph& fg,
       const TensorI8& qin = qacts[i][static_cast<std::size_t>(op.inputs[0])];
       TensorI8 qout(op.out_shape);
       if (op.kind == QOpKind::kConv2D) {
-        qconv2d_forward(qin, op, qout, fp_in);
+        kernels::conv2d(qin, op, qout, fp_in);
       } else {
-        qtconv2d_forward(qin, op, qout, fp_in);
+        kernels::tconv2d(qin, op, qout, fp_in);
       }
       qacts[i][id] = std::move(qout);
     }

@@ -138,6 +138,10 @@ std::vector<tensor::TensorI8> VartRunner::run_batch(
 }
 
 void VartRunner::worker_loop() {
+  // One arena per worker thread: per-layer activation buffers recycle across
+  // every job this worker runs, so steady-state inference allocates only the
+  // returned output tensor. Never shared — arenas are single-threaded state.
+  tensor::TensorArena arena;
   for (;;) {
     std::pair<std::uint64_t, tensor::TensorI8> job;
     {
@@ -151,7 +155,7 @@ void VartRunner::worker_loop() {
       ++inflight_;
     }
     if (max_pending_ > 0) space_cv_.notify_one();
-    dpu::RunResult result = core_.run(job.second);
+    dpu::RunResult result = core_.run(job.second, /*bw_sharers=*/1, &arena);
     {
       LockGuard lock(mutex_);
       finished_.emplace(job.first, std::move(result.output));

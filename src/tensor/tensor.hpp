@@ -60,6 +60,19 @@ class Tensor {
 
   void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
 
+  /// Storage currently reserved (elements), independent of numel(). Used by
+  /// TensorArena's best-fit slab recycling.
+  std::size_t capacity() const { return data_.capacity(); }
+
+  /// Re-dimension to a possibly different numel, reusing the existing
+  /// allocation when it is large enough. Existing element values are
+  /// UNSPECIFIED afterwards — callers must overwrite the full tensor (every
+  /// kernel writes its whole output). Unlike reshape(), numel may change.
+  void resize(Shape new_shape) {
+    shape_ = new_shape;
+    data_.resize(static_cast<std::size_t>(new_shape.numel()));
+  }
+
   void reshape(Shape new_shape) {
     if (new_shape.numel() != shape_.numel()) {
       throw std::invalid_argument("Tensor::reshape: numel mismatch " +
