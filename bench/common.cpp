@@ -1,6 +1,7 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 namespace seneca::bench {
 
@@ -94,6 +95,90 @@ void print_banner(const char* artifact, const char* description) {
   std::printf("\n================================================================\n");
   std::printf("SENECA reproduction — %s\n%s\n", artifact, description);
   std::printf("================================================================\n");
+}
+
+// ------------------------------------------------------------- JsonWriter
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonWriter& JsonWriter::obj() {
+  if (in_object_) out_ << "}";
+  if (array_has_objects_) out_ << ",\n";
+  out_ << "  {";
+  in_object_ = true;
+  object_has_fields_ = false;
+  array_has_objects_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  if (object_has_fields_) out_ << ", ";
+  out_ << "\"" << json_escape(k) << "\": ";
+  object_has_fields_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(const std::string& k, const std::string& v) {
+  key(k).out_ << "\"" << json_escape(v) << "\"";
+  return *this;
+}
+JsonWriter& JsonWriter::field(const std::string& k, const char* v) {
+  return field(k, std::string(v));
+}
+JsonWriter& JsonWriter::field(const std::string& k, double v) {
+  key(k).out_ << v;
+  return *this;
+}
+JsonWriter& JsonWriter::field(const std::string& k, std::int64_t v) {
+  key(k).out_ << v;
+  return *this;
+}
+JsonWriter& JsonWriter::field(const std::string& k, std::uint64_t v) {
+  key(k).out_ << v;
+  return *this;
+}
+JsonWriter& JsonWriter::field(const std::string& k, int v) {
+  return field(k, static_cast<std::int64_t>(v));
+}
+JsonWriter& JsonWriter::field(const std::string& k, bool v) {
+  key(k).out_ << (v ? "true" : "false");
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  return "[\n" + out_.str() + (in_object_ ? "}" : "") + "\n]\n";
+}
+
+void write_json_file(const std::string& path, const std::string& json) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  out << json;
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace seneca::bench

@@ -10,6 +10,8 @@
 // host. Trained weights are cached under artifacts/, so only the first
 // bench invocation pays the training cost.
 
+#include <cstdint>
+#include <sstream>
 #include <string>
 
 #include "core/evaluate.hpp"
@@ -52,5 +54,43 @@ MeasuredPerf measure_gpu(nn::Graph& graph, int runs = 10,
 
 /// Standard banner so every bench identifies its paper artifact.
 void print_banner(const char* artifact, const char* description);
+
+/// Shared emitter for the benches' --json artifacts: a JSON array of flat
+/// objects, built field by field. Replaces the per-bench ad-hoc ofstream
+/// blocks so key quoting, escaping, and comma placement live in one place.
+///
+///   JsonWriter j;
+///   j.obj().field("model", "4M").field("fps", 123.4).field("ok", true);
+///   j.obj().field("model", "2M").field("fps", 456.7).field("ok", false);
+///   write_json_file(path, j.str());
+class JsonWriter {
+ public:
+  /// Starts the next object in the array. Fields attach to the most
+  /// recently started object.
+  JsonWriter& obj();
+  JsonWriter& field(const std::string& key, const std::string& value);
+  JsonWriter& field(const std::string& key, const char* value);
+  JsonWriter& field(const std::string& key, double value);
+  JsonWriter& field(const std::string& key, std::int64_t value);
+  JsonWriter& field(const std::string& key, std::uint64_t value);
+  JsonWriter& field(const std::string& key, int value);
+  JsonWriter& field(const std::string& key, bool value);
+
+  /// Renders the complete array (always valid JSON, "[]" when empty).
+  std::string str() const;
+
+ private:
+  JsonWriter& key(const std::string& k);
+
+  std::ostringstream out_;
+  bool in_object_ = false;
+  bool object_has_fields_ = false;
+  bool array_has_objects_ = false;
+};
+
+/// Writes pre-rendered JSON to `path` and prints "wrote <path>" (the
+/// convention CI artifact steps grep for). No-op when `path` is empty, so
+/// callers can pass --json through unconditionally.
+void write_json_file(const std::string& path, const std::string& json);
 
 }  // namespace seneca::bench

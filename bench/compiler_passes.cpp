@@ -15,10 +15,10 @@
 // single-sharer cycles AND every rung's -O1 output is bit-exact.
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/workflow.hpp"
 #include "dpu/compiler.hpp"
 #include "dpu/core_sim.hpp"
@@ -143,24 +143,20 @@ int main(int argc, char** argv) try {
   }
   std::printf("compiler_passes check: %s\n", pass ? "PASS" : "FAIL");
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "[\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      out << "  {\"model\": \"" << r.model << "\", \"instrs_o0\": "
-          << r.instrs_o0 << ", \"instrs_o1\": " << r.instrs_o1
-          << ", \"cycles_o0\": " << r.cycles_o0
-          << ", \"cycles_o1\": " << r.cycles_o1
-          << ", \"win_pct\": " << r.win_pct
-          << ", \"ddr_mb_o0\": " << r.ddr_mb_o0
-          << ", \"ddr_mb_o1\": " << r.ddr_mb_o1 << ", \"bitexact\": "
-          << (r.bitexact ? "true" : "false") << "}"
-          << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
-    std::printf("wrote %s\n", json_path.c_str());
+  bench::JsonWriter json;
+  for (const auto& r : results) {
+    json.obj()
+        .field("model", r.model)
+        .field("instrs_o0", r.instrs_o0)
+        .field("instrs_o1", r.instrs_o1)
+        .field("cycles_o0", r.cycles_o0)
+        .field("cycles_o1", r.cycles_o1)
+        .field("win_pct", r.win_pct)
+        .field("ddr_mb_o0", r.ddr_mb_o0)
+        .field("ddr_mb_o1", r.ddr_mb_o1)
+        .field("bitexact", r.bitexact);
   }
+  bench::write_json_file(json_path, json.str());
   return strict && !pass ? 1 : 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "compiler_passes: %s\n", e.what());

@@ -19,10 +19,10 @@
 
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/workflow.hpp"
 #include "dpu/compiler.hpp"
 #include "dpu/core_sim.hpp"
@@ -255,24 +255,17 @@ int main(int argc, char** argv) try {
   }
   std::printf("int8_kernels check: %s\n", pass ? "PASS" : "FAIL");
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "[\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      out << "  {\"model\": \"" << r.model << "\"";
-      for (std::size_t j = 0; j < r.fps.size(); ++j) {
-        out << ", \"fps_" << backend_names[j] << "\": " << r.fps[j];
-      }
-      out << ", \"best_speedup\": " << r.best_speedup;
-      bool all = true;
-      for (bool bx : r.bitexact) all = all && bx;
-      out << ", \"bitexact\": " << (all ? "true" : "false") << "}"
-          << (i + 1 < results.size() ? "," : "") << "\n";
+  bench::JsonWriter json;
+  for (const auto& r : results) {
+    json.obj().field("model", r.model);
+    for (std::size_t j = 0; j < r.fps.size(); ++j) {
+      json.field("fps_" + std::string(backend_names[j]), r.fps[j]);
     }
-    out << "]\n";
-    std::printf("wrote %s\n", json_path.c_str());
+    bool all = true;
+    for (bool bx : r.bitexact) all = all && bx;
+    json.field("best_speedup", r.best_speedup).field("bitexact", all);
   }
+  bench::write_json_file(json_path, json.str());
   return strict && !pass ? 1 : 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "int8_kernels: %s\n", e.what());

@@ -23,10 +23,10 @@
 //                      [--json tenant_isolation.json] [--strict]
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "core/workflow.hpp"
 #include "eval/table.hpp"
 #include "loadgen/loadgen.hpp"
@@ -229,11 +229,9 @@ int main(int argc, char** argv) try {
     std::printf("isolation check: FAIL (missing clinic report)\n");
   }
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << loadgen::to_json(all_reports);
-    std::printf("wrote %s\n", json_path.c_str());
-  }
+  // The loadgen layer already has a report serializer; only the file-write
+  // convention is shared.
+  bench::write_json_file(json_path, loadgen::to_json(all_reports));
   std::printf(
       "Reading: with isolation the research storm is absorbed by its own\n"
       "token bucket (throttled at the door) and DRR keeps the clinic's\n"

@@ -1,0 +1,169 @@
+// Wire demo: the distributed serving tier end to end. A Supervisor
+// fork/execs a small fleet of seneca_boardd worker processes (each one a
+// simulated ZCU104 behind a SENECA-Wire socket), attaches them to a
+// ClusterRouter as RemoteBoards, and a closed-loop client fleet drives
+// traffic over real loopback sockets. Act two SIGKILLs a worker mid-run:
+// the router migrates its queued work to the survivors, the supervisor
+// respawns it with backoff, and the fleet keeps serving throughout.
+//
+//   ./wire_demo [--boards 2] [--requests 64] [--input 32]
+//               [--transport tcp|unix] [--boardd /path/to/seneca_boardd]
+//
+// The default --boardd is the build tree's binary (injected by CMake).
+
+#include <signal.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/table.hpp"
+#include "serve/cluster/router.hpp"
+#include "serve/net/supervisor.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace seneca;
+using serve::cluster::ClusterConfig;
+using serve::cluster::ClusterRouter;
+using serve::net::Supervisor;
+using serve::net::SupervisorConfig;
+using serve::net::WorkerSpec;
+
+struct Tally {
+  int ok = 0;
+  int other = 0;
+};
+
+/// Closed loop: 4 clients share `total` submissions (3:1 interactive:batch,
+/// deadline-free), each pacing on its own previous future.
+Tally drive(ClusterRouter& router, int total, std::int64_t input) {
+  std::atomic<int> next{0};
+  std::atomic<int> ok{0};
+  std::atomic<int> other{0};
+  std::vector<std::thread> fleet;
+  for (int c = 0; c < 4; ++c) {
+    fleet.emplace_back([&, c] {
+      util::Rng rng(static_cast<std::uint64_t>(c) + 1);
+      tensor::TensorI8 in(tensor::Shape{input, input, 1});
+      for (auto& v : in) {
+        v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+      }
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= total) return;
+        const serve::Priority lane = i % 4 == 3
+                                         ? serve::Priority::kBatch
+                                         : serve::Priority::kInteractive;
+        const serve::Response r = router.submit(lane, in, 0.0).get();
+        (r.status == serve::Status::kOk ? ok : other).fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+  return {ok.load(), other.load()};
+}
+
+void print_fleet(const Supervisor& sup, const std::vector<int>& slots) {
+  eval::Table table({"Slot", "PID", "Endpoint", "Served", "Inflight"});
+  for (const int slot : slots) {
+    const auto board = sup.worker_board(slot);
+    if (!board) continue;
+    table.add_row({std::to_string(slot), std::to_string(sup.worker_pid(slot)),
+                   board->endpoint().to_string(),
+                   std::to_string(board->frames_served()),
+                   std::to_string(board->inflight())});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Cli cli(argc, argv);
+  const int boards = static_cast<int>(cli.get_int("boards", 2));
+  const int requests = static_cast<int>(cli.get_int("requests", 64));
+  const std::int64_t input = cli.get_int("input", 32);
+  const std::string transport = cli.get("transport", "tcp");
+
+  SupervisorConfig scfg;
+  scfg.boardd_path = cli.get("boardd", SENECA_BOARDD_PATH);
+  scfg.remote.heartbeat_interval_ms = 10.0;
+  scfg.restart_backoff_initial_ms = 50.0;
+  if (transport == "unix") {
+    scfg.transport = serve::net::Endpoint::Kind::kUnix;
+  } else if (transport != "tcp") {
+    throw std::invalid_argument("unknown --transport: " + transport);
+  }
+
+  ClusterConfig ccfg;
+  ccfg.policy = serve::cluster::PolicyKind::kJoinShortestQueue;
+  ccfg.migrate.enable = true;
+  ccfg.migrate.monitor_interval_ms = 5.0;
+  ClusterRouter router(std::vector<std::shared_ptr<serve::cluster::Board>>{},
+                       ccfg);
+  Supervisor sup(scfg, router);
+
+  std::printf("spawning %d seneca_boardd workers (%s)...\n", boards,
+              transport.c_str());
+  std::vector<int> slots;
+  for (int b = 0; b < boards; ++b) {
+    WorkerSpec spec;
+    spec.ladder = {"4M", "2M"};
+    spec.input = static_cast<int>(input);
+    spec.name = "demo" + std::to_string(b);
+    slots.push_back(sup.add_worker(spec));
+  }
+  sup.start();
+  print_fleet(sup, slots);
+
+  // ---- act 1: traffic over real sockets -------------------------------
+  const Tally t1 = drive(router, requests, input);
+  std::printf("act 1: %d/%d ok over the wire\n\n", t1.ok, requests);
+  print_fleet(sup, slots);
+
+  // ---- act 2: SIGKILL a worker mid-run --------------------------------
+  const int victim = slots.front();
+  const pid_t old_pid = sup.worker_pid(victim);
+  std::printf("act 2: SIGKILL slot %d (pid %d), traffic continues...\n",
+              victim, static_cast<int>(old_pid));
+  ::kill(old_pid, SIGKILL);
+  const Tally t2 = drive(router, requests, input);
+
+  // Bounded wait for the supervisor's restart cycle to finish.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto board = sup.worker_board(victim);
+    if (sup.worker_pid(victim) != old_pid && board && !board->dead()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const auto stats = sup.stats();
+  std::printf(
+      "act 2: %d/%d ok during the outage window; supervisor restarted the\n"
+      "worker as pid %d (%llu restart(s), %zu alive)\n\n",
+      t2.ok, requests, static_cast<int>(sup.worker_pid(victim)),
+      static_cast<unsigned long long>(stats.restarts), stats.alive);
+  print_fleet(sup, slots);
+
+  const auto snap = router.snapshot();
+  std::printf(
+      "cluster: served=%llu migrations=%llu expired=%llu sim-FPS=%.1f\n",
+      static_cast<unsigned long long>(snap.served),
+      static_cast<unsigned long long>(snap.migrations),
+      static_cast<unsigned long long>(snap.expired), snap.simulated_fps);
+
+  sup.stop();
+  router.shutdown();
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "wire_demo: %s\n", e.what());
+  return 1;
+}

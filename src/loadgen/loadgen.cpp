@@ -116,6 +116,10 @@ std::vector<TenantReport> run_open_loop(
         case Status::kRejected: ++r.rejected; break;
         case Status::kExpired: ++r.expired; break;
         case Status::kError: ++r.errors; break;
+        // kMigrated is a cluster-internal status; a router converts it
+        // before the client future resolves. Counted as rejected if one
+        // ever leaks this far.
+        case Status::kMigrated: ++r.rejected; break;
       }
     }
     if (!ok_ms.empty()) {

@@ -5,8 +5,19 @@
 
 namespace seneca::serve::cluster {
 
+std::future<Response> Board::submit(Priority priority, tensor::TensorI8 input,
+                                    double deadline_ms, TenantId tenant) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  auto future = promise->get_future();
+  submit_async(priority, std::move(input), deadline_ms, tenant,
+               [promise](Response r) { promise->set_value(std::move(r)); });
+  return future;
+}
+
 BoardSim::BoardSim(int id, BoardConfig cfg)
-    : id_(id), name_(std::move(cfg.name)), rung_offset_(cfg.rung_offset) {
+    : Board(id, std::move(cfg.name)),
+      rung_offset_(cfg.rung_offset),
+      online_reprice_(cfg.online_reprice) {
   if (cfg.ladder.empty()) {
     throw std::invalid_argument("BoardSim: empty rung set");
   }
@@ -19,6 +30,7 @@ BoardSim::BoardSim(int id, BoardConfig cfg)
         {spec.name, e.seconds_per_frame, e.watts, e.joules_per_frame});
     cost_by_model_.emplace(spec.name, i);
   }
+  observed_.resize(costs_.size());
   queue_capacity_ = cfg.server.queue.capacity;
   // Chain the board's accounting in front of any caller-provided observer.
   ServerConfig server_cfg = cfg.server;
@@ -31,11 +43,12 @@ BoardSim::BoardSim(int id, BoardConfig cfg)
                                               std::move(server_cfg));
 }
 
-std::future<Response> BoardSim::submit(Priority priority,
-                                       tensor::TensorI8 input,
-                                       double deadline_ms, TenantId tenant) {
+void BoardSim::submit_async(Priority priority, tensor::TensorI8 input,
+                            double deadline_ms, TenantId tenant,
+                            DoneCallback on_done) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  return server_->submit(priority, std::move(input), deadline_ms, tenant);
+  server_->submit_async(priority, std::move(input), deadline_ms, tenant,
+                        std::move(on_done));
 }
 
 std::uint64_t BoardSim::inflight() const {
@@ -47,6 +60,26 @@ std::uint64_t BoardSim::inflight() const {
 double BoardSim::ewma_latency_ms() const {
   util::LockGuard lock(accounting_mutex_);
   return ewma_latency_ms_;
+}
+
+RungCost BoardSim::rung_cost(int level) const {
+  RungCost cost = costs_[static_cast<std::size_t>(level)];
+  if (!online_reprice_) return cost;
+  util::LockGuard lock(accounting_mutex_);
+  const RungObserved& obs = observed_[static_cast<std::size_t>(level)];
+  if (obs.samples == 0) return cost;  // nothing observed yet: DES estimate
+  // Re-price throughput from the observed per-frame service time; keep the
+  // power model's watts, so J/frame = watts * s/frame tracks the operating
+  // point (a rung batching 4-deep serves frames ~4x cheaper than the DES
+  // single-stream estimate assumed).
+  cost.seconds_per_frame = obs.seconds_per_frame;
+  cost.joules_per_frame = cost.watts * obs.seconds_per_frame;
+  return cost;
+}
+
+RungObserved BoardSim::observed(int level) const {
+  util::LockGuard lock(accounting_mutex_);
+  return observed_[static_cast<std::size_t>(level)];
 }
 
 bool BoardSim::runner_saturated() const {
@@ -65,6 +98,9 @@ double BoardSim::busy_seconds() const {
 }
 
 void BoardSim::on_complete(const Response& r) {
+  // Every status is terminal for THIS board — even kMigrated means the
+  // request left its queue for good (the router re-routes it as a fresh
+  // submission elsewhere) — so all of them close the inflight window.
   completed_.fetch_add(1, std::memory_order_relaxed);
   if (r.status != Status::kOk) return;
   frames_served_.fetch_add(1, std::memory_order_relaxed);
@@ -76,8 +112,24 @@ void BoardSim::on_complete(const Response& r) {
   ewma_latency_ms_ = ewma_latency_ms_ == 0.0
                          ? r.total_ms
                          : kAlpha * r.total_ms + (1.0 - kAlpha) * ewma_latency_ms_;
+  // Billing stays on the DES-priced table: simulated energy/time keep
+  // their construction-time meaning whether or not re-pricing is on.
   energy_joules_ += cost.joules_per_frame;
   busy_seconds_ += cost.seconds_per_frame;
+  // Observed wall-clock cost of this frame: the whole batch took
+  // service_ms, so one frame's share is service_ms / batch_size.
+  RungObserved& obs = observed_[it->second];
+  const double batch = r.batch_size > 0 ? static_cast<double>(r.batch_size) : 1.0;
+  const double s_per_frame = (r.service_ms / batch) / 1e3;
+  if (obs.samples == 0) {
+    obs.seconds_per_frame = s_per_frame;
+    obs.occupancy = batch;
+  } else {
+    obs.seconds_per_frame =
+        kAlpha * s_per_frame + (1.0 - kAlpha) * obs.seconds_per_frame;
+    obs.occupancy = kAlpha * batch + (1.0 - kAlpha) * obs.occupancy;
+  }
+  ++obs.samples;
 }
 
 }  // namespace seneca::serve::cluster

@@ -6,7 +6,7 @@
 
 namespace seneca::serve::cluster {
 
-BoardHealth assess(const BoardSim& board, const HealthPolicy& policy) {
+BoardHealth assess(const Board& board, const HealthPolicy& policy) {
   BoardHealth h;
   h.fault = board.fault_injected();
   const double capacity = static_cast<double>(board.queue_capacity());

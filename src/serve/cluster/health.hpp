@@ -1,7 +1,8 @@
 #pragma once
 // Board health assessment for the routing tier. A board is unhealthy when
 // any of three signals fires:
-//   - operator/test fault injection (BoardSim::inject_fault),
+//   - fault: operator/test fault injection (Board::inject_fault), or — for
+//     socket-attached boards — a dead connection / stale telemetry,
 //   - admission-queue saturation (depth at or past a configurable fraction
 //     of capacity — routing there would only be shed at admission),
 //   - current-rung VartRunner saturation (the bounded pending queue is
@@ -15,7 +16,7 @@
 
 namespace seneca::serve::cluster {
 
-class BoardSim;
+class Board;
 
 struct HealthPolicy {
   /// Queue depth at or above `queue_saturation * capacity` marks the board
@@ -35,6 +36,6 @@ struct BoardHealth {
   }
 };
 
-BoardHealth assess(const BoardSim& board, const HealthPolicy& policy);
+BoardHealth assess(const Board& board, const HealthPolicy& policy);
 
 }  // namespace seneca::serve::cluster

@@ -1,48 +1,27 @@
 #include "serve/cluster/router.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
 namespace seneca::serve::cluster {
 
-ClusterRouter::ClusterRouter(std::vector<BoardConfig> boards,
-                             ClusterConfig cfg)
-    : cfg_(std::move(cfg)), policy_(make_policy(cfg_.policy)) {
-  if (boards.empty()) {
-    throw std::invalid_argument("ClusterRouter: no boards");
-  }
-  boards_.reserve(boards.size());
-  for (std::size_t i = 0; i < boards.size(); ++i) {
-    if (cfg_.tenants != nullptr) {
-      // Self-wire the tenant model: boards share the router's registry for
-      // DRR weights and per-tenant latency, but never charge the buckets —
-      // the router already did at its front door.
-      boards[i].server.tenants = cfg_.tenants;
-      boards[i].server.tenant_throttle = false;
-    }
-    boards_.push_back(
-        std::make_unique<BoardSim>(static_cast<int>(i), std::move(boards[i])));
-  }
-}
+namespace {
 
-ClusterRouter::~ClusterRouter() { shutdown(); }
-
-void ClusterRouter::shutdown() {
-  for (auto& b : boards_) b->shutdown();
-}
-
-std::vector<BoardState> ClusterRouter::states() const {
+std::vector<BoardState> states_of(
+    const std::vector<std::shared_ptr<Board>>& boards,
+    const HealthPolicy& health) {
   std::vector<BoardState> states;
-  states.reserve(boards_.size());
-  for (const auto& b : boards_) {
+  states.reserve(boards.size());
+  for (const auto& b : boards) {
     BoardState s;
     s.board = b->id();
-    s.healthy = assess(*b, cfg_.health).healthy();
+    s.healthy = assess(*b, health).healthy();
     s.queue_depth = b->queue_depth();
     s.inflight = b->inflight();
     s.level = b->level();
-    const RungCost& cost = b->rung_cost(s.level);
+    const RungCost cost = b->rung_cost(s.level);
     s.seconds_per_frame = cost.seconds_per_frame;
     s.joules_per_frame = cost.joules_per_frame;
     s.ewma_latency_ms = b->ewma_latency_ms();
@@ -51,47 +30,252 @@ std::vector<BoardState> ClusterRouter::states() const {
   return states;
 }
 
+}  // namespace
+
+ClusterRouter::ClusterRouter(std::vector<BoardConfig> boards,
+                             ClusterConfig cfg)
+    : cfg_(std::move(cfg)), policy_(make_policy(cfg_.policy)) {
+  if (boards.empty()) {
+    throw std::invalid_argument("ClusterRouter: no boards");
+  }
+  {
+    util::LockGuard lock(boards_mutex_);
+    boards_.reserve(boards.size());
+    for (std::size_t i = 0; i < boards.size(); ++i) {
+      if (cfg_.tenants != nullptr) {
+        // Self-wire the tenant model: boards share the router's registry for
+        // DRR weights and per-tenant latency, but never charge the buckets —
+        // the router already did at its front door.
+        boards[i].server.tenants = cfg_.tenants;
+        boards[i].server.tenant_throttle = false;
+      }
+      boards_.push_back(std::make_shared<BoardSim>(static_cast<int>(i),
+                                                   std::move(boards[i])));
+    }
+  }
+  if (cfg_.migrate.enable && cfg_.migrate.monitor_interval_ms > 0.0) {
+    monitor_ = std::thread([this] { monitor_loop(); });
+  }
+}
+
+ClusterRouter::ClusterRouter(std::vector<std::shared_ptr<Board>> boards,
+                             ClusterConfig cfg)
+    : cfg_(std::move(cfg)), policy_(make_policy(cfg_.policy)) {
+  {
+    util::LockGuard lock(boards_mutex_);
+    boards_ = std::move(boards);
+  }
+  if (cfg_.migrate.enable && cfg_.migrate.monitor_interval_ms > 0.0) {
+    monitor_ = std::thread([this] { monitor_loop(); });
+  }
+}
+
+ClusterRouter::~ClusterRouter() { shutdown(); }
+
+void ClusterRouter::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  if (monitor_.joinable()) monitor_.join();
+  for (const auto& b : boards_snapshot()) b->shutdown();
+}
+
+std::vector<std::shared_ptr<Board>> ClusterRouter::boards_snapshot() const {
+  util::LockGuard lock(boards_mutex_);
+  return boards_;
+}
+
+void ClusterRouter::add_board(std::shared_ptr<Board> board) {
+  util::LockGuard lock(boards_mutex_);
+  boards_.push_back(std::move(board));
+}
+
+std::shared_ptr<Board> ClusterRouter::remove_board(int id) {
+  std::shared_ptr<Board> removed;
+  {
+    util::LockGuard lock(boards_mutex_);
+    for (auto it = boards_.begin(); it != boards_.end(); ++it) {
+      if ((*it)->id() == id) {
+        removed = *it;
+        boards_.erase(it);
+        break;
+      }
+    }
+  }
+  // Evict after detaching: re-routes triggered by the eviction can no
+  // longer pick this board.
+  if (removed != nullptr) removed->evict_queued();
+  return removed;
+}
+
+std::size_t ClusterRouter::num_boards() const {
+  util::LockGuard lock(boards_mutex_);
+  return boards_.size();
+}
+
+Board& ClusterRouter::board(std::size_t i) {
+  util::LockGuard lock(boards_mutex_);
+  return *boards_[i];
+}
+
+const Board& ClusterRouter::board(std::size_t i) const {
+  util::LockGuard lock(boards_mutex_);
+  return *boards_[i];
+}
+
+std::vector<BoardState> ClusterRouter::states() const {
+  return states_of(boards_snapshot(), cfg_.health);
+}
+
 std::future<Response> ClusterRouter::submit(Priority priority,
                                             tensor::TensorI8 input,
                                             double deadline_ms,
                                             TenantId tenant) {
-  const auto reject = [&](bool throttled) {
-    std::promise<Response> promise;
-    Response resp;
-    resp.tenant = tenant;
-    resp.status = Status::kRejected;
-    promise.set_value(std::move(resp));
-    if (cfg_.tenants != nullptr) {
-      if (throttled) {
-        cfg_.tenants->on_throttled(tenant);
-      } else {
-        cfg_.tenants->on_rejected(tenant);
-      }
-    }
-    return promise.get_future();
-  };
+  auto promise = std::make_shared<std::promise<Response>>();
+  auto future = promise->get_future();
+  submit_async(priority, std::move(input), deadline_ms, tenant,
+               [promise](Response r) { promise->set_value(std::move(r)); });
+  return future;
+}
+
+void ClusterRouter::submit_async(Priority priority, tensor::TensorI8 input,
+                                 double deadline_ms, TenantId tenant,
+                                 Board::DoneCallback on_done) {
   if (cfg_.tenants != nullptr) {
     cfg_.tenants->on_submitted(tenant);
     // Charge the bucket at the cluster front door, before routing: an
     // out-of-budget tenant must not consume any board's queue capacity.
     if (!cfg_.tenants->try_admit(tenant, Clock::now())) {
-      return reject(/*throttled=*/true);
+      cfg_.tenants->on_throttled(tenant);
+      Response resp;
+      resp.tenant = tenant;
+      resp.status = Status::kRejected;
+      on_done(std::move(resp));
+      return;
     }
   }
-  const int picked = policy_->pick(states(), {priority, deadline_ms});
-  // pick() returns -1 only for an empty board list, which the constructor
-  // rejects; guard anyway so a policy bug rejects instead of crashing.
-  if (picked < 0) {
-    return reject(/*throttled=*/false);
+  RouteTask task;
+  task.priority = priority;
+  task.tenant = tenant;
+  task.deadline_ms = deadline_ms;
+  if (deadline_ms > 0.0) {
+    task.deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(deadline_ms));
   }
-  return boards_[static_cast<std::size_t>(picked)]->submit(
-      priority, std::move(input), deadline_ms, tenant);
+  task.input = std::move(input);
+  task.done = std::move(on_done);
+  route(std::move(task));
+}
+
+void ClusterRouter::route(RouteTask task) {
+  const auto boards = boards_snapshot();
+  if (boards.empty()) {
+    Response resp;
+    resp.tenant = task.tenant;
+    resp.status = Status::kRejected;
+    resp.migrations = static_cast<std::uint32_t>(task.hops);
+    if (cfg_.tenants != nullptr) cfg_.tenants->on_rejected(task.tenant);
+    task.done(std::move(resp));
+    return;
+  }
+  std::vector<BoardState> states = states_of(boards, cfg_.health);
+  // A re-route prefers any board but the one that just failed the request;
+  // marking it unhealthy is enough — every policy falls back to the full
+  // set when no healthy board remains.
+  if (task.last_board >= 0 && boards.size() > 1) {
+    for (auto& s : states) {
+      if (s.board == task.last_board) s.healthy = false;
+    }
+  }
+  double deadline_ms = task.deadline_ms;
+  if (task.deadline != Clock::time_point::max()) {
+    deadline_ms = std::chrono::duration<double, std::milli>(task.deadline -
+                                                            Clock::now())
+                      .count();
+    if (deadline_ms <= 0.0) deadline_ms = -1.0;  // expired; checked below
+  }
+  const int picked = policy_->pick(states, {task.priority, deadline_ms});
+  // pick() returns -1 only for an empty board list, which is handled
+  // above; guard anyway so a policy bug rejects instead of crashing.
+  if (picked < 0) {
+    Response resp;
+    resp.tenant = task.tenant;
+    resp.status = Status::kRejected;
+    resp.migrations = static_cast<std::uint32_t>(task.hops);
+    if (cfg_.tenants != nullptr) cfg_.tenants->on_rejected(task.tenant);
+    task.done(std::move(resp));
+    return;
+  }
+  const auto& board = boards[static_cast<std::size_t>(picked)];
+  if (!cfg_.migrate.enable) {
+    board->submit_async(task.priority, std::move(task.input),
+                        task.deadline_ms, task.tenant, std::move(task.done));
+    return;
+  }
+  // The board gets its own copy of the input: the task keeps the original
+  // for a potential re-submit.
+  tensor::TensorI8 board_input = task.input;
+  task.last_board = board->id();
+  // Re-submits carry the REMAINING budget, so a migrated request cannot
+  // outlive its original deadline.
+  const double submit_deadline_ms =
+      task.deadline == Clock::time_point::max() ? 0.0 : deadline_ms;
+  auto self = this;  // router outlives boards; shutdown joins first
+  board->submit_async(
+      task.priority, std::move(board_input), submit_deadline_ms, task.tenant,
+      [self, task = std::move(task)](Response resp) mutable {
+        self->on_board_done(std::move(task), std::move(resp));
+      });
+}
+
+void ClusterRouter::on_board_done(RouteTask task, Response resp) {
+  const bool retryable =
+      resp.status == Status::kMigrated || resp.status == Status::kError;
+  const bool expired = task.deadline != Clock::time_point::max() &&
+                       Clock::now() > task.deadline;
+  if (retryable && !expired && task.hops < cfg_.migrate.max_hops &&
+      !stopping_.load(std::memory_order_acquire)) {
+    ++task.hops;
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+    route(std::move(task));
+    return;
+  }
+  if (resp.status == Status::kMigrated) {
+    // Out of hops or budget: a cluster-internal status must not reach the
+    // client. Expired budget reads as kExpired, anything else kRejected.
+    resp.status = expired ? Status::kExpired : Status::kRejected;
+    if (cfg_.tenants != nullptr) {
+      // The board skipped terminal attribution for kMigrated; settle it
+      // here so per-tenant conservation holds.
+      if (expired) {
+        cfg_.tenants->on_expired(task.tenant);
+      } else {
+        cfg_.tenants->on_rejected(task.tenant);
+      }
+    }
+  }
+  resp.migrations = static_cast<std::uint32_t>(task.hops);
+  task.done(std::move(resp));
+}
+
+void ClusterRouter::monitor_loop() {
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(
+          cfg_.migrate.monitor_interval_ms));
+  while (!stopping_.load(std::memory_order_acquire)) {
+    for (const auto& b : boards_snapshot()) {
+      const BoardHealth h = assess(*b, cfg_.health);
+      // Evict only FAULTED boards: their queue is going nowhere. A merely
+      // saturated board is still draining its backlog itself.
+      if (h.fault) b->evict_queued();
+    }
+    std::this_thread::sleep_for(interval);
+  }
 }
 
 ClusterSnapshot ClusterRouter::snapshot() const {
   ClusterSnapshot s;
   std::uint64_t frames = 0;
-  for (const auto& b : boards_) {
+  for (const auto& b : boards_snapshot()) {
     const MetricsSnapshot m = b->metrics();
     s.submitted += m.submitted;
     s.served += m.served;
@@ -99,11 +283,13 @@ ClusterSnapshot ClusterRouter::snapshot() const {
     s.expired += m.expired;
     s.errors += m.errors;
     s.degraded += m.degraded;
+    s.migrated += m.migrated;
     s.energy_joules += b->energy_joules();
     s.busy_seconds_max = std::max(s.busy_seconds_max, b->busy_seconds());
     frames += b->frames_served();
     s.boards.push_back(m);
   }
+  s.migrations = migrations_.load(std::memory_order_relaxed);
   if (s.busy_seconds_max > 0.0) {
     s.simulated_fps = static_cast<double>(frames) / s.busy_seconds_max;
   }
@@ -121,7 +307,8 @@ std::string ClusterSnapshot::format() const {
   os << "cluster: boards=" << boards.size() << " submitted=" << submitted
      << " served=" << served << " rejected=" << rejected
      << " expired=" << expired << " errors=" << errors
-     << " degraded=" << degraded << "\n";
+     << " degraded=" << degraded << " migrated=" << migrated
+     << " migrations=" << migrations << "\n";
   os.setf(std::ios::fixed);
   os.precision(2);
   os << "  simulated_fps=" << simulated_fps << " fps_per_watt=" << fps_per_watt

@@ -1,12 +1,14 @@
 #pragma once
-// ClusterRouter: the sharded serving tier in front of N simulated boards.
+// ClusterRouter: the sharded serving tier in front of N boards.
 //
-//   clients --submit()--> Router --policy.pick(BoardState[])--> BoardSim[i]
+//   clients --submit()--> Router --policy.pick(BoardState[])--> Board[i]
 //                                                                  |
-//                                                       per-board server
-//                                               (queue / batcher / ladder)
+//                                                 in-process BoardSim, or
+//                                            net::RemoteBoard -> seneca_boardd
 //
-// Two topologies, built with the helpers below:
+// Boards implement the transport-neutral Board interface, so the router
+// routes identically over in-process simulated boards and socket-attached
+// worker processes. Two topologies, built with the helpers below:
 //   replicate_ladder  — every board hosts the full degradation ladder; the
 //                       policy only picks the board, each board's own
 //                       hysteretic controller picks the rung.
@@ -19,22 +21,53 @@
 // (fault injection, queue saturation, bounded-runner saturation — see
 // health.hpp) and policies route around unhealthy boards, so a sick board
 // drains to its peers while its queued work finishes locally.
+//
+// Cross-board migration (opt-in, MigrationConfig::enable): the router keeps
+// a copy of each request's input and its client callback. When a board
+// completes a request with kMigrated (evicted from its admission queue
+// before dispatch) or kError (dead transport / failed batch — no result was
+// produced), the router re-routes the stored input to another board,
+// deadline permitting and up to max_hops times. Double execution is
+// impossible for kMigrated (the request never dispatched) and harmless for
+// kError (the first attempt produced no result; inference is stateless).
+// The client callback fires exactly once either way. A monitor thread
+// evicts the queues of faulted boards so their backlog migrates without
+// waiting for a client-visible failure.
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/cluster/board.hpp"
 #include "serve/cluster/health.hpp"
 #include "serve/cluster/policy.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace seneca::serve::cluster {
+
+struct MigrationConfig {
+  /// Master switch. Off preserves the PR-3 behaviour: board failures
+  /// surface to clients as kMigrated-free kRejected/kError statuses.
+  bool enable = false;
+  /// Maximum re-routes per request; beyond this the request completes with
+  /// kRejected (kMigrated never reaches a client).
+  int max_hops = 3;
+  /// Health-monitor period. The monitor evicts the queues of FAULTED
+  /// boards (not merely saturated ones — that would thrash) so queued work
+  /// migrates promptly. <= 0 disables the monitor thread; eviction then
+  /// only happens via Supervisor/remove_board/explicit evict_queued.
+  double monitor_interval_ms = 5.0;
+};
 
 struct ClusterConfig {
   PolicyKind policy = PolicyKind::kRoundRobin;
   HealthPolicy health;
+  MigrationConfig migrate;
   /// Optional shared tenant registry: the router becomes the tenant front
   /// door (token buckets charged once, here) and every board's server is
   /// wired to the same registry with throttling off, so DRR fair dequeue
@@ -55,6 +88,10 @@ struct ClusterSnapshot {
   std::uint64_t expired = 0;
   std::uint64_t errors = 0;
   std::uint64_t degraded = 0;
+  /// Requests evicted still-queued from board admission queues (board view).
+  std::uint64_t migrated = 0;
+  /// Successful router re-routes of migrated/errored requests.
+  std::uint64_t migrations = 0;
   double energy_joules = 0.0;
   double busy_seconds_max = 0.0;
   double simulated_fps = 0.0;
@@ -69,7 +106,11 @@ struct ClusterSnapshot {
 
 class ClusterRouter {
  public:
+  /// In-process fleet: constructs one BoardSim per config.
   ClusterRouter(std::vector<BoardConfig> boards, ClusterConfig cfg);
+  /// Pre-built fleet (e.g. net::RemoteBoard instances from a Supervisor).
+  /// May be empty: boards can join later via add_board.
+  ClusterRouter(std::vector<std::shared_ptr<Board>> boards, ClusterConfig cfg);
   ~ClusterRouter();
 
   ClusterRouter(const ClusterRouter&) = delete;
@@ -88,22 +129,58 @@ class ClusterRouter {
   std::future<Response> submit(Priority priority, tensor::TensorI8 input,
                                double deadline_ms, TenantId tenant);
 
-  std::size_t num_boards() const { return boards_.size(); }
-  BoardSim& board(std::size_t i) { return *boards_[i]; }
-  const BoardSim& board(std::size_t i) const { return *boards_[i]; }
+  /// Callback-completing submit; the cluster-level completion primitive.
+  void submit_async(Priority priority, tensor::TensorI8 input,
+                    double deadline_ms, TenantId tenant,
+                    Board::DoneCallback on_done);
+
+  /// Joins a board to the live fleet (no drain of existing traffic).
+  void add_board(std::shared_ptr<Board> board);
+  /// Leaves a board: detaches it from routing, evicts its queue so queued
+  /// work migrates (when migration is enabled), and returns it — NOT shut
+  /// down, the caller owns teardown. Returns nullptr for an unknown id.
+  std::shared_ptr<Board> remove_board(int id);
+
+  std::size_t num_boards() const;
+  /// Position-indexed access (stable while no add/remove is concurrent).
+  Board& board(std::size_t i);
+  const Board& board(std::size_t i) const;
   const RoutingPolicy& policy() const { return *policy_; }
 
   /// Per-board states as the policy would see them right now.
   std::vector<BoardState> states() const;
   ClusterSnapshot snapshot() const;
 
-  /// Stops every board; idempotent, called by the destructor.
+  /// Stops the monitor and every board; idempotent, called by the
+  /// destructor.
   void shutdown();
 
  private:
+  /// One client request's routing context, owned by the completion chain.
+  /// `input` is only populated when migration is enabled.
+  struct RouteTask {
+    Priority priority = Priority::kBatch;
+    TenantId tenant = kDefaultTenant;
+    double deadline_ms = 0.0;  // original relative budget (for re-submits)
+    Clock::time_point deadline = Clock::time_point::max();
+    tensor::TensorI8 input;  // migration copy
+    int hops = 0;
+    int last_board = -1;  // Board::id of the previous attempt
+    Board::DoneCallback done;
+  };
+
+  void route(RouteTask task);
+  void on_board_done(RouteTask task, Response resp);
+  std::vector<std::shared_ptr<Board>> boards_snapshot() const;
+  void monitor_loop();
+
   ClusterConfig cfg_;
-  std::vector<std::unique_ptr<BoardSim>> boards_;
+  mutable util::Mutex boards_mutex_;
+  std::vector<std::shared_ptr<Board>> boards_ GUARDED_BY(boards_mutex_);
   std::unique_ptr<RoutingPolicy> policy_;
+  std::atomic<std::uint64_t> migrations_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread monitor_;
 };
 
 /// Every board hosts the full ladder (replication). Board i is named

@@ -117,6 +117,7 @@ MetricsSnapshot ServeMetrics::snapshot() const {
   s.expired = expired_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.degraded = degraded_.load(std::memory_order_relaxed);
+  s.migrated = migrated_.load(std::memory_order_relaxed);
   s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   s.queue_depth_interactive = lane_depth_[0].load(std::memory_order_relaxed);
@@ -135,7 +136,7 @@ std::string MetricsSnapshot::format() const {
   os << "submitted=" << submitted << " admitted=" << admitted
      << " served=" << served << " rejected=" << rejected
      << " expired=" << expired << " errors=" << errors
-     << " degraded=" << degraded
+     << " degraded=" << degraded << " migrated=" << migrated
      << " queue_depth=" << queue_depth << " high_water=" << queue_high_water
      << " depth_int=" << queue_depth_interactive
      << " depth_batch=" << queue_depth_batch

@@ -80,6 +80,10 @@ struct MetricsSnapshot {
   std::uint64_t expired = 0;
   std::uint64_t errors = 0;    // failed in dispatch (Status::kError)
   std::uint64_t degraded = 0;  // served, but below the top ladder rung
+  /// Requests handed back still-queued (Status::kMigrated) for the cluster
+  /// tier to re-route. NOT part of completed(): the migrated request's
+  /// terminal status is counted wherever it finally lands.
+  std::uint64_t migrated = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_high_water = 0;
   /// Per-lane queue gauges (totals above hide interactive-lane starvation
@@ -110,6 +114,7 @@ class ServeMetrics {
   void on_rejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
   void on_expired() { expired_.fetch_add(1, std::memory_order_relaxed); }
   void on_error() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  void on_migrated() { migrated_.fetch_add(1, std::memory_order_relaxed); }
   void on_served(Priority lane, double total_ms, bool degraded);
   void set_queue_depth(std::size_t depth);
   /// Per-lane depth gauges; each lane keeps its own high-water mark.
@@ -125,6 +130,7 @@ class ServeMetrics {
   std::atomic<std::uint64_t> expired_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> migrated_{0};
   std::atomic<std::size_t> queue_depth_{0};
   std::atomic<std::size_t> queue_high_water_{0};
   std::atomic<std::size_t> lane_depth_[2]{};       // [interactive, batch]

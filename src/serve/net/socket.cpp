@@ -1,0 +1,419 @@
+#include "serve/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace seneca::serve::net {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+[[noreturn]] void throw_errno(const char* op) {
+  const int err = errno;
+  if (err == EPIPE || err == ECONNRESET) {
+    throw NetError(NetError::Kind::kClosed,
+                   std::string(op) + ": peer closed (" + strerror(err) + ")");
+  }
+  throw NetError(NetError::Kind::kSystem,
+                 std::string(op) + ": " + strerror(err));
+}
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+void set_cloexec(int fd) {
+  int flags = fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// Milliseconds left until `deadline`; clamped at 0. A negative
+/// `timeout_ms` at the API boundary means "no deadline" and is
+/// represented by SteadyClock::time_point::max().
+SteadyClock::time_point deadline_from(double timeout_ms) {
+  if (timeout_ms < 0.0) return SteadyClock::time_point::max();
+  return SteadyClock::now() +
+         std::chrono::microseconds(
+             static_cast<std::int64_t>(timeout_ms * 1000.0));
+}
+
+int poll_timeout_ms(SteadyClock::time_point deadline) {
+  if (deadline == SteadyClock::time_point::max()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - SteadyClock::now());
+  // Round up to 1ms so a sub-millisecond remainder still polls instead of
+  // spinning on a zero-timeout poll loop.
+  if (left.count() <= 0) return 0;
+  return static_cast<int>(left.count()) + 1;
+}
+
+/// poll() one fd for `events`, honouring the deadline and retrying EINTR.
+/// Throws NetError{kTimeout} when the deadline elapses.
+void poll_or_throw(int fd, short events, SteadyClock::time_point deadline,
+                   const char* op) {
+  for (;;) {
+    if (deadline != SteadyClock::time_point::max() &&
+        SteadyClock::now() >= deadline) {
+      throw NetError(NetError::Kind::kTimeout,
+                     std::string(op) + ": timed out");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, poll_timeout_ms(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (rc == 0) {
+      throw NetError(NetError::Kind::kTimeout,
+                     std::string(op) + ": timed out");
+    }
+    // POLLERR/POLLHUP: let the subsequent read/write surface the errno /
+    // EOF; returning here is enough.
+    return;
+  }
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    throw NetError(NetError::Kind::kSystem,
+                   "unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_tcp_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError(NetError::Kind::kSystem,
+                   "bad IPv4 address: " + ep.host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { ::signal(SIGPIPE, SIG_IGN); });
+}
+
+// ------------------------------------------------------------- Endpoint
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) {
+      throw std::invalid_argument("Endpoint: empty unix path in " + spec);
+    }
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      throw std::invalid_argument("Endpoint: want tcp:host:port, got " + spec);
+    }
+    ep.kind = Kind::kTcp;
+    ep.host = rest.substr(0, colon);
+    const std::string port_s = rest.substr(colon + 1);
+    long port = 0;
+    for (char c : port_s) {
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("Endpoint: bad port in " + spec);
+      }
+      port = port * 10 + (c - '0');
+      if (port > 65535) {
+        throw std::invalid_argument("Endpoint: port out of range in " + spec);
+      }
+    }
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  throw std::invalid_argument("Endpoint: want tcp:... or unix:..., got " +
+                              spec);
+}
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+// --------------------------------------------------------------- Socket
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_rw() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket Socket::adopt(int fd) {
+  ignore_sigpipe();
+  set_nonblocking(fd);
+  set_cloexec(fd);
+  Socket s;
+  s.fd_ = fd;
+  return s;
+}
+
+Socket Socket::connect(const Endpoint& ep, double timeout_ms) {
+  ignore_sigpipe();
+  const auto deadline = deadline_from(timeout_ms);
+  const int domain = ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Socket s;
+  s.fd_ = fd;  // owned from here on; close on any throw below
+  set_nonblocking(fd);
+  set_cloexec(fd);
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  int rc;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    const sockaddr_un addr = make_unix_addr(ep.path);
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+  } else {
+    const sockaddr_in addr = make_tcp_addr(ep);
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+  }
+  if (rc < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) throw_errno("connect");
+    // Nonblocking connect in flight: wait for writability, then check
+    // SO_ERROR for the real outcome.
+    poll_or_throw(fd, POLLOUT, deadline, "connect");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      throw_errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      throw_errno("connect");
+    }
+  }
+  return s;
+}
+
+void Socket::read_exact(void* buf, std::size_t n, double timeout_ms) {
+  const auto deadline = deadline_from(timeout_ms);
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t rc = ::recv(fd_, p + got, n - got, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      throw NetError(NetError::Kind::kClosed, "read: peer closed");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poll_or_throw(fd_, POLLIN, deadline, "read");
+      continue;
+    }
+    throw_errno("read");
+  }
+}
+
+void Socket::write_all(const void* buf, std::size_t n, double timeout_ms) {
+  const auto deadline = deadline_from(timeout_ms);
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        poll_or_throw(fd_, POLLOUT, deadline, "write");
+        continue;
+      }
+      throw_errno("write");
+    }
+  }
+}
+
+void Socket::write_frame(FrameType type,
+                         const std::vector<std::uint8_t>& payload,
+                         double timeout_ms) {
+  const std::vector<std::uint8_t> buf = encode_frame(type, payload);
+  write_all(buf.data(), buf.size(), timeout_ms);
+}
+
+Frame Socket::read_frame(double timeout_ms) {
+  // One deadline spans header + payload: a peer that sends the header and
+  // stalls cannot hold the reader past timeout_ms.
+  const auto deadline = deadline_from(timeout_ms);
+  const auto budget_ms = [&]() -> double {
+    if (deadline == SteadyClock::time_point::max()) return -1.0;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::microseconds>(
+                   deadline - SteadyClock::now())
+                   .count()) /
+           1000.0;
+  };
+  std::uint8_t header[kHeaderSize];
+  read_exact(header, kHeaderSize, timeout_ms);
+  const FrameHeader h = decode_header(header);
+  Frame f;
+  f.type = h.type;
+  f.payload.resize(h.payload_len);
+  if (h.payload_len > 0) {
+    read_exact(f.payload.data(), f.payload.size(), budget_ms());
+  }
+  if (crc32(f.payload.data(), f.payload.size()) != h.payload_crc) {
+    throw FrameError("frame: payload CRC mismatch");
+  }
+  return f;
+}
+
+// ------------------------------------------------------------- Listener
+
+Listener::~Listener() { close(); }
+
+Listener::Listener(Listener&& o) noexcept
+    : fd_(o.fd_),
+      local_(std::move(o.local_)),
+      unlink_on_close_(o.unlink_on_close_) {
+  o.fd_ = -1;
+  o.unlink_on_close_ = false;
+}
+
+Listener& Listener::operator=(Listener&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    local_ = std::move(o.local_);
+    unlink_on_close_ = o.unlink_on_close_;
+    o.fd_ = -1;
+    o.unlink_on_close_ = false;
+  }
+  return *this;
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    if (unlink_on_close_) ::unlink(local_.path.c_str());
+    unlink_on_close_ = false;
+  }
+}
+
+Listener Listener::bind(const Endpoint& ep) {
+  ignore_sigpipe();
+  const int domain = ep.kind == Endpoint::Kind::kUnix ? AF_UNIX : AF_INET;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket");
+  Listener l;
+  l.fd_ = fd;
+  l.local_ = ep;
+  set_nonblocking(fd);
+  set_cloexec(fd);
+
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    ::unlink(ep.path.c_str());  // stale socket file from a crashed boardd
+    const sockaddr_un addr = make_unix_addr(ep.path);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      throw_errno("bind");
+    }
+    l.unlink_on_close_ = true;
+  } else {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = make_tcp_addr(ep);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      throw_errno("bind");
+    }
+    // Report the kernel-chosen port for ephemeral (port 0) binds — the
+    // boardd handshake writes this to its --endpoint-file.
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      l.local_.port = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(fd, 16) < 0) throw_errno("listen");
+  return l;
+}
+
+Socket Listener::accept(double timeout_ms) {
+  const auto deadline = deadline_from(timeout_ms);
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      if (local_.kind == Endpoint::Kind::kTcp) {
+        int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      return Socket::adopt(cfd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      poll_or_throw(fd_, POLLIN, deadline, "accept");
+      continue;
+    }
+    throw_errno("accept");
+  }
+}
+
+}  // namespace seneca::serve::net

@@ -1,0 +1,134 @@
+#pragma once
+// Hardened blocking socket I/O for SENECA-Wire. Everything the framing
+// layer needs from POSIX sockets, wrapped so the rest of the subsystem
+// never touches a raw fd:
+//   - TCP (127.0.0.1 loopback or routable) and Unix-domain endpoints,
+//     selected by a string: "tcp:host:port" or "unix:/path/sock";
+//   - SIGPIPE can never kill the process (send uses MSG_NOSIGNAL and
+//     ignore_sigpipe() is called once per process as a belt-and-braces
+//     for any path that still raises it);
+//   - every read/write/accept/connect retries EINTR;
+//   - every blocking operation takes a deadline enforced with poll(), so
+//     a wedged peer stalls one call into NetError{kTimeout}, never hangs
+//     the router (unit-tested with a deliberately stalled socket in
+//     tests/serve_net_socket_test.cpp).
+//
+// Sockets are nonblocking internally; the public API is blocking-with-
+// deadline. A Socket is movable, not copyable, and closes on destruction.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/net/frame.hpp"
+
+namespace seneca::serve::net {
+
+/// Transport-level failure, distinct from FrameError (protocol-level).
+class NetError : public std::runtime_error {
+ public:
+  enum class Kind : std::uint8_t {
+    kClosed = 0,   // orderly EOF or ECONNRESET/EPIPE from the peer
+    kTimeout = 1,  // deadline elapsed mid-operation
+    kSystem = 2,   // any other errno
+  };
+  NetError(Kind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  Kind kind() const { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
+/// Installs SIG_IGN for SIGPIPE once per process (idempotent,
+/// thread-safe). Called by every Socket/Listener constructor.
+void ignore_sigpipe();
+
+/// Parsed endpoint. to_string() round-trips through parse().
+struct Endpoint {
+  enum class Kind : std::uint8_t { kTcp = 0, kUnix = 1 };
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  // kTcp only
+  std::uint16_t port = 0;          // kTcp only; 0 = ephemeral bind
+  std::string path;                // kUnix only
+
+  /// "tcp:127.0.0.1:7070" or "unix:/tmp/seneca.sock". Throws
+  /// std::invalid_argument on anything else.
+  static Endpoint parse(const std::string& spec);
+  std::string to_string() const;
+};
+
+class Socket {
+ public:
+  Socket() = default;  // invalid socket (fd -1)
+  ~Socket();
+  Socket(Socket&& o) noexcept;
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects with a deadline (nonblocking connect + poll + SO_ERROR).
+  static Socket connect(const Endpoint& ep, double timeout_ms);
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  /// ::shutdown(fd, SHUT_RDWR): wakes any thread blocked in poll() on this
+  /// socket (read returns EOF, write fails) without racing the fd number
+  /// the way close() from another thread would. No-op when invalid.
+  void shutdown_rw();
+
+  /// Reads exactly `n` bytes or throws (kClosed on EOF, kTimeout when the
+  /// deadline passes first). The deadline covers the WHOLE read, not each
+  /// chunk, so a peer trickling one byte per poll interval cannot extend
+  /// it indefinitely.
+  void read_exact(void* buf, std::size_t n, double timeout_ms);
+  /// Writes all of `n` bytes or throws. Same whole-operation deadline.
+  void write_all(const void* buf, std::size_t n, double timeout_ms);
+
+  /// Frame-level conveniences over read_exact/write_all. read_frame
+  /// validates header + CRC (FrameError) on top of transport errors.
+  void write_frame(FrameType type, const std::vector<std::uint8_t>& payload,
+                   double timeout_ms);
+  Frame read_frame(double timeout_ms);
+
+  int fd() const { return fd_; }
+
+  /// Wraps an already-open fd (used by Listener::accept and tests).
+  static Socket adopt(int fd);
+
+ private:
+  int fd_ = -1;
+};
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& o) noexcept;
+  Listener& operator=(Listener&& o) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds + listens. For tcp port 0 the kernel picks an ephemeral port;
+  /// local_endpoint() reports the actual one. For unix endpoints a stale
+  /// socket file at `path` is unlinked first.
+  static Listener bind(const Endpoint& ep);
+
+  /// Accepts one connection or throws NetError{kTimeout}. timeout_ms < 0
+  /// blocks indefinitely (boardd's accept loop).
+  Socket accept(double timeout_ms);
+
+  const Endpoint& local_endpoint() const { return local_; }
+  bool valid() const { return fd_ >= 0; }
+  void close();
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  Endpoint local_;
+  bool unlink_on_close_ = false;
+};
+
+}  // namespace seneca::serve::net

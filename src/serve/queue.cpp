@@ -137,6 +137,18 @@ void AdmissionQueue::requeue_front(Request r) {
   cv_.notify_all();
 }
 
+std::vector<Request> AdmissionQueue::evict_all() {
+  std::vector<Request> out;
+  LockGuard lock(mutex_);
+  for (auto& l : lanes_) {  // interactive lane first
+    while (auto r = l.pop()) {
+      ++stats_.migrated;
+      out.push_back(std::move(*r));
+    }
+  }
+  return out;
+}
+
 void AdmissionQueue::close() {
   {
     LockGuard lock(mutex_);

@@ -51,6 +51,7 @@ struct QueueStats {
   std::uint64_t expired = 0;   // queued victims swept (kDropExpired)
   std::uint64_t popped = 0;
   std::uint64_t requeued = 0;  // popped requests handed back (preemption)
+  std::uint64_t migrated = 0;  // drained by evict_all (cluster migration)
   std::size_t depth = 0;       // total across both lanes
   std::size_t high_water = 0;  // total high-water mark
   // Per-lane splits: the totals above hide interactive-lane starvation
@@ -98,6 +99,13 @@ class AdmissionQueue {
   /// an interactive arrival preempts a batch-lane collection window.
   /// Ignores capacity — the request was already admitted once.
   void requeue_front(Request r);
+
+  /// Drains EVERY queued request from both lanes (interactive first,
+  /// preserving DRR pop order within each lane) without completing them.
+  /// The cluster tier uses this to migrate still-queued work off an
+  /// unhealthy board: because nothing returned here was ever dispatched,
+  /// re-running it elsewhere cannot double-execute inference.
+  std::vector<Request> evict_all();
 
   /// Stops admission (pushes are rejected); pops drain what remains.
   void close();

@@ -55,6 +55,12 @@ enum class Status : std::uint8_t {
   kRejected = 1,  // refused at admission or displaced by an eviction
   kExpired = 2,   // deadline passed before service started
   kError = 3,     // dispatch failed (runtime fault); the batch was lost
+  /// Evicted from a board's admission queue before dispatch so the cluster
+  /// tier can re-route it to a healthy board. Never executed, so migrating
+  /// it cannot double-run inference. Clients never observe kMigrated: the
+  /// router either re-submits (final status comes from the new board) or
+  /// converts it to kRejected/kExpired when out of hops or budget.
+  kMigrated = 4,
 };
 
 constexpr const char* to_string(Status s) {
@@ -63,6 +69,7 @@ constexpr const char* to_string(Status s) {
     case Status::kRejected: return "rejected";
     case Status::kExpired: return "expired";
     case Status::kError: return "error";
+    case Status::kMigrated: return "migrated";
   }
   return "?";
 }
@@ -80,6 +87,12 @@ struct Response {
   /// Server-wide completion order (1-based); exposes scheduling decisions
   /// (interactive-before-batch) to tests without relying on wall clocks.
   std::uint64_t served_seq = 0;
+  /// Size of the micro-batch this request was served in (1 for failures);
+  /// feeds the cluster tier's occupancy-aware online re-pricing.
+  std::uint32_t batch_size = 1;
+  /// How many cross-board hops this request took before its terminal
+  /// status (0 = served where first routed). Stamped by the cluster tier.
+  std::uint32_t migrations = 0;
 };
 
 }  // namespace seneca::serve

@@ -45,6 +45,17 @@ std::future<Response> InferenceServer::submit(Priority priority,
                                               tensor::TensorI8 input,
                                               double deadline_ms,
                                               TenantId tenant) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  auto future = promise->get_future();
+  submit_async(priority, std::move(input), deadline_ms, tenant,
+               [promise](Response resp) { promise->set_value(std::move(resp)); });
+  return future;
+}
+
+std::uint64_t InferenceServer::submit_async(Priority priority,
+                                            tensor::TensorI8 input,
+                                            double deadline_ms, TenantId tenant,
+                                            DoneCallback on_done) {
   const auto now = Clock::now();
   tenant::TenantRegistry* registry = cfg_.tenants.get();
   Request r;
@@ -58,11 +69,9 @@ std::future<Response> InferenceServer::submit(Priority priority,
                            std::chrono::duration<double, std::milli>(deadline_ms));
   }
 
-  std::promise<Response> promise;
-  auto future = promise.get_future();
   {
     util::LockGuard lock(pending_mutex_);
-    pending_.emplace(r.id, Pending{std::move(promise), now, tenant});
+    pending_.emplace(r.id, Pending{std::move(on_done), now, tenant});
   }
   metrics_.on_submitted();
   // The front door (the layer that throttles) owns per-tenant submit and
@@ -72,9 +81,10 @@ std::future<Response> InferenceServer::submit(Priority priority,
     registry->on_submitted(tenant);
   }
 
+  const std::uint64_t id = r.id;
   if (stopping_.load(std::memory_order_acquire)) {
     complete_failed(r, Status::kRejected);
-    return future;
+    return id;
   }
 
   // Token-bucket admission happens before the request can occupy queue
@@ -82,7 +92,7 @@ std::future<Response> InferenceServer::submit(Priority priority,
   if (registry != nullptr && cfg_.tenant_throttle &&
       !registry->try_admit(tenant, now)) {
     complete_failed(r, Status::kRejected, /*throttled=*/true);
-    return future;
+    return id;
   }
 
   auto result = queue_.push(std::move(r), now);
@@ -96,7 +106,28 @@ std::future<Response> InferenceServer::submit(Priority priority,
     complete_failed(victim, Status::kExpired);
   }
   publish_queue_gauges();
-  return future;
+  return id;
+}
+
+std::size_t InferenceServer::evict_queued() {
+  std::vector<Request> evicted = queue_.evict_all();
+  const auto now = Clock::now();
+  for (Request& r : evicted) {
+    auto pending = take_pending(r.id);
+    if (!pending) continue;
+    metrics_.on_migrated();
+    // No tenant outcome accounting here: the migrated request's terminal
+    // status is attributed wherever the router lands it next.
+    Response resp;
+    resp.id = r.id;
+    resp.tenant = r.tenant;
+    resp.status = Status::kMigrated;
+    resp.total_ms = ms_between(pending->submitted_at, now);
+    if (cfg_.on_complete) cfg_.on_complete(resp);
+    pending->on_done(std::move(resp));
+  }
+  publish_queue_gauges();
+  return evicted.size();
 }
 
 void InferenceServer::publish_queue_gauges() {
@@ -142,7 +173,7 @@ void InferenceServer::complete_failed(const Request& r, Status status,
   resp.status = status;
   resp.total_ms = ms_between(pending->submitted_at, Clock::now());
   if (cfg_.on_complete) cfg_.on_complete(resp);
-  pending->promise.set_value(std::move(resp));
+  pending->on_done(std::move(resp));
 }
 
 void InferenceServer::update_level(Clock::time_point now, std::size_t depth) {
@@ -239,6 +270,7 @@ void InferenceServer::scheduler_loop() {
       resp.service_ms = service_ms;
       resp.total_ms = ms_between(pending->submitted_at, done_at);
       resp.served_seq = served_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+      resp.batch_size = static_cast<std::uint32_t>(live.size());
       metrics_.on_served(r.priority, resp.total_ms, resp.degraded);
       if (cfg_.tenants != nullptr) {
         cfg_.tenants->on_served(r.tenant, resp.total_ms, resp.degraded);
@@ -250,7 +282,7 @@ void InferenceServer::scheduler_loop() {
         }
       }
       if (cfg_.on_complete) cfg_.on_complete(resp);
-      pending->promise.set_value(std::move(resp));
+      pending->on_done(std::move(resp));
     }
   }
 }
@@ -278,7 +310,7 @@ void InferenceServer::shutdown() {
     metrics_.on_rejected();
     if (cfg_.tenants != nullptr) cfg_.tenants->on_rejected(pending.tenant);
     if (cfg_.on_complete) cfg_.on_complete(resp);
-    pending.promise.set_value(std::move(resp));
+    pending.on_done(std::move(resp));
   }
 }
 

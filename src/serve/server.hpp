@@ -104,6 +104,24 @@ class InferenceServer {
   std::future<Response> submit(Priority priority, tensor::TensorI8 input,
                                double deadline_ms, TenantId tenant);
 
+  /// Invoked exactly once per request, from whichever thread completes it
+  /// (scheduler, submit on rejection, evict_queued, shutdown). Must not
+  /// call back into this server.
+  using DoneCallback = std::function<void(Response)>;
+
+  /// Callback-completing submit: like submit(), but delivers the Response
+  /// to `on_done` instead of a future. This is the completion primitive the
+  /// network tier builds on (boardd writes the response frame from the
+  /// callback; no per-request waiter thread). Returns the request id.
+  std::uint64_t submit_async(Priority priority, tensor::TensorI8 input,
+                             double deadline_ms, TenantId tenant,
+                             DoneCallback on_done);
+
+  /// Drains every still-queued (never dispatched) request and completes it
+  /// with Status::kMigrated so the cluster tier can re-route it to another
+  /// board. In-flight batches are untouched. Returns how many migrated.
+  std::size_t evict_queued();
+
   /// Stops admission, drains queued work, joins the scheduler. Idempotent;
   /// the destructor calls it.
   void shutdown();
@@ -140,7 +158,7 @@ class InferenceServer {
 
  private:
   struct Pending {
-    std::promise<Response> promise;
+    DoneCallback on_done;  // future-backed submits wrap a promise in one
     Clock::time_point submitted_at;
     TenantId tenant = kDefaultTenant;
   };

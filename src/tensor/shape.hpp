@@ -16,11 +16,15 @@ class Shape {
   static constexpr std::size_t kMaxRank = 5;
 
   Shape() = default;
-  Shape(std::initializer_list<std::int64_t> dims) {
-    if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > 5");
-    for (auto d : dims) {
-      if (d < 0) throw std::invalid_argument("Shape: negative dim");
-      dims_[rank_++] = d;
+  Shape(std::initializer_list<std::int64_t> dims)
+      : Shape(dims.begin(), dims.size()) {}
+
+  /// Runtime-rank construction (e.g. decoding a shape off the wire).
+  Shape(const std::int64_t* dims, std::size_t rank) {
+    if (rank > kMaxRank) throw std::invalid_argument("Shape: rank > 5");
+    for (std::size_t i = 0; i < rank; ++i) {
+      if (dims[i] < 0) throw std::invalid_argument("Shape: negative dim");
+      dims_[rank_++] = dims[i];
     }
   }
 

@@ -1,0 +1,287 @@
+// Hardened socket layer: endpoint parsing, loopback TCP and unix-domain
+// round-trips, and the failure paths the hardening exists for — a stalled
+// peer must turn into NetError{kTimeout} (never a hang), a closed peer into
+// NetError{kClosed} (never SIGPIPE), and a whole-operation deadline must
+// hold even against a peer trickling one byte per poll interval.
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net/socket.hpp"
+
+namespace {
+
+using namespace seneca::serve::net;
+
+std::string test_unix_path(const char* tag) {
+  return "/tmp/seneca-socktest-" + std::to_string(::getpid()) + "-" + tag +
+         ".sock";
+}
+
+// --------------------------------------------------------------- Endpoint
+
+TEST(Endpoint, ParsesTcp) {
+  const Endpoint ep = Endpoint::parse("tcp:127.0.0.1:7070");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 7070);
+  EXPECT_EQ(ep.to_string(), "tcp:127.0.0.1:7070");
+}
+
+TEST(Endpoint, ParsesUnix) {
+  const Endpoint ep = Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/tmp/x.sock");
+  EXPECT_EQ(ep.to_string(), "unix:/tmp/x.sock");
+}
+
+TEST(Endpoint, RejectsGarbage) {
+  EXPECT_THROW(Endpoint::parse(""), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("http:127.0.0.1:1"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1:notaport"),
+               std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("tcp:127.0.0.1:99999"), std::invalid_argument);
+  EXPECT_THROW(Endpoint::parse("unix:"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ round trips
+
+void round_trip_over(const Endpoint& bind_ep) {
+  Listener listener = Listener::bind(bind_ep);
+  std::thread server([&] {
+    Socket peer = listener.accept(2000.0);
+    const Frame f = peer.read_frame(2000.0);
+    peer.write_frame(f.type, f.payload, 2000.0);  // echo
+  });
+  Socket client = Socket::connect(listener.local_endpoint(), 2000.0);
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6};
+  client.write_frame(FrameType::kControl, payload, 2000.0);
+  const Frame echo = client.read_frame(2000.0);
+  server.join();
+  EXPECT_EQ(echo.type, FrameType::kControl);
+  EXPECT_EQ(echo.payload, payload);
+}
+
+TEST(Socket, TcpEphemeralPortRoundTrip) {
+  // Port 0 bind: the listener must report the kernel-resolved port.
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kTcp;
+  ep.port = 0;
+  round_trip_over(ep);
+}
+
+TEST(Socket, UnixDomainRoundTrip) {
+  Endpoint ep;
+  ep.kind = Endpoint::Kind::kUnix;
+  ep.path = test_unix_path("rt");
+  round_trip_over(ep);
+  // Re-binding the same path must work (stale file unlinked on bind).
+  round_trip_over(ep);
+}
+
+// ------------------------------------------------------------- timeouts
+
+TEST(Socket, ConnectTimesOutAgainstFullBacklog) {
+  // A listener with backlog 1 whose accept queue we saturate: the kernel
+  // stops completing handshakes, so a further connect sits in SYN-SENT
+  // until OUR deadline fires — the nonblocking-connect+poll path, not the
+  // kernel's minutes-long default.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  Endpoint ep;
+  ep.port = ntohs(addr.sin_port);
+
+  // Fill the accept queue (backlog 1 tolerates a couple of completions).
+  std::vector<int> fillers;
+  for (int i = 0; i < 8; ++i) {
+    const int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(cfd, 0);
+    const int flags = ::fcntl(cfd, F_GETFL, 0);
+    ::fcntl(cfd, F_SETFL, flags | O_NONBLOCK);
+    ::connect(cfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    fillers.push_back(cfd);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    Socket s = Socket::connect(ep, 200.0);
+    FAIL() << "connect against a saturated backlog unexpectedly completed";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetError::Kind::kTimeout);
+  }
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 2000.0) << "connect deadline not enforced";
+  for (const int fd : fillers) ::close(fd);
+  ::close(lfd);
+}
+
+TEST(Socket, ReadTimesOutAgainstStalledPeer) {
+  // The peer accepts and then goes silent: the read must come back with
+  // kTimeout in bounded time.
+  Listener listener = Listener::bind(Endpoint{});
+  std::thread server([&] {
+    Socket peer = listener.accept(2000.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  });
+  Socket client = Socket::connect(listener.local_endpoint(), 2000.0);
+  std::uint8_t buf[4];
+  try {
+    client.read_exact(buf, sizeof(buf), 100.0);
+    FAIL() << "read from a stalled peer unexpectedly returned";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetError::Kind::kTimeout);
+  }
+  server.join();
+}
+
+TEST(Socket, DeadlineCoversWholeReadNotPerByte) {
+  // A peer trickling one byte at a time must NOT extend the deadline: 16
+  // bytes at 50ms/byte is 800ms of trickle against a 150ms whole-read
+  // deadline.
+  Listener listener = Listener::bind(Endpoint{});
+  std::thread server([&] {
+    Socket peer = listener.accept(2000.0);
+    const std::uint8_t b = 0x11;
+    try {
+      for (int i = 0; i < 16; ++i) {
+        peer.write_all(&b, 1, 500.0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    } catch (const NetError&) {
+      // Client gave up and closed — expected.
+    }
+  });
+  Socket client = Socket::connect(listener.local_endpoint(), 2000.0);
+  std::uint8_t buf[16];
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.read_exact(buf, sizeof(buf), 150.0), NetError);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 600.0) << "per-chunk deadline renewal detected";
+  client.close();
+  server.join();
+}
+
+TEST(Socket, ReadFrameDeadlineSpansHeaderAndPayload) {
+  // Peer sends a valid header promising 64 payload bytes, then stalls.
+  // read_frame must give up at its deadline instead of waiting forever for
+  // the payload.
+  Listener listener = Listener::bind(Endpoint{});
+  std::thread server([&] {
+    Socket peer = listener.accept(2000.0);
+    FrameHeader h;
+    h.type = FrameType::kRequest;
+    h.payload_len = 64;
+    std::uint8_t hdr[kHeaderSize];
+    encode_header(h, hdr);
+    peer.write_all(hdr, sizeof(hdr), 500.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  });
+  Socket client = Socket::connect(listener.local_endpoint(), 2000.0);
+  try {
+    client.read_frame(120.0);
+    FAIL() << "read_frame returned against a stalled payload";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetError::Kind::kTimeout);
+  }
+  server.join();
+}
+
+// --------------------------------------------------------- peer failures
+
+TEST(Socket, ReadAgainstClosedPeerIsKClosed) {
+  Listener listener = Listener::bind(Endpoint{});
+  std::thread server([&] { Socket peer = listener.accept(2000.0); });
+  Socket client = Socket::connect(listener.local_endpoint(), 2000.0);
+  server.join();  // peer socket destroyed -> FIN
+  std::uint8_t buf[1];
+  try {
+    client.read_exact(buf, 1, 1000.0);
+    FAIL() << "read from closed peer unexpectedly returned data";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetError::Kind::kClosed);
+  }
+}
+
+TEST(Socket, WriteAgainstClosedPeerThrowsInsteadOfSigpipe) {
+  // The classic SIGPIPE trap: write into a connection the peer already
+  // closed. MSG_NOSIGNAL + SIG_IGN must turn that into NetError, not a
+  // process kill (the test process dying IS the failure mode here).
+  Listener listener = Listener::bind(Endpoint{});
+  std::thread server([&] { Socket peer = listener.accept(2000.0); });
+  Socket client = Socket::connect(listener.local_endpoint(), 2000.0);
+  server.join();
+  const std::vector<std::uint8_t> chunk(4096, 0xEE);
+  bool threw = false;
+  try {
+    // Keep writing until the RST lands; one write may succeed into the
+    // kernel buffer before the failure is visible.
+    for (int i = 0; i < 64 && !threw; ++i) {
+      client.write_all(chunk.data(), chunk.size(), 500.0);
+    }
+  } catch (const NetError& e) {
+    threw = true;
+    EXPECT_NE(e.kind(), NetError::Kind::kTimeout);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(Socket, ShutdownWakesBlockedReader) {
+  // shutdown_rw from another thread must unblock a reader parked in a long
+  // poll — this is how RemoteBoard::shutdown reclaims its reader thread.
+  Listener listener = Listener::bind(Endpoint{});
+  std::thread server([&] {
+    Socket peer = listener.accept(2000.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  });
+  Socket client = Socket::connect(listener.local_endpoint(), 2000.0);
+  std::thread unblocker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    client.shutdown_rw();
+  });
+  std::uint8_t buf[1];
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.read_exact(buf, 1, 5000.0), NetError);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed_ms, 2000.0) << "reader was not woken by shutdown";
+  unblocker.join();
+  server.join();
+}
+
+TEST(Listener, AcceptTimesOutCleanly) {
+  Listener listener = Listener::bind(Endpoint{});
+  try {
+    listener.accept(80.0);
+    FAIL() << "accept with no client unexpectedly returned";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.kind(), NetError::Kind::kTimeout);
+  }
+}
+
+}  // namespace

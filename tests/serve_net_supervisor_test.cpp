@@ -1,0 +1,193 @@
+// Supervisor: real fork/exec of the seneca_boardd binary (path injected by
+// CMake as SENECA_BOARDD_PATH). Covers the full process lifecycle — spawn +
+// endpoint handshake, SIGKILL mid-run with automatic restart and zero lost
+// non-expired requests, and join/leave while traffic flows.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+
+#include <atomic>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/cluster/router.hpp"
+#include "serve/net/supervisor.hpp"
+
+namespace {
+
+using namespace seneca;
+using serve::cluster::ClusterConfig;
+using serve::cluster::ClusterRouter;
+using serve::net::Supervisor;
+using serve::net::SupervisorConfig;
+using serve::net::WorkerSpec;
+
+SupervisorConfig base_config() {
+  SupervisorConfig cfg;
+  cfg.boardd_path = SENECA_BOARDD_PATH;
+  cfg.remote.heartbeat_interval_ms = 10.0;
+  cfg.restart_backoff_initial_ms = 20.0;
+  cfg.poll_interval_ms = 5.0;
+  return cfg;
+}
+
+WorkerSpec tiny_worker() {
+  WorkerSpec spec;
+  spec.ladder = {"2M"};
+  spec.input = 32;  // smallest legal input for the 2M ladder depth
+  spec.queue_capacity = 16;
+  return spec;
+}
+
+ClusterConfig migrating_cluster() {
+  ClusterConfig cfg;
+  cfg.policy = serve::cluster::PolicyKind::kJoinShortestQueue;
+  cfg.migrate.enable = true;
+  cfg.migrate.monitor_interval_ms = 5.0;
+  return cfg;
+}
+
+tensor::TensorI8 make_input(std::int64_t side = 32) {
+  tensor::TensorI8 t(tensor::Shape{side, side, 1});
+  for (auto& x : t) x = 3;
+  return t;
+}
+
+bool wait_until(double timeout_ms, const std::function<bool()>& pred) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double, std::milli>(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+TEST(SupervisorTest, SpawnsWorkerAndServesThroughRouter) {
+  ClusterRouter router(std::vector<std::shared_ptr<serve::cluster::Board>>{},
+                       migrating_cluster());
+  Supervisor sup(base_config(), router);
+  const int slot = sup.add_worker(tiny_worker());
+  EXPECT_EQ(sup.num_workers(), 1u);
+  EXPECT_GT(sup.worker_pid(slot), 0);
+  ASSERT_EQ(router.num_boards(), 1u);
+
+  const serve::Response r =
+      router.submit(serve::Priority::kInteractive, make_input(), 0.0).get();
+  EXPECT_EQ(r.status, serve::Status::kOk);
+  EXPECT_EQ(r.model_used, "2M");
+  sup.stop();
+  EXPECT_EQ(router.num_boards(), 0u);
+  router.shutdown();
+}
+
+TEST(SupervisorTest, RestartsSigkilledWorker) {
+  ClusterRouter router(std::vector<std::shared_ptr<serve::cluster::Board>>{},
+                       migrating_cluster());
+  Supervisor sup(base_config(), router);
+  const int slot = sup.add_worker(tiny_worker());
+  sup.start();
+
+  const pid_t first_pid = sup.worker_pid(slot);
+  ASSERT_GT(first_pid, 0);
+  ::kill(first_pid, SIGKILL);
+
+  // Bounded recovery: the monitor must reap, back off, respawn, reconnect.
+  ASSERT_TRUE(wait_until(20000.0, [&] {
+    const pid_t pid = sup.worker_pid(slot);
+    auto board = sup.worker_board(slot);
+    return pid > 0 && pid != first_pid && board && !board->dead();
+  })) << "worker was not restarted";
+  EXPECT_GE(sup.stats().restarts, 1u);
+
+  // The restarted worker serves again through the SAME router slot.
+  const serve::Response r =
+      router.submit(serve::Priority::kBatch, make_input(), 0.0).get();
+  EXPECT_EQ(r.status, serve::Status::kOk);
+  sup.stop();
+  router.shutdown();
+}
+
+TEST(SupervisorTest, SigkillMidTrafficLosesNoNonExpiredRequests) {
+  ClusterRouter router(std::vector<std::shared_ptr<serve::cluster::Board>>{},
+                       migrating_cluster());
+  Supervisor sup(base_config(), router);
+  const int victim = sup.add_worker(tiny_worker());
+  sup.add_worker(tiny_worker());
+  sup.start();
+
+  std::vector<std::future<serve::Response>> futs;
+  for (int i = 0; i < 24; ++i) {
+    futs.push_back(
+        router.submit(serve::Priority::kBatch, make_input(), 0.0));
+  }
+  ::kill(sup.worker_pid(victim), SIGKILL);
+  for (int i = 0; i < 24; ++i) {
+    futs.push_back(
+        router.submit(serve::Priority::kBatch, make_input(), 0.0));
+  }
+
+  int ok = 0, rejected = 0, errors = 0;
+  for (auto& f : futs) {
+    const serve::Response r = f.get();  // every future must resolve
+    EXPECT_NE(r.status, serve::Status::kMigrated) << "kMigrated leaked";
+    EXPECT_NE(r.status, serve::Status::kExpired)
+        << "deadline-free request reported expired";
+    switch (r.status) {
+      case serve::Status::kOk: ++ok; break;
+      case serve::Status::kRejected: ++rejected; break;
+      default: ++errors; break;
+    }
+  }
+  // "Zero lost non-expired requests": every submit got a terminal answer,
+  // and the surviving board kept serving (ok > 0). Queue-full rejects are
+  // legitimate admission control, not loss. kError terminals are allowed
+  // only for requests that exhausted max_hops during the outage window.
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(ok + rejected + errors, 48);
+
+  const serve::cluster::ClusterSnapshot snap = router.snapshot();
+  EXPECT_EQ(snap.expired, 0u);
+  sup.stop();
+  router.shutdown();
+}
+
+TEST(SupervisorTest, JoinAndLeaveWithoutDrainingFleet) {
+  ClusterRouter router(std::vector<std::shared_ptr<serve::cluster::Board>>{},
+                       migrating_cluster());
+  Supervisor sup(base_config(), router);
+  sup.add_worker(tiny_worker());
+  sup.start();
+
+  // Background traffic the whole time.
+  std::atomic<bool> stop{false};
+  std::atomic<int> ok{0};
+  std::thread client([&] {
+    while (!stop.load()) {
+      const serve::Response r =
+          router.submit(serve::Priority::kBatch, make_input(), 0.0).get();
+      if (r.status == serve::Status::kOk) ok.fetch_add(1);
+    }
+  });
+
+  const int joined = sup.add_worker(tiny_worker());  // join under load
+  EXPECT_EQ(router.num_boards(), 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  sup.remove_worker(joined);  // leave under load
+  EXPECT_EQ(router.num_boards(), 1u);
+  EXPECT_EQ(sup.num_workers(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  stop.store(true);
+  client.join();
+  EXPECT_GT(ok.load(), 0);
+  sup.stop();
+  router.shutdown();
+}
+
+}  // namespace
