@@ -12,7 +12,9 @@
 //                     [--strict] [--min-win 10]
 //
 // --strict exits nonzero unless the 16M and 4M rungs win >= --min-win % of
-// single-sharer cycles AND every rung's -O1 output is bit-exact.
+// single-sharer cycles, every rung's -O1 output is bit-exact, AND the
+// SENECA-Prove verifier reports zero findings on both programs (the
+// "Verify ms" column prices that standalone pass per rung).
 
 #include <cstdio>
 #include <string>
@@ -23,6 +25,8 @@
 #include "dpu/compiler.hpp"
 #include "dpu/core_sim.hpp"
 #include "dpu/passes.hpp"
+#include "dpu/verify.hpp"
+#include "util/timer.hpp"
 #include "eval/table.hpp"
 #include "util/cli.hpp"
 
@@ -39,6 +43,8 @@ struct RungResult {
   double ddr_mb_o0 = 0.0;
   double ddr_mb_o1 = 0.0;
   double win_pct = 0.0;
+  double verify_ms = 0.0;  // standalone SENECA-Prove pass over the -O1 model
+  bool clean = false;      // zero verifier findings on both programs
   bool bitexact = false;
 };
 
@@ -89,6 +95,14 @@ int main(int argc, char** argv) try {
     r.ddr_mb_o0 = static_cast<double>(xm0.total_ddr_bytes()) / 1e6;
     r.ddr_mb_o1 = static_cast<double>(xm1.total_ddr_bytes()) / 1e6;
     r.win_pct = 100.0 * (r.cycles_o0 - r.cycles_o1) / r.cycles_o0;
+
+    // Standalone SENECA-Prove cost on the full-resolution -O1 program (it
+    // also ran inside both compiles as the mandatory post-pass; this prices
+    // the tools/seneca_verify path), and the zero-findings gate.
+    const util::Timer verify_timer;
+    const auto findings1 = dpu::verify(xm1);
+    r.verify_ms = verify_timer.millis();
+    r.clean = dpu::verify(xm0).empty() && findings1.empty();
     if (dump_passes) {
       std::printf("%s pass pipeline (%lldx%lld):\n%s\n", name.c_str(),
                   static_cast<long long>(input), static_cast<long long>(input),
@@ -111,7 +125,7 @@ int main(int argc, char** argv) try {
 
   eval::Table table({"Model", "Instrs -O0", "Instrs -O1", "Mcyc/frame -O0",
                      "Mcyc/frame -O1", "Win %", "DDR MB -O0", "DDR MB -O1",
-                     "Bit-exact"});
+                     "Verify ms", "Clean", "Bit-exact"});
   for (const auto& r : results) {
     table.add_row({r.model, std::to_string(r.instrs_o0),
                    std::to_string(r.instrs_o1),
@@ -120,6 +134,8 @@ int main(int argc, char** argv) try {
                    eval::Table::num(r.win_pct, 1),
                    eval::Table::num(r.ddr_mb_o0, 2),
                    eval::Table::num(r.ddr_mb_o1, 2),
+                   eval::Table::num(r.verify_ms, 2),
+                   r.clean ? "yes" : "NO",
                    r.bitexact ? "yes" : "NO"});
   }
   std::printf("%s\n", table.render().c_str());
@@ -133,6 +149,10 @@ int main(int argc, char** argv) try {
   for (const auto& r : results) {
     if (!r.bitexact) {
       std::printf("FAIL: %s -O1 output not bit-exact\n", r.model.c_str());
+      pass = false;
+    }
+    if (!r.clean) {
+      std::printf("FAIL: %s has verifier findings\n", r.model.c_str());
       pass = false;
     }
     if ((r.model == "16M" || r.model == "4M") && r.win_pct < min_win) {
@@ -154,6 +174,8 @@ int main(int argc, char** argv) try {
         .field("win_pct", r.win_pct)
         .field("ddr_mb_o0", r.ddr_mb_o0)
         .field("ddr_mb_o1", r.ddr_mb_o1)
+        .field("verify_ms", r.verify_ms)
+        .field("clean", r.clean)
         .field("bitexact", r.bitexact);
   }
   bench::write_json_file(json_path, json.str());

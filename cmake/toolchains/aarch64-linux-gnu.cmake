@@ -1,15 +1,17 @@
 # Cross-compile toolchain for the SENECA edge target class (aarch64 Linux,
-# e.g. the ZCU104's Cortex-A53 PS). Build-only in CI: the point is that the
-# NEON kernels (src/quant/kernels_neon.cpp) and the POSIX socket/process
-# layer compile for the real target on every PR, not just on x86 hosts.
+# e.g. the ZCU104's Cortex-A53 PS). CI both builds with it and runs the
+# INT8 kernel suite under qemu-user, so the NEON kernels
+# (src/quant/kernels_neon.cpp) and the POSIX socket/process layer are
+# exercised for the real target on every PR, not just on x86 hosts.
 #
 #   cmake -B build-aarch64 -S . \
 #     -DCMAKE_TOOLCHAIN_FILE=cmake/toolchains/aarch64-linux-gnu.cmake \
 #     -DSENECA_BUILD_TESTS=OFF -DSENECA_BUILD_BENCH=OFF \
 #     -DSENECA_BUILD_EXAMPLES=OFF
 #
-# (Tests/bench/examples need host-arch GTest/benchmark packages, so they
-# stay off unless a cross sysroot provides them.)
+# (Tests need a cross-built GTest — CI compiles one from the distro source
+# package with this same toolchain and points CMAKE_PREFIX_PATH at it;
+# bench/examples additionally need google-benchmark and stay off.)
 
 set(CMAKE_SYSTEM_NAME Linux)
 set(CMAKE_SYSTEM_PROCESSOR aarch64)

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "dpu/passes.hpp"
+#include "dpu/verify.hpp"
 
 namespace seneca::dpu {
 
@@ -42,9 +43,18 @@ double concat_cycles(const DpuArch& arch, std::int64_t out_numel) {
 
 void validate(const quant::QGraph& qg) {
   using quant::QOpKind;
-  auto fail = [](const std::string& msg) {
-    throw std::invalid_argument("compile: invalid QGraph: " + msg);
+  // Same error channel as the verifier: CompileError carrying the layer
+  // context as a structured Finding (check id "qgraph", layer = op id).
+  auto fail_at = [](int op_id, const std::string& msg) {
+    Finding f;
+    f.severity = Severity::kError;
+    f.layer = op_id;
+    f.check = "qgraph";
+    f.message = msg;
+    throw CompileError("compile: invalid QGraph: " + msg,
+                       std::vector<Finding>{std::move(f)});
   };
+  auto fail = [&fail_at](const std::string& msg) { fail_at(-1, msg); };
   const int n = static_cast<int>(qg.ops.size());
   if (n == 0) fail("graph has no ops");
   if (qg.input_op < 0 || qg.input_op >= n) {
@@ -65,29 +75,32 @@ void validate(const quant::QGraph& qg) {
     const quant::QOp& op = qg.ops[static_cast<std::size_t>(id)];
     const std::string where =
         "op " + std::to_string(id) + " ('" + op.name + "')";
+    auto op_fail = [&fail_at, id](const std::string& msg) {
+      fail_at(id, msg);
+    };
     if (op.kind == QOpKind::kInput) {
-      if (id != qg.input_op) fail(where + ": second kInput op");
-      if (!op.inputs.empty()) fail(where + ": kInput op takes no inputs");
+      if (id != qg.input_op) op_fail(where + ": second kInput op");
+      if (!op.inputs.empty()) op_fail(where + ": kInput op takes no inputs");
       continue;
     }
-    if (op.name.empty()) fail("op " + std::to_string(id) + " has no name");
-    if (!names.insert(op.name).second) fail(where + ": duplicate name");
+    if (op.name.empty()) op_fail("op " + std::to_string(id) + " has no name");
+    if (!names.insert(op.name).second) op_fail(where + ": duplicate name");
 
     // Executors evaluate ops in index order, so every edge must point at an
     // already-defined op; a violation is either a dangling reference or a
     // cycle routed through later ids.
     for (int in : op.inputs) {
       if (in < 0 || in >= n) {
-        fail(where + ": dangling input " + std::to_string(in));
+        op_fail(where + ": dangling input " + std::to_string(in));
       }
       if (in >= id) {
-        fail(where + ": input " + std::to_string(in) +
+        op_fail(where + ": input " + std::to_string(in) +
              " is not yet defined (cycle or forward reference)");
       }
     }
     const std::size_t arity = op.kind == QOpKind::kConcat ? 2 : 1;
     if (op.inputs.size() != arity) {
-      fail(where + ": expected " + std::to_string(arity) + " inputs, got " +
+      op_fail(where + ": expected " + std::to_string(arity) + " inputs, got " +
            std::to_string(op.inputs.size()));
     }
     if (op.kind == QOpKind::kMaxPool2D) {
@@ -98,29 +111,29 @@ void validate(const quant::QGraph& qg) {
       // the last row/column of the feature map (a real segmentation-quality
       // bug at the image border), so they are a compile error.
       if (in_shape[0] % 2 != 0 || in_shape[1] % 2 != 0) {
-        fail(where + ": max-pool input is " + std::to_string(in_shape[0]) +
+        op_fail(where + ": max-pool input is " + std::to_string(in_shape[0]) +
              "x" + std::to_string(in_shape[1]) +
              "; the 2x2/stride-2 pool requires even H and W (odd extents "
              "would drop the last row/column)");
       }
       if (op.out_shape[0] != in_shape[0] / 2 ||
           op.out_shape[1] != in_shape[1] / 2 || op.out_shape[2] != in_shape[2]) {
-        fail(where + ": max-pool output shape does not match input/2");
+        op_fail(where + ": max-pool output shape does not match input/2");
       }
     }
     if (op.kind == QOpKind::kConv2D || op.kind == QOpKind::kTConv2D) {
-      if (op.kernel < 1) fail(where + ": bad kernel size");
+      if (op.kernel < 1) op_fail(where + ": bad kernel size");
       const auto& in_op = qg.ops[static_cast<std::size_t>(op.inputs[0])];
       const Shape& in_shape =
           in_op.kind == QOpKind::kInput ? qg.input_shape : in_op.out_shape;
       const std::int64_t want =
           op.kernel * op.kernel * in_shape[2] * op.out_shape[2];
       if (op.weights.numel() != want) {
-        fail(where + ": weight count " + std::to_string(op.weights.numel()) +
+        op_fail(where + ": weight count " + std::to_string(op.weights.numel()) +
              " does not match k*k*ci*co = " + std::to_string(want));
       }
       if (static_cast<std::int64_t>(op.bias.size()) != op.out_shape[2]) {
-        fail(where + ": bias count " + std::to_string(op.bias.size()) +
+        op_fail(where + ": bias count " + std::to_string(op.bias.size()) +
              " does not match out channels");
       }
     }
@@ -144,6 +157,10 @@ XModel compile(const quant::QGraph& qg, const CompileOptions& opts,
   }
   pm.add(make_schedule_pass());
   pm.add(make_timing_pass());
+  // SENECA-Prove: every compiled program is statically verified; a
+  // miscompile anywhere in the pipeline throws CompileError here instead
+  // of surfacing as silent garbage on the DPU.
+  pm.add(make_verify_pass());
   pm.run(g, report,
          report ? PassManager::Measure(&measure_program)
                 : PassManager::Measure());

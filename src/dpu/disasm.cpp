@@ -41,6 +41,14 @@ std::string layer_attrs(const XLayer& l) {
   return s;
 }
 
+/// The `!!` annotation line for one verifier finding.
+std::string finding_line(const Finding& f) {
+  std::string s = "      !! " + std::string(severity_name(f.severity)) + "[" +
+                  f.check + "]";
+  if (f.instr >= 0) s += " instr " + std::to_string(f.instr);
+  return s + ": " + f.message + "\n";
+}
+
 }  // namespace
 
 std::string disassemble(const XModel& m, const DisasmOptions& opts) {
@@ -59,6 +67,11 @@ std::string disassemble(const XModel& m, const DisasmOptions& opts) {
                 m.input_shape.to_string().c_str(), m.input_fix_pos,
                 m.output_layer, m.output_fix_pos);
   os << buf;
+  if (opts.findings != nullptr) {
+    for (const auto& f : *opts.findings) {
+      if (f.layer < 0) os << finding_line(f);
+    }
+  }
 
   for (std::size_t i = 0; i < m.layers.size(); ++i) {
     const XLayer& l = m.layers[i];
@@ -81,6 +94,11 @@ std::string disassemble(const XModel& m, const DisasmOptions& opts) {
                       static_cast<long long>(ins.bytes),
                       static_cast<long long>(ins.macs), ins.cycles, region);
         os << buf;
+      }
+    }
+    if (opts.findings != nullptr) {
+      for (const auto& f : *opts.findings) {
+        if (f.layer == static_cast<std::int32_t>(i)) os << finding_line(f);
       }
     }
   }

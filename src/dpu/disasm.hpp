@@ -4,7 +4,9 @@
 // The deployment analog of `xdputil xmodel -l`.
 
 #include <string>
+#include <vector>
 
+#include "dpu/verify.hpp"
 #include "dpu/xmodel.hpp"
 
 namespace seneca::dpu {
@@ -13,6 +15,11 @@ struct DisasmOptions {
   bool instructions = true;   // per-instruction lines
   bool summary = true;        // totals, utilization, latency at 1/2 sharers
   int bw_sharers = 2;         // bandwidth assumption for per-layer latency
+  // Optional verifier findings (dpu/verify.hpp) to interleave with the
+  // listing: each prints as a `!!` line under the layer (or instruction)
+  // it locates, model-level findings under the header. Not owned; must
+  // outlive the disassemble() call.
+  const std::vector<Finding>* findings = nullptr;
 };
 
 /// Human-readable disassembly of a compiled model.

@@ -53,6 +53,12 @@ std::unique_ptr<Pass> make_concat_elimination_pass();
 /// and does not lose at 2. Runs after Residency + ConcatElimination.
 std::unique_ptr<Pass> make_tile_search_pass();
 
+/// SENECA-Prove post-pass (dpu/verify.hpp): emits the scheduled program
+/// and runs the full static verifier over it, throwing CompileError on any
+/// error-severity finding. Appended unconditionally as the last pipeline
+/// stage at every opt level.
+std::unique_ptr<Pass> make_verify_pass();
+
 /// Finishes a clone of the graph — Residency (recomputed; deterministic),
 /// Schedule, Timing, emit — and returns {instructions, single-sharer
 /// cycles/frame}. This is how PassManager stats price intermediate states:

@@ -80,7 +80,13 @@ Shape read_shape(util::BinaryReader& r) {
   const std::uint32_t rank = r.u32();
   std::int64_t dims[5] = {0, 0, 0, 0, 0};
   if (rank > 5) throw std::runtime_error("xmodel: bad shape rank");
-  for (std::uint32_t i = 0; i < rank; ++i) dims[i] = static_cast<std::int64_t>(r.u64());
+  for (std::uint32_t i = 0; i < rank; ++i) {
+    dims[i] = static_cast<std::int64_t>(r.u64());
+    // Shape's own constructor rejects these too, but with the wrong
+    // exception type for the wire contract (invalid_argument, reserved for
+    // caller bugs; corrupted bytes are runtime_errors).
+    if (dims[i] < 0) throw std::runtime_error("xmodel: negative shape dim");
+  }
   switch (rank) {
     case 0: return Shape{};
     case 1: return Shape{dims[0]};
@@ -92,7 +98,7 @@ Shape read_shape(util::BinaryReader& r) {
 }
 }  // namespace
 
-void XModel::save(const std::filesystem::path& path) const {
+std::vector<std::uint8_t> XModel::serialize() const {
   util::BinaryWriter w;
   // "SENECAX2": v2 adds offset-addressed Instr fields and the pass-pipeline
   // layer attributes (concat elimination, tiling, kConst layers).
@@ -157,12 +163,26 @@ void XModel::save(const std::filesystem::path& path) const {
   w.bytes(weights.data(), weights.size());
   w.u64(biases.size());
   w.bytes(biases.data(), biases.size() * sizeof(std::int32_t));
-  util::write_file(path, w.data().data(), w.data().size());
+  return w.data();
 }
 
-XModel XModel::load(const std::filesystem::path& path) {
-  util::BinaryReader r(util::read_file(path));
-  if (r.str() != "SENECAX2") throw std::runtime_error("xmodel: bad magic");
+XModel XModel::deserialize(std::vector<std::uint8_t> bytes) {
+  util::BinaryReader r(std::move(bytes));
+  // Every count field is checked against the remaining stream at each
+  // element's minimum wire size *before* the resize, so a corrupted count
+  // throws instead of allocating gigabytes; every enum byte is validated
+  // here rather than at first (possibly much later) use.
+  const auto check_count = [&r](std::uint64_t n, std::size_t elem_bytes,
+                                const char* what) {
+    if (n > r.remaining() / elem_bytes) {
+      throw std::runtime_error("xmodel: " + std::string(what) + " count " +
+                               std::to_string(n) +
+                               " exceeds the remaining stream");
+    }
+  };
+  if (r.remaining() < 12 || r.str() != "SENECAX2") {
+    throw std::runtime_error("xmodel: bad magic");
+  }
   XModel m;
   m.name = r.str();
   m.arch.name = r.str();
@@ -182,11 +202,18 @@ XModel XModel::load(const std::filesystem::path& path) {
   m.output_fix_pos = r.i32();
 
   const std::uint32_t n_layers = r.u32();
+  check_count(n_layers, 64, "layer");  // 64 = conservative fixed-field floor
   m.layers.resize(n_layers);
   for (auto& l : m.layers) {
-    l.kind = static_cast<XLayer::Kind>(r.u8());
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(XLayer::Kind::kConst)) {
+      throw std::runtime_error("xmodel: invalid layer kind " +
+                               std::to_string(kind));
+    }
+    l.kind = static_cast<XLayer::Kind>(kind);
     l.name = r.str();
     const std::uint32_t n_in = r.u32();
+    check_count(n_in, 4, "layer input");
     l.inputs.resize(n_in);
     for (auto& id : l.inputs) id = r.i32();
     l.out_shape = read_shape(r);
@@ -199,6 +226,7 @@ XModel XModel::load(const std::filesystem::path& path) {
     l.bias_offset = static_cast<std::int64_t>(r.u64());
     l.bias_count = static_cast<std::int64_t>(r.u64());
     const std::uint32_t n_res = r.u32();
+    check_count(n_res, 1, "residency flag");
     l.input_resident.resize(n_res);
     for (auto& v : l.input_resident) v = r.u8();
     l.output_resident = r.u8() != 0;
@@ -209,9 +237,15 @@ XModel XModel::load(const std::filesystem::path& path) {
     l.tile_count = r.i32();
     l.overlap_bytes = static_cast<std::int64_t>(r.u64());
     const std::uint32_t n_instr = r.u32();
+    check_count(n_instr, 41, "instruction");  // 41 = Instr wire size
     l.instrs.resize(n_instr);
     for (auto& ins : l.instrs) {
-      ins.opcode = static_cast<Opcode>(r.u8());
+      const std::uint8_t opcode = r.u8();
+      if (opcode > static_cast<std::uint8_t>(Opcode::kEnd)) {
+        throw std::runtime_error("xmodel: invalid opcode " +
+                                 std::to_string(opcode));
+      }
+      ins.opcode = static_cast<Opcode>(opcode);
       ins.layer_id = r.i32();
       ins.tensor_id = r.i32();
       ins.dst_id = r.i32();
@@ -225,12 +259,24 @@ XModel XModel::load(const std::filesystem::path& path) {
     l.macs = static_cast<std::int64_t>(r.u64());
   }
   const std::uint64_t wn = r.u64();
+  check_count(wn, 1, "weight");
   m.weights.resize(wn);
   r.bytes(m.weights.data(), wn);
   const std::uint64_t bn = r.u64();
+  // The division-form bound also forecloses the bn * 4 overflow.
+  check_count(bn, sizeof(std::int32_t), "bias");
   m.biases.resize(bn);
   r.bytes(m.biases.data(), bn * sizeof(std::int32_t));
   return m;
+}
+
+void XModel::save(const std::filesystem::path& path) const {
+  const std::vector<std::uint8_t> bytes = serialize();
+  util::write_file(path, bytes.data(), bytes.size());
+}
+
+XModel XModel::load(const std::filesystem::path& path) {
+  return deserialize(util::read_file(path));
 }
 
 }  // namespace seneca::dpu

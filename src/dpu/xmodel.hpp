@@ -106,6 +106,14 @@ struct XModel {
   /// effect discussed in DESIGN.md §4).
   double compute_utilization() const;
 
+  /// Binary "SENECAX2" encoding (the .xmodel file body). deserialize() is
+  /// hostile-input safe: every count field is bounded by the remaining
+  /// stream before allocation and every enum is validated, so corrupted or
+  /// adversarial bytes produce a descriptive std::runtime_error — never a
+  /// crash or an unbounded allocation.
+  std::vector<std::uint8_t> serialize() const;
+  static XModel deserialize(std::vector<std::uint8_t> bytes);
+
   void save(const std::filesystem::path& path) const;
   static XModel load(const std::filesystem::path& path);
 };

@@ -1,6 +1,7 @@
 #include "quant/kernels.hpp"
 
 #include <atomic>
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
@@ -188,6 +189,11 @@ void requant_row_generic(const std::int8_t* src, std::int8_t* dst,
 void conv2d(const TensorI8& x, const QOp& op, TensorI8& out, int fix_pos_in) {
   const std::int64_t ci = x.shape()[2];
   const int shift = fix_pos_in + op.fix_pos_w - op.fix_pos_out;
+  // Wherever the coarse runtime predicate admits the int32 path, the
+  // per-weight interval proof (SENECA-Prove) must agree: its bound is tighter
+  // than acc_bound by construction, so disagreement means a broken proof.
+  assert(!shift32_safe(op, ci, shift) ||
+         interval_shift32_safe(conv_acc_interval(op, ci, {-128, 127}), shift));
   const Backend b = active_backend();
   if (b == Backend::kScalar || !shift32_safe(op, ci, shift)) {
     qconv2d_forward(x, op, out, fix_pos_in);
@@ -205,6 +211,8 @@ void tconv2d(const TensorI8& x, const QOp& op, TensorI8& out, int fix_pos_in,
              tensor::TensorArena* arena) {
   const std::int64_t ci = x.shape()[2];
   const int shift = fix_pos_in + op.fix_pos_w - op.fix_pos_out;
+  assert(!shift32_safe(op, ci, shift) ||
+         interval_shift32_safe(conv_acc_interval(op, ci, {-128, 127}), shift));
   const Backend b = active_backend();
   if (b == Backend::kScalar || !shift32_safe(op, ci, shift)) {
     qtconv2d_forward(x, op, out, fix_pos_in);

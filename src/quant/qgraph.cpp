@@ -1,6 +1,8 @@
 #include "quant/qgraph.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "quant/kernels.hpp"
@@ -234,6 +236,113 @@ TensorI8 QGraph::forward(const TensorI8& input,
     for (auto& t : acts) arena->release(std::move(t));
   }
   return result;
+}
+
+// --- Static range analysis -------------------------------------------------
+
+Interval conv_acc_interval(const std::int8_t* weights, std::int64_t taps,
+                           std::int64_t co, const std::int32_t* bias,
+                           Interval in) {
+  Interval worst{0, 0};
+  bool first = true;
+  for (std::int64_t o = 0; o < co; ++o) {
+    std::int64_t lo = bias[o];
+    std::int64_t hi = bias[o];
+    for (std::int64_t t = 0; t < taps; ++t) {
+      const std::int64_t w = weights[t * co + o];
+      if (w == 0) continue;
+      const std::int64_t p1 = w * in.lo;
+      const std::int64_t p2 = w * in.hi;
+      // A tap can be absent (zero padding at borders, tconv phases), so its
+      // contribution interval always includes 0.
+      lo += std::min({p1, p2, std::int64_t{0}});
+      hi += std::max({p1, p2, std::int64_t{0}});
+    }
+    if (first || lo < worst.lo) worst.lo = lo;
+    if (first || hi > worst.hi) worst.hi = hi;
+    first = false;
+  }
+  return worst;
+}
+
+Interval conv_acc_interval(const QOp& op, std::int64_t ci, Interval in) {
+  const std::int64_t co = op.out_shape[2];
+  return conv_acc_interval(op.weights.data(), op.kernel * op.kernel * ci, co,
+                           op.bias.data(), in);
+}
+
+Interval requant_out_interval(Interval acc, int shift, bool relu) {
+  std::int64_t lo = rshift_round(acc.lo, shift);
+  std::int64_t hi = rshift_round(acc.hi, shift);
+  if (relu) {
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::max<std::int64_t>(hi, 0);
+  }
+  return {saturate_i8(lo), saturate_i8(hi)};
+}
+
+bool interval_shift32_safe(Interval acc, int shift) {
+  if (shift > 30 || shift < -20) return false;
+  std::int64_t lo = acc.lo;
+  std::int64_t hi = acc.hi;
+  if (shift < 0) {
+    lo <<= -shift;
+    hi <<= -shift;
+  } else if (shift > 0) {
+    const std::int64_t round_bias = std::int64_t{1} << (shift - 1);
+    lo -= round_bias;
+    hi += round_bias;
+  }
+  return lo >= std::numeric_limits<std::int32_t>::min() &&
+         hi <= std::numeric_limits<std::int32_t>::max();
+}
+
+void annotate_intervals(QGraph& g) {
+  std::vector<Interval> act(g.ops.size());
+  std::vector<int> fps(g.ops.size(), 0);
+  for (std::size_t id = 0; id < g.ops.size(); ++id) {
+    QOp& op = g.ops[id];
+    Interval out{-128, 127};
+    int fp = op.fix_pos_out;
+    switch (op.kind) {
+      case QOpKind::kInput:
+        fp = g.input_fix_pos;
+        break;
+      case QOpKind::kConv2D:
+      case QOpKind::kTConv2D: {
+        const int in0 = op.inputs[0];
+        const Shape& in_shape = in0 == g.input_op
+                                    ? g.input_shape
+                                    : g.ops[static_cast<std::size_t>(in0)].out_shape;
+        const Interval acc =
+            conv_acc_interval(op, in_shape[2], act[static_cast<std::size_t>(in0)]);
+        const int shift =
+            fps[static_cast<std::size_t>(in0)] + op.fix_pos_w - op.fix_pos_out;
+        out = requant_out_interval(acc, shift, op.relu);
+        break;
+      }
+      case QOpKind::kMaxPool2D:
+        out = act[static_cast<std::size_t>(op.inputs[0])];
+        fp = fps[static_cast<std::size_t>(op.inputs[0])];
+        break;
+      case QOpKind::kConcat: {
+        bool first = true;
+        for (int in : op.inputs) {
+          const Interval v = requant_out_interval(
+              act[static_cast<std::size_t>(in)],
+              fps[static_cast<std::size_t>(in)] - op.fix_pos_out, false);
+          if (first || v.lo < out.lo) out.lo = v.lo;
+          if (first || v.hi > out.hi) out.hi = v.hi;
+          first = false;
+        }
+        break;
+      }
+    }
+    act[id] = out;
+    fps[id] = fp;
+    op.act_lo = static_cast<std::int16_t>(out.lo);
+    op.act_hi = static_cast<std::int16_t>(out.hi);
+  }
 }
 
 std::int64_t QGraph::weight_bytes() const {

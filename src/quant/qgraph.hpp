@@ -25,6 +25,14 @@ using tensor::TensorI8;
 
 enum class QOpKind { kInput, kConv2D, kTConv2D, kMaxPool2D, kConcat };
 
+/// Closed integer interval [lo, hi]. The unit of the SENECA-Prove static
+/// range analysis (src/dpu/verify): activation and accumulator bounds
+/// propagate through the integer arithmetic above by interval arithmetic.
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
 struct QOp {
   QOpKind kind = QOpKind::kInput;
   std::string name;
@@ -38,6 +46,12 @@ struct QOp {
   int fix_pos_w = 0;
   std::int64_t kernel = 0;
   bool relu = false;
+
+  // Statically-proven output activation interval (annotate_intervals):
+  // every int8 value this op can emit lies in [act_lo, act_hi]. The default
+  // is the full int8 domain, which is always sound.
+  std::int16_t act_lo = -128;
+  std::int16_t act_hi = 127;
 };
 
 struct QGraph {
@@ -89,6 +103,39 @@ double quantization_mse(const TensorF& x, int fix_pos);
 /// Best power-of-two fix position for max-abs value m, refined by MSE
 /// against the candidate one position up (Vitis-AI-style "diffs" method).
 int choose_fix_pos(const TensorF& x);
+
+// --- Static range analysis (SENECA-Prove; shared with src/dpu/verify). ----
+//
+// All propagation is *sound*: border pixels and tconv output phases see only
+// a subset of the kernel taps, so every per-tap product interval includes 0
+// and the bounds hold for any pixel position and any input inside the input
+// interval.
+
+/// Worst-channel accumulator interval of a conv/tconv: bias plus the sum of
+/// every kernel tap's product interval. `weights` is the [K][K][Cin][Cout]
+/// layout flattened, `taps` = k*k*ci, `in` the input activation interval.
+Interval conv_acc_interval(const std::int8_t* weights, std::int64_t taps,
+                           std::int64_t co, const std::int32_t* bias,
+                           Interval in);
+/// Same over an op's own payload (`ci` from the input tensor).
+Interval conv_acc_interval(const QOp& op, std::int64_t ci, Interval in);
+
+/// Output interval after requant: sat8(rshift_round(acc, shift)) with an
+/// optional ReLU. rshift_round and sat8 are monotone, so evaluating the
+/// endpoints is exact.
+Interval requant_out_interval(Interval acc, int shift, bool relu);
+
+/// True when evaluating the requant of any accumulator inside `acc` in
+/// 32-bit arithmetic cannot overflow: the interval fits int32 even after
+/// the left-shift growth (shift < 0) or the rounding-bias addition
+/// (shift > 0) of rshift_round. Tight analog of kernels::acc32_safe +
+/// the dispatcher's shift headroom check.
+bool interval_shift32_safe(Interval acc, int shift);
+
+/// Propagates activation intervals through the graph in index order and
+/// stores them on each op (act_lo/act_hi). Called by the quantizer; safe to
+/// re-run after any payload change.
+void annotate_intervals(QGraph& g);
 
 // Integer kernels (also used by the DPU functional model).
 void qconv2d_forward(const TensorI8& x, const QOp& op, TensorI8& out,

@@ -273,6 +273,7 @@ QGraph quantize(const FGraph& fg, const std::vector<TensorF>& calibration,
   if (opts.mode == QuantMode::kFFQ) {
     fast_finetune(qg, fg, calibration);
   }
+  annotate_intervals(qg);
   return qg;
 }
 

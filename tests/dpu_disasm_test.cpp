@@ -44,6 +44,23 @@ TEST(Disasm, ContainsArchAndOpcodes) {
   EXPECT_NE(text.find("END"), std::string::npos);
 }
 
+TEST(Disasm, InterleavesVerifierFindings) {
+  XModel xm = tiny_xmodel();
+  // Clean model: the findings hook prints nothing.
+  std::vector<Finding> none = verify(xm);
+  DisasmOptions opts;
+  opts.findings = &none;
+  EXPECT_EQ(disassemble(xm, opts).find("!!"), std::string::npos);
+
+  // Mutant: the finding lands as a `!!` line under its layer.
+  xm.layers[static_cast<std::size_t>(xm.output_layer)].output_resident = true;
+  std::vector<Finding> findings = verify(xm);
+  ASSERT_TRUE(has_errors(findings));
+  opts.findings = &findings;
+  const std::string text = disassemble(xm, opts);
+  EXPECT_NE(text.find("!! error[residency]"), std::string::npos) << text;
+}
+
 TEST(Disasm, SummaryTogglable) {
   const XModel xm = tiny_xmodel();
   DisasmOptions opts;

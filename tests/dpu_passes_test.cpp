@@ -413,8 +413,8 @@ TEST(PassManager, ReportRecordsEveryPassInPipelineOrder)
   CompileReport report;
   compile_at(tiny_qgraph(), 1, &report);
   const std::vector<std::string> expected = {
-      "const-fold", "dce",         "residency", "concat-elim",
-      "tile-search", "schedule",   "timing"};
+      "const-fold", "dce",      "residency", "concat-elim",
+      "tile-search", "schedule", "timing",    "verify"};
   ASSERT_EQ(report.passes.size(), expected.size());
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(report.passes[i].pass, expected[i]);

@@ -1,0 +1,463 @@
+// SENECA-Prove mutation-kill suite: each Mutant.* test injects one class of
+// miscompile into a known-good compiled model and asserts the verifier
+// reports it under the expected check id. Clean.* tests pin the zero-findings
+// baseline on every model-zoo rung at both opt levels, and RangeAgreement
+// cross-validates the static interval proofs against the runtime acc32_safe
+// predicate the kernels actually branch on.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+#include "dpu/compiler.hpp"
+#include "dpu/verify.hpp"
+#include "dpu/xmodel.hpp"
+
+namespace seneca::dpu {
+namespace {
+
+const std::vector<std::string> kRungs = {"16M", "8M", "4M", "2M", "1M"};
+
+XModel compile_rung(const std::string& name, int opt_level,
+                    std::int64_t input = 64) {
+  CompileOptions opts;
+  opts.model_name = name;
+  opts.opt_level = opt_level;
+  return compile(core::build_timing_qgraph(name, input), opts);
+}
+
+/// The shared mutation target: the 1M rung at -O1 has every structure the
+/// mutants need (resident chains, redirected producers, materialized
+/// concats, region LOADs). Compiled once, copied per test.
+const XModel& base() {
+  static const XModel m = compile_rung("1M", 1);
+  return m;
+}
+
+bool has_check(const std::vector<Finding>& fs, const std::string& check,
+               Severity sev = Severity::kError) {
+  for (const auto& f : fs) {
+    if (f.check == check && f.severity == sev) return true;
+  }
+  return false;
+}
+
+/// Asserts the verifier kills the mutant under the expected check id.
+void expect_killed(const XModel& mutant, const std::string& check) {
+  const std::vector<Finding> fs = verify(mutant);
+  EXPECT_TRUE(has_errors(fs)) << "mutant survived verification";
+  EXPECT_TRUE(has_check(fs, check))
+      << "expected an error under check '" << check << "'; got:\n"
+      << format_findings(mutant, fs);
+}
+
+int find_layer(const XModel& m, bool (*pred)(const XModel&, const XLayer&)) {
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    if (pred(m, m.layers[i])) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// --- Baseline ---------------------------------------------------------------
+
+TEST(Clean, EveryRungVerifiesCleanAtBothOptLevels) {
+  for (const auto& name : kRungs) {
+    for (int opt = 0; opt <= 1; ++opt) {
+      // compile() already runs the verifier as a mandatory post-pass, so
+      // reaching this point at all proves no error findings; assert the
+      // stronger zero-findings property (notes included) explicitly.
+      const XModel m = compile_rung(name, opt);
+      const std::vector<Finding> fs = verify(m);
+      EXPECT_TRUE(fs.empty())
+          << name << " -O" << opt << ":\n" << format_findings(m, fs);
+    }
+  }
+}
+
+TEST(Clean, BaseModelHasTheStructuresTheMutantsNeed) {
+  const XModel& m = base();
+  EXPECT_GE(find_layer(m, [](const XModel&, const XLayer& l) {
+              return l.concat_dst >= 0;
+            }), 0) << "no redirected producer";
+  EXPECT_GE(find_layer(m, [](const XModel&, const XLayer& l) {
+              return l.materialized;
+            }), 0) << "no materialized concat";
+  EXPECT_GE(find_layer(m, [](const XModel&, const XLayer& l) {
+              return !l.input_resident.empty() && l.input_resident[0] != 0 &&
+                     l.inputs[0] >= 0;
+            }), 0) << "no resident input";
+  EXPECT_GE(find_layer(m, [](const XModel&, const XLayer& l) {
+              return l.output_resident;
+            }), 0) << "no resident output";
+}
+
+// --- Mutants: concat regions (liveness & aliasing) --------------------------
+
+TEST(Mutant, ConcatOffsetOffByOne) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.concat_dst >= 0;
+  });
+  ASSERT_GE(i, 0);
+  m.layers[static_cast<std::size_t>(i)].concat_offset += 1;
+  expect_killed(m, "concat-region");
+}
+
+TEST(Mutant, RegionLoadAliasesRedirectedStore) {
+  // Point a region LOAD at channel 0, on top of the redirected producer's
+  // store: a double-write the coverage map must flag.
+  XModel m = base();
+  bool mutated = false;
+  for (auto& l : m.layers) {
+    if (!l.materialized) continue;
+    for (auto& ins : l.instrs) {
+      if (ins.opcode == Opcode::kLoad && ins.dst_id >= 0 &&
+          ins.chan_off != 0) {
+        ins.chan_off = 0;
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) break;
+  }
+  ASSERT_TRUE(mutated) << "no region LOAD with nonzero offset to corrupt";
+  expect_killed(m, "concat-region");
+}
+
+TEST(Mutant, RedirectedStoreOverrunsBuffer) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.concat_dst >= 0;
+  });
+  ASSERT_GE(i, 0);
+  XLayer& l = m.layers[static_cast<std::size_t>(i)];
+  l.concat_offset =
+      m.layers[static_cast<std::size_t>(l.concat_dst)].out_shape[2];
+  expect_killed(m, "concat-region");
+}
+
+// --- Mutants: residency -----------------------------------------------------
+
+TEST(Mutant, StaleResidencySlot) {
+  // Rewire a resident input to a layer two slots back: the on-chip copy it
+  // would read has already been overwritten.
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.kind == XLayer::Kind::kPool && !l.input_resident.empty() &&
+           l.input_resident[0] != 0 && l.inputs[0] >= 1;
+  });
+  ASSERT_GE(i, 0);
+  m.layers[static_cast<std::size_t>(i)].inputs[0] -= 1;
+  expect_killed(m, "residency");
+}
+
+TEST(Mutant, NetworkInputMarkedResident) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return !l.inputs.empty() && l.inputs[0] == -1;
+  });
+  ASSERT_GE(i, 0);
+  m.layers[static_cast<std::size_t>(i)].input_resident[0] = 1;
+  expect_killed(m, "residency");
+}
+
+TEST(Mutant, NetworkOutputMarkedResident) {
+  XModel m = base();
+  m.layers[static_cast<std::size_t>(m.output_layer)].output_resident = true;
+  expect_killed(m, "residency");
+}
+
+// --- Mutants: dataflow ------------------------------------------------------
+
+TEST(Mutant, LoadOfNeverSavedTensor) {
+  // LOAD the output of a resident producer: those bytes never reached DDR.
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel& mm, const XLayer& l) {
+    return !l.input_resident.empty() && l.input_resident[0] != 0 &&
+           l.inputs[0] >= 0 &&
+           mm.layers[static_cast<std::size_t>(l.inputs[0])].output_resident;
+  });
+  ASSERT_GE(i, 0);
+  XLayer& l = m.layers[static_cast<std::size_t>(i)];
+  Instr load;
+  load.opcode = Opcode::kLoad;
+  load.layer_id = i;
+  load.tensor_id = l.inputs[0];
+  load.bytes = 64;
+  l.instrs.insert(l.instrs.begin(), load);
+  expect_killed(m, "dataflow");
+}
+
+TEST(Mutant, ForwardReferenceInput) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.kind == XLayer::Kind::kPool;
+  });
+  ASSERT_GE(i, 0);
+  m.layers[static_cast<std::size_t>(i)].inputs[0] = i;  // self-reference
+  expect_killed(m, "structure");
+}
+
+// --- Mutants: schedule ------------------------------------------------------
+
+TEST(Mutant, MissingActivationLoad) {
+  XModel m = base();
+  bool mutated = false;
+  for (auto& l : m.layers) {
+    for (std::size_t j = 0; j < l.instrs.size(); ++j) {
+      if (l.instrs[j].opcode == Opcode::kLoad && l.instrs[j].tensor_id != -2 &&
+          l.instrs[j].dst_id < 0) {
+        l.instrs.erase(l.instrs.begin() + static_cast<std::ptrdiff_t>(j));
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) break;
+  }
+  ASSERT_TRUE(mutated) << "no plain activation LOAD to delete";
+  expect_killed(m, "schedule");
+}
+
+TEST(Mutant, SaveScheduledBeforeCompute) {
+  XModel m = base();
+  bool mutated = false;
+  for (auto& l : m.layers) {
+    int compute = -1, save = -1;
+    for (std::size_t j = 0; j < l.instrs.size(); ++j) {
+      const Opcode op = l.instrs[j].opcode;
+      if (op == Opcode::kConv || op == Opcode::kTConv || op == Opcode::kPool) {
+        compute = static_cast<int>(j);
+      }
+      if (op == Opcode::kSave) save = static_cast<int>(j);
+    }
+    if (compute >= 0 && save == compute + 1) {
+      std::swap(l.instrs[static_cast<std::size_t>(compute)],
+                l.instrs[static_cast<std::size_t>(save)]);
+      mutated = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(mutated) << "no compute+SAVE pair to reorder";
+  expect_killed(m, "schedule");
+}
+
+TEST(Mutant, ComputeOpcodeDoesNotMatchLayerKind) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.kind == XLayer::Kind::kPool;
+  });
+  ASSERT_GE(i, 0);
+  for (auto& ins : m.layers[static_cast<std::size_t>(i)].instrs) {
+    if (ins.opcode == Opcode::kPool) ins.opcode = Opcode::kConv;
+  }
+  expect_killed(m, "schedule");
+}
+
+TEST(Mutant, InstructionMacsDoNotMatchLayerWork) {
+  XModel m = base();
+  bool mutated = false;
+  for (auto& l : m.layers) {
+    for (auto& ins : l.instrs) {
+      if (ins.opcode == Opcode::kConv) {
+        ins.macs /= 2;
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) break;
+  }
+  ASSERT_TRUE(mutated);
+  expect_killed(m, "schedule");
+}
+
+TEST(Mutant, ExtraProgramTerminator) {
+  XModel m = base();
+  Instr end;
+  end.opcode = Opcode::kEnd;
+  end.layer_id = 0;
+  m.layers[0].instrs.push_back(end);
+  expect_killed(m, "schedule");
+}
+
+// --- Mutants: blob bounds ---------------------------------------------------
+
+TEST(Mutant, WeightSliceOverrunsBlob) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.weight_count > 0;
+  });
+  ASSERT_GE(i, 0);
+  m.layers[static_cast<std::size_t>(i)].weight_offset =
+      static_cast<std::int64_t>(m.weights.size());
+  expect_killed(m, "blob-bounds");
+}
+
+// --- Mutants: arithmetic ranges ---------------------------------------------
+
+TEST(Mutant, RequantShiftOutsideHardwareDomain) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.kind == XLayer::Kind::kConv;
+  });
+  ASSERT_GE(i, 0);
+  m.layers[static_cast<std::size_t>(i)].fix_pos_w = 40;
+  expect_killed(m, "range");
+}
+
+TEST(Mutant, BiasPushesAccumulatorPastInt32) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.kind == XLayer::Kind::kConv && l.bias_count > 0;
+  });
+  ASSERT_GE(i, 0);
+  const XLayer& l = m.layers[static_cast<std::size_t>(i)];
+  m.biases[static_cast<std::size_t>(l.bias_offset)] =
+      std::numeric_limits<std::int32_t>::max();
+  expect_killed(m, "range");
+}
+
+// --- Mutants: cycle model ---------------------------------------------------
+
+TEST(Mutant, ComputeCyclesScaled) {
+  XModel m = base();
+  bool mutated = false;
+  for (auto& l : m.layers) {
+    for (auto& ins : l.instrs) {
+      if (ins.opcode == Opcode::kConv) {
+        ins.cycles *= 2.0;
+        mutated = true;
+        break;
+      }
+    }
+    if (mutated) break;
+  }
+  ASSERT_TRUE(mutated);
+  expect_killed(m, "cycles");
+}
+
+TEST(Mutant, LayerDdrBytesSummaryDrifts) {
+  XModel m = base();
+  const int i = find_layer(m, [](const XModel&, const XLayer& l) {
+    return l.ddr_bytes > 0;
+  });
+  ASSERT_GE(i, 0);
+  m.layers[static_cast<std::size_t>(i)].ddr_bytes += 4096;
+  expect_killed(m, "cycles");
+}
+
+// --- Range analysis vs runtime predicate ------------------------------------
+
+TEST(RangeAgreement, StaticProofsAgreeWithRuntimeAcc32OnEveryRung) {
+  for (const auto& name : kRungs) {
+    for (int opt = 0; opt <= 1; ++opt) {
+      const XModel m = compile_rung(name, opt);
+      const std::vector<RangeProof> proofs = range_analysis(m);
+      EXPECT_FALSE(proofs.empty()) << name;
+      for (const RangeProof& p : proofs) {
+        EXPECT_TRUE(p.acc_fits_i32)
+            << name << " -O" << opt << " layer " << p.layer;
+        // The interval bound is tighter than the kernels' coarse acc_bound
+        // by construction, so wherever the runtime admits the int32 fast
+        // path the proof must extend over it too.
+        if (p.runtime_acc32 && p.shift >= -20 && p.shift <= 30) {
+          EXPECT_TRUE(p.shift32_proven)
+              << name << " -O" << opt << " layer " << p.layer << " shift "
+              << p.shift;
+        }
+      }
+    }
+  }
+}
+
+// --- CompileError: the one error channel ------------------------------------
+
+TEST(CompileErrorChannel, ValidateFailuresCarryFindingContext) {
+  quant::QGraph qg = core::build_timing_qgraph("1M", 64);
+  // Dangling edge on the first non-input op.
+  int victim = -1;
+  for (std::size_t i = 0; i < qg.ops.size(); ++i) {
+    if (!qg.ops[i].inputs.empty()) {
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  qg.ops[static_cast<std::size_t>(victim)].inputs[0] = 999;
+  try {
+    compile(qg, {});
+    FAIL() << "compile accepted a dangling edge";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("compile: invalid QGraph:"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("dangling input 999"),
+              std::string::npos)
+        << e.what();
+    ASSERT_EQ(e.findings().size(), 1u);
+    EXPECT_EQ(e.findings()[0].check, "qgraph");
+    EXPECT_EQ(e.findings()[0].layer, victim);
+    EXPECT_EQ(e.findings()[0].severity, Severity::kError);
+  }
+}
+
+TEST(CompileErrorChannel, DerivesFromInvalidArgumentForLegacyCatchSites) {
+  quant::QGraph qg;  // empty graph
+  EXPECT_THROW(compile(qg, {}), std::invalid_argument);
+}
+
+TEST(CompileErrorChannel, VerifierThrowCarriesFormattedReportAndFindings) {
+  XModel m = base();
+  m.layers[static_cast<std::size_t>(m.output_layer)].output_resident = true;
+  try {
+    verify_or_throw(m);
+    FAIL() << "verify_or_throw accepted a mutant";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("verification failed"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("residency"), std::string::npos);
+    EXPECT_FALSE(e.findings().empty());
+    EXPECT_TRUE(has_errors(e.findings()));
+  }
+}
+
+// --- seneca_verify CLI ------------------------------------------------------
+
+int run_cli(const std::string& args) {
+  const std::string cmd = std::string(SENECA_VERIFY_PATH) + " " + args +
+                          " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(VerifyCli, ExitCodesDistinguishCleanMutatedAndUnparseable) {
+  const std::filesystem::path dir = ::testing::TempDir();
+  const std::filesystem::path clean = dir / "seneca_verify_clean.xmodel";
+  const std::filesystem::path bad = dir / "seneca_verify_mutant.xmodel";
+  const std::filesystem::path junk = dir / "seneca_verify_junk.xmodel";
+
+  base().save(clean);
+  XModel mutant = base();
+  mutant.layers[static_cast<std::size_t>(mutant.output_layer)]
+      .output_resident = true;
+  mutant.save(bad);
+  std::ofstream(junk) << "not an xmodel";
+
+  EXPECT_EQ(run_cli(clean.string()), 0);
+  EXPECT_EQ(run_cli(bad.string()), 1);
+  EXPECT_EQ(run_cli(junk.string()), 2);
+  EXPECT_EQ(run_cli(""), 2);  // usage
+
+  std::filesystem::remove(clean);
+  std::filesystem::remove(bad);
+  std::filesystem::remove(junk);
+}
+
+}  // namespace
+}  // namespace seneca::dpu

@@ -1,0 +1,72 @@
+// seneca_verify: standalone SENECA-Prove driver (DESIGN.md §10). Loads a
+// compiled .xmodel and re-derives every invariant the pass pipeline is
+// supposed to have established — buffer liveness, dataflow domination,
+// int32 accumulator headroom, cycle-model consistency — printing each
+// violation as a structured finding.
+//
+//   ./seneca_verify model.xmodel [--cycles true] [--rel-tol 1e-4]
+//                   [--ranges false] [--disasm false] [--quiet]
+//
+// Exit codes: 0 = verified clean (warnings allowed), 1 = error findings,
+// 2 = the file could not be loaded / is not a parseable xmodel.
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "dpu/disasm.hpp"
+#include "dpu/verify.hpp"
+#include "dpu/xmodel.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace seneca;
+  const util::Cli cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::fprintf(stderr, "usage: %s model.xmodel [--cycles true] "
+                 "[--rel-tol 1e-4] [--ranges false] [--disasm false] "
+                 "[--quiet]\n",
+                 cli.program().c_str());
+    return 2;
+  }
+
+  dpu::XModel model;
+  try {
+    model = dpu::XModel::load(cli.positional()[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: cannot load '%s': %s\n", cli.program().c_str(),
+                 cli.positional()[0].c_str(), e.what());
+    return 2;
+  }
+
+  dpu::VerifyOptions opts;
+  opts.check_cycles = cli.get_bool("cycles", true);
+  opts.cycle_rel_tol = cli.get_double("rel-tol", opts.cycle_rel_tol);
+  const std::vector<dpu::Finding> findings = dpu::verify(model, opts);
+
+  const bool quiet = cli.has("quiet");
+  if (!quiet) {
+    std::printf("%s", dpu::format_findings(model, findings).c_str());
+    if (cli.get_bool("disasm", false)) {
+      dpu::DisasmOptions dopts;
+      dopts.findings = &findings;
+      std::printf("\n%s", dpu::disassemble(model, dopts).c_str());
+    }
+    if (cli.get_bool("ranges", false)) {
+      std::printf("\nper-layer int32 headroom proofs:\n");
+      for (const dpu::RangeProof& p : dpu::range_analysis(model)) {
+        const auto& layer = model.layers[static_cast<std::size_t>(p.layer)];
+        std::printf(
+            "  layer %2d %-16s in=[%lld,%lld] acc=[%lld,%lld] shift=%3d "
+            "acc32=%s shift32=%s runtime=%s\n",
+            p.layer, layer.name.c_str(), static_cast<long long>(p.in.lo),
+            static_cast<long long>(p.in.hi), static_cast<long long>(p.acc.lo),
+            static_cast<long long>(p.acc.hi), p.shift,
+            p.acc_fits_i32 ? "proven" : "UNPROVEN",
+            p.shift32_proven ? "proven" : "UNPROVEN",
+            p.runtime_acc32 ? "safe" : "unsafe");
+      }
+    }
+  }
+  return dpu::has_errors(findings) ? 1 : 0;
+}
